@@ -1,0 +1,32 @@
+//! Criterion micro-bench of SDR-MPI's duplicate-filter (SeqTracker), the hot
+//! per-message data structure of the replication layer.
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdr_core::SeqTracker;
+
+fn bench_seq_tracker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ack_bookkeeping");
+    group.bench_function("seq_tracker_in_order_10k", |b| {
+        b.iter(|| {
+            let mut t = SeqTracker::default();
+            for s in 0..10_000u64 {
+                t.record(s);
+            }
+            t
+        })
+    });
+    group.bench_function("seq_tracker_out_of_order_10k", |b| {
+        b.iter(|| {
+            let mut t = SeqTracker::default();
+            // Deliver pairs swapped: 1,0,3,2,...
+            for s in (0..10_000u64).step_by(2) {
+                t.record(s + 1);
+                t.record(s);
+            }
+            t
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq_tracker);
+criterion_main!(benches);

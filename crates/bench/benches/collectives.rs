@@ -1,0 +1,36 @@
+//! Criterion bench of collective operations under the native and SDR-MPI
+//! configurations (allreduce and alltoall on a small job).
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdr_core::{native_job, replicated_job, ReplicationConfig};
+use sim_mpi::ReduceOp;
+use sim_net::LogGpModel;
+
+fn allreduce_job(replicated: bool) -> f64 {
+    let app = |p: &mut sim_mpi::Process| {
+        let world = p.world();
+        let mut acc = 0.0;
+        for _ in 0..5 {
+            acc = p.allreduce_f64(world, ReduceOp::Sum, (p.rank() + 1) as f64);
+        }
+        acc
+    };
+    let report = if replicated {
+        replicated_job(8, ReplicationConfig::dual())
+            .network(LogGpModel::fast_test_model())
+            .run(app)
+    } else {
+        native_job(8).network(LogGpModel::fast_test_model()).run(app)
+    };
+    *report.primary_results()[0]
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    group.sample_size(10);
+    group.bench_function("allreduce_8ranks_native", |b| b.iter(|| allreduce_job(false)));
+    group.bench_function("allreduce_8ranks_sdr", |b| b.iter(|| allreduce_job(true)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

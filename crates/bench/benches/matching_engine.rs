@@ -1,0 +1,61 @@
+//! Criterion micro-bench of the PML matching engine: posting receives and
+//! matching incoming messages with and without wildcards.
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_mpi::matching::{IncomingMsg, MatchingEngine, PmlReqId, PostedRecv};
+use sim_mpi::{CommId, TagSel};
+use sim_net::{EndpointId, SimTime};
+
+fn msg(src: usize, tag: i64, seq: u64) -> IncomingMsg {
+    IncomingMsg {
+        src: EndpointId(src),
+        comm: CommId::WORLD,
+        tag,
+        seq,
+        aux: 0,
+        payload: Bytes::new(),
+        arrival: SimTime::from_nanos(seq),
+    }
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching_engine");
+    group.bench_function("post_then_match_1k_specific", |b| {
+        b.iter(|| {
+            let mut eng = MatchingEngine::new();
+            for i in 0..1_000u64 {
+                eng.post_recv(PostedRecv {
+                    req: PmlReqId(i),
+                    src: Some(EndpointId((i % 8) as usize)),
+                    comm: CommId::WORLD,
+                    tag: TagSel::Tag((i % 16) as i64),
+                });
+            }
+            for i in 0..1_000u64 {
+                eng.incoming(msg((i % 8) as usize, (i % 16) as i64, i));
+            }
+            eng
+        })
+    });
+    group.bench_function("unexpected_then_post_1k_wildcard", |b| {
+        b.iter(|| {
+            let mut eng = MatchingEngine::new();
+            for i in 0..1_000u64 {
+                eng.incoming(msg((i % 8) as usize, 3, i));
+            }
+            for i in 0..1_000u64 {
+                eng.post_recv(PostedRecv {
+                    req: PmlReqId(i),
+                    src: None,
+                    comm: CommId::WORLD,
+                    tag: TagSel::Any,
+                });
+            }
+            eng
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

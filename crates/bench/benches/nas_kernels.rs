@@ -1,0 +1,36 @@
+//! Criterion bench of the NAS-like kernels (small test sizes), native vs
+//! SDR-MPI — the micro version of Table 1.
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdr_core::{native_job, replicated_job, ReplicationConfig};
+use sim_net::LogGpModel;
+use workloads::nas::{run_kernel, NasConfig, NasKernel};
+
+fn run(kernel: NasKernel, replicated: bool) -> f64 {
+    let cfg = NasConfig::test_size();
+    let app = move |p: &mut sim_mpi::Process| run_kernel(kernel, p, &cfg);
+    let report = if replicated {
+        replicated_job(4, ReplicationConfig::dual())
+            .network(LogGpModel::fast_test_model())
+            .run(app)
+    } else {
+        native_job(4).network(LogGpModel::fast_test_model()).run(app)
+    };
+    *report.primary_results()[0]
+}
+
+fn bench_nas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nas_kernels");
+    group.sample_size(10);
+    for kernel in [NasKernel::Cg, NasKernel::Mg] {
+        group.bench_function(format!("{}_native", kernel.name()), |b| {
+            b.iter(|| run(kernel, false))
+        });
+        group.bench_function(format!("{}_sdr", kernel.name()), |b| {
+            b.iter(|| run(kernel, true))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nas);
+criterion_main!(benches);

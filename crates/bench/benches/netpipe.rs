@@ -1,0 +1,30 @@
+//! Criterion micro-bench: one NetPipe ping-pong job per iteration, native vs
+//! SDR-MPI, for a small and a large message (the endpoints of Figure 7).
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdr_core::{native_job, replicated_job, ReplicationConfig};
+use sim_net::LogGpModel;
+use workloads::netpipe::measure;
+
+fn bench_netpipe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netpipe");
+    group.sample_size(10);
+    for &size in &[1usize, 65536] {
+        group.bench_function(format!("native/{size}B"), |b| {
+            b.iter(|| measure(native_job(2).network(LogGpModel::infiniband_20g()), size, 5))
+        });
+        group.bench_function(format!("sdr/{size}B"), |b| {
+            b.iter(|| {
+                measure(
+                    replicated_job(2, ReplicationConfig::dual())
+                        .network(LogGpModel::infiniband_20g()),
+                    size,
+                    5,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_netpipe);
+criterion_main!(benches);

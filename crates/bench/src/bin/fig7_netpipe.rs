@@ -1,0 +1,5 @@
+//! Regenerates Figure 7a/7b: NetPipe latency and throughput, native vs SDR-MPI.
+fn main() {
+    let rows = sdr_bench::fig7_series(&sdr_bench::fig7_default_sizes(), 30);
+    print!("{}", sdr_bench::format_fig7(&rows));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 2: HPCCG and CM1 (applications with MPI_ANY_SOURCE).
+fn main() {
+    let ranks = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let rows = sdr_bench::table2_rows(ranks);
+    print!(
+        "{}",
+        sdr_bench::format_comparison_table(
+            &format!("Table 2: HPCCG and CM1 (ranks={ranks}, replication degree=2)"),
+            &rows
+        )
+    );
+}

@@ -1,0 +1,390 @@
+//! # sdr-bench — harnesses that regenerate every table and figure of the paper
+//!
+//! Each public function reproduces one experiment from the evaluation section
+//! of *Replication for Send-Deterministic MPI HPC Applications* and returns
+//! the corresponding rows/series; the binaries in `src/bin/` print them in the
+//! paper's format, and `EXPERIMENTS.md` records the paper-vs-measured
+//! comparison.
+//!
+//! | function | paper artefact |
+//! |---|---|
+//! | [`fig7_series`] | Figure 7a (latency) and 7b (throughput) vs message size |
+//! | [`table1_rows`] | Table 1: NAS BT/CG/FT/MG/SP native vs replicated |
+//! | [`table2_rows`] | Table 2: HPCCG and CM1 (with `MPI_ANY_SOURCE`) |
+//! | [`fig2_comparison`] | Figure 2: anonymous reception, leader-based vs send-deterministic |
+//! | [`mirror_vs_parallel`] | Section 2.4: `O(q·r²)` vs `O(q·r)` message complexity |
+//! | [`redmpi_detection`] | Section 2.4 / redMPI: SDC detection traffic and coverage |
+
+use repl_baselines::{CorruptionSpec, LeaderFactory, MirrorFactory, RedMpiFactory, SdcReport};
+use sdr_core::{native_job, replicated_job, ReplicationConfig};
+use sim_mpi::{JobBuilder, ANY_SOURCE};
+use sim_net::{Cluster, LogGpModel, Placement};
+use std::sync::Arc;
+use workloads::apps::{run_cm1, run_hpccg, AppConfig};
+use workloads::nas::{run_kernel, NasConfig, NasKernel};
+use workloads::netpipe::{self, NetpipePoint};
+use workloads::runner::{compare_protocols, ComparisonRow, WorkloadSpec};
+
+/// One row of the Figure 7 sweep: native and replicated measurements for a
+/// message size, plus the relative performance decrease.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Row {
+    /// Message size in bytes.
+    pub size: usize,
+    /// Native point.
+    pub native: NetpipePoint,
+    /// SDR-MPI (dual replication) point.
+    pub sdr: NetpipePoint,
+    /// Latency increase in percent.
+    pub latency_decrease_pct: f64,
+    /// Throughput decrease in percent.
+    pub throughput_decrease_pct: f64,
+}
+
+/// Figure 7a/7b: NetPipe latency and throughput, native Open MPI vs SDR-MPI.
+pub fn fig7_series(sizes: &[usize], reps: usize) -> Vec<Fig7Row> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let native = netpipe::measure(
+                native_job(2).network(LogGpModel::infiniband_20g()),
+                size,
+                reps,
+            );
+            let sdr = netpipe::measure(
+                replicated_job(2, ReplicationConfig::dual())
+                    .network(LogGpModel::infiniband_20g()),
+                size,
+                reps,
+            );
+            Fig7Row {
+                size,
+                native,
+                sdr,
+                latency_decrease_pct: (sdr.latency_us - native.latency_us) / native.latency_us
+                    * 100.0,
+                throughput_decrease_pct: (native.throughput_mbps - sdr.throughput_mbps)
+                    / native.throughput_mbps
+                    * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// Default Figure 7 sweep sizes (a subset of the full NetPipe ladder that
+/// still spans 1 B – 4 MiB).
+pub fn fig7_default_sizes() -> Vec<usize> {
+    vec![1, 8, 64, 512, 4 * 1024, 64 * 1024, 1 << 20, 4 << 20]
+}
+
+/// Table 1: the five NAS-like kernels, native vs dual replication.
+pub fn table1_rows(ranks: usize, cfg: NasConfig) -> Vec<ComparisonRow> {
+    NasKernel::all()
+        .iter()
+        .map(|&kernel| {
+            let spec = WorkloadSpec::new(kernel.name(), ranks, move |p| {
+                run_kernel(kernel, p, &cfg)
+            });
+            compare_protocols(&spec, ReplicationConfig::dual())
+        })
+        .collect()
+}
+
+/// Table 2: HPCCG and CM1 (both with anonymous receptions), native vs dual
+/// replication.
+pub fn table2_rows(ranks: usize) -> Vec<ComparisonRow> {
+    let hpccg_cfg = AppConfig::hpccg_paper_like();
+    let cm1_cfg = AppConfig::cm1_paper_like();
+    vec![
+        compare_protocols(
+            &WorkloadSpec::new("HPCCG", ranks, move |p| run_hpccg(p, &hpccg_cfg)),
+            ReplicationConfig::dual(),
+        ),
+        compare_protocols(
+            &WorkloadSpec::new("CM1", ranks, move |p| run_cm1(p, &cm1_cfg)),
+            ReplicationConfig::dual(),
+        ),
+    ]
+}
+
+/// Result of the Figure 2 comparison: wall-clock time of an anonymous
+/// reception benchmark under the leader-based protocol vs SDR-MPI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Row {
+    /// Number of request/reply rounds measured.
+    pub rounds: usize,
+    /// Elapsed virtual seconds with the leader-based protocol.
+    pub leader_secs: f64,
+    /// Elapsed virtual seconds with SDR-MPI.
+    pub sdr_secs: f64,
+    /// Leader decision messages exchanged.
+    pub decision_msgs: u64,
+    /// Advantage of send-determinism, in percent of leader time.
+    pub improvement_pct: f64,
+}
+
+fn anon_reception_app(rounds: usize) -> impl Fn(&mut sim_mpi::Process) -> f64 + Send + Sync + Clone {
+    move |p: &mut sim_mpi::Process| {
+        let world = p.world();
+        if p.rank() == 0 {
+            for _ in 0..rounds {
+                let (status, _) = p.recv_bytes(world, ANY_SOURCE, 1);
+                p.send_u64s(world, status.source, 2, &[1]);
+            }
+        } else {
+            for i in 0..rounds as u64 {
+                p.send_u64s(world, 0, 1, &[i]);
+                let _ = p.recv_u64s(world, 0, 2);
+            }
+        }
+        p.now().as_secs_f64()
+    }
+}
+
+/// Figure 2: handling an anonymous reception with (left) and without (right) a
+/// leader, measured as the elapsed time of a request/reply loop over
+/// `MPI_ANY_SOURCE`.
+pub fn fig2_comparison(rounds: usize) -> Fig2Row {
+    let cfg = ReplicationConfig::dual();
+    let app = anon_reception_app(rounds);
+    let leader = JobBuilder::new(2)
+        .network(LogGpModel::infiniband_20g())
+        .protocol(Arc::new(LeaderFactory::new(cfg)))
+        .cluster(Cluster::new(4, 1))
+        .placement(Placement::ReplicaSets { ranks: 2, degree: 2 })
+        .run(app.clone());
+    let sdr = replicated_job(2, cfg)
+        .network(LogGpModel::infiniband_20g())
+        .run(app);
+    assert!(leader.all_finished() && sdr.all_finished());
+    let leader_secs = leader.elapsed.as_secs_f64();
+    let sdr_secs = sdr.elapsed.as_secs_f64();
+    Fig2Row {
+        rounds,
+        leader_secs,
+        sdr_secs,
+        decision_msgs: leader.stats.control_msgs(),
+        improvement_pct: (leader_secs - sdr_secs) / leader_secs * 100.0,
+    }
+}
+
+/// Message-complexity comparison between the mirror and parallel protocols.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MirrorRow {
+    /// Replication degree.
+    pub degree: usize,
+    /// Application messages in the native run.
+    pub native_app_msgs: u64,
+    /// Application messages with the parallel protocol (SDR-MPI).
+    pub parallel_app_msgs: u64,
+    /// Protocol acks with the parallel protocol.
+    pub parallel_ack_msgs: u64,
+    /// Application messages with the mirror protocol.
+    pub mirror_app_msgs: u64,
+    /// Elapsed seconds, parallel protocol.
+    pub parallel_secs: f64,
+    /// Elapsed seconds, mirror protocol.
+    pub mirror_secs: f64,
+}
+
+/// Section 2.4: mirror (`O(q·r²)`) vs parallel (`O(q·r)`) message complexity
+/// on a halo-exchange workload.
+pub fn mirror_vs_parallel(ranks: usize, degree: usize, iterations: usize) -> MirrorRow {
+    let app = move |p: &mut sim_mpi::Process| {
+        let world = p.world();
+        for _ in 0..iterations {
+            let peer = (p.rank() + 1) % p.size();
+            let from = (p.rank() + p.size() - 1) % p.size();
+            p.sendrecv_bytes(
+                world,
+                peer,
+                0,
+                bytes::Bytes::from(vec![7u8; 2048]),
+                from as i64,
+                0,
+            );
+        }
+        p.now().as_secs_f64()
+    };
+    let native = native_job(ranks).network(LogGpModel::infiniband_20g()).run(app);
+    let parallel = replicated_job(ranks, ReplicationConfig::with_degree(degree))
+        .network(LogGpModel::infiniband_20g())
+        .run(app);
+    let mirror = JobBuilder::new(ranks)
+        .network(LogGpModel::infiniband_20g())
+        .protocol(Arc::new(MirrorFactory::new(degree)))
+        .cluster(Cluster::new(ranks * degree, 1))
+        .placement(Placement::ReplicaSets { ranks, degree })
+        .run(app);
+    assert!(native.all_finished() && parallel.all_finished() && mirror.all_finished());
+    MirrorRow {
+        degree,
+        native_app_msgs: native.stats.app_msgs(),
+        parallel_app_msgs: parallel.stats.app_msgs(),
+        parallel_ack_msgs: parallel.stats.ack_msgs(),
+        mirror_app_msgs: mirror.stats.app_msgs(),
+        parallel_secs: parallel.elapsed.as_secs_f64(),
+        mirror_secs: mirror.elapsed.as_secs_f64(),
+    }
+}
+
+/// redMPI ablation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedMpiRow {
+    /// Whether a corruption was injected.
+    pub corrupted: bool,
+    /// Hash messages exchanged.
+    pub hash_msgs: u64,
+    /// Hash comparisons performed.
+    pub comparisons: u64,
+    /// Mismatches (detections).
+    pub detections: u64,
+    /// Elapsed seconds under the redMPI-style protocol.
+    pub redmpi_secs: f64,
+    /// Elapsed seconds under SDR-MPI for the same workload.
+    pub sdr_secs: f64,
+}
+
+/// redMPI-style SDC detection: traffic overhead and detection of an injected
+/// bit flip.
+pub fn redmpi_detection(ranks: usize, iterations: usize, inject: bool) -> RedMpiRow {
+    let app = move |p: &mut sim_mpi::Process| {
+        let world = p.world();
+        for i in 0..iterations as u64 {
+            let peer = (p.rank() + 1) % p.size();
+            let from = (p.rank() + p.size() - 1) % p.size();
+            p.sendrecv_bytes(
+                world,
+                peer,
+                3,
+                bytes::Bytes::from(vec![(i % 251) as u8; 1024]),
+                from as i64,
+                3,
+            );
+        }
+        p.now().as_secs_f64()
+    };
+    let report = SdcReport::new();
+    let mut factory = RedMpiFactory::dual(Arc::clone(&report));
+    if inject {
+        factory = factory.with_corruption(CorruptionSpec {
+            replica: 1,
+            src_rank: 0,
+            dst_rank: 1,
+            seq: (iterations / 2) as u64,
+        });
+    }
+    let redmpi = JobBuilder::new(ranks)
+        .network(LogGpModel::infiniband_20g())
+        .protocol(Arc::new(factory))
+        .cluster(Cluster::new(ranks * 2, 1))
+        .placement(Placement::ReplicaSets { ranks, degree: 2 })
+        .run(app);
+    let sdr = replicated_job(ranks, ReplicationConfig::dual())
+        .network(LogGpModel::infiniband_20g())
+        .run(app);
+    assert!(redmpi.all_finished() && sdr.all_finished());
+    RedMpiRow {
+        corrupted: inject,
+        hash_msgs: redmpi.stats.hash_msgs(),
+        comparisons: report.comparisons(),
+        detections: report.mismatches(),
+        redmpi_secs: redmpi.elapsed.as_secs_f64(),
+        sdr_secs: sdr.elapsed.as_secs_f64(),
+    }
+}
+
+/// Format a Table-1/2-style row set in the paper's layout.
+pub fn format_comparison_table(title: &str, rows: &[ComparisonRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<8} {:>14} {:>16} {:>12}  {}\n",
+        "", "Native (s)", "Replicated (s)", "Overhead (%)", "results"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<8} {:>14.3} {:>16.3} {:>12.2}  {}\n",
+            row.name,
+            row.native_secs,
+            row.replicated_secs,
+            row.overhead_pct,
+            if row.results_match { "match" } else { "MISMATCH" }
+        ));
+    }
+    out
+}
+
+/// Format the Figure 7 series as a text table (one row per size).
+pub fn format_fig7(rows: &[Fig7Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 7: NetPipe latency / throughput, Open MPI (native) vs SDR-MPI\n");
+    out.push_str(&format!(
+        "{:>10} {:>15} {:>13} {:>9} {:>16} {:>13} {:>9}\n",
+        "size(B)", "lat native(us)", "lat SDR(us)", "decr(%)", "bw native(Mb/s)", "bw SDR(Mb/s)", "decr(%)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>10} {:>15.2} {:>13.2} {:>9.1} {:>16.0} {:>13.0} {:>9.1}\n",
+            r.size,
+            r.native.latency_us,
+            r.sdr.latency_us,
+            r.latency_decrease_pct,
+            r.native.throughput_mbps,
+            r.sdr.throughput_mbps,
+            r.throughput_decrease_pct
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_small_sweep_has_expected_shape() {
+        let rows = fig7_series(&[1, 65536], 6);
+        assert_eq!(rows.len(), 2);
+        // Small messages: noticeable latency overhead. Large: negligible.
+        assert!(rows[0].latency_decrease_pct > 5.0);
+        assert!(rows[1].latency_decrease_pct < 5.0);
+        assert!(rows[1].native.throughput_mbps > rows[0].native.throughput_mbps);
+    }
+
+    #[test]
+    fn fig2_leader_slower_than_sdr() {
+        let row = fig2_comparison(10);
+        assert!(row.leader_secs > row.sdr_secs);
+        assert!(row.improvement_pct > 0.0);
+        assert_eq!(row.decision_msgs, 10);
+    }
+
+    #[test]
+    fn mirror_blowup_matches_theory() {
+        let row = mirror_vs_parallel(3, 2, 4);
+        assert_eq!(row.parallel_app_msgs, row.native_app_msgs * 2);
+        assert_eq!(row.mirror_app_msgs, row.native_app_msgs * 4);
+        assert!(row.parallel_ack_msgs > 0);
+    }
+
+    #[test]
+    fn redmpi_detects_injected_corruption() {
+        let clean = redmpi_detection(2, 6, false);
+        assert_eq!(clean.detections, 0);
+        assert!(clean.comparisons > 0);
+        assert!(clean.hash_msgs > 0);
+        let corrupted = redmpi_detection(2, 6, true);
+        assert!(corrupted.detections >= 1);
+    }
+
+    #[test]
+    fn formatting_helpers_mention_rows() {
+        let rows = table1_rows(4, NasConfig::test_size());
+        let text = format_comparison_table("Table 1", &rows);
+        for k in ["BT", "CG", "FT", "MG", "SP"] {
+            assert!(text.contains(k));
+        }
+        assert!(text.contains("Overhead"));
+    }
+}

@@ -1,0 +1,395 @@
+//! Launch-time integration: the [`SdrFactory`] plugs the SDR-MPI protocol into
+//! the `sim-mpi` job launcher, and [`replicated_job`] builds a ready-to-run
+//! [`JobBuilder`] with the paper's placement policy (different replicas of a
+//! rank on different nodes).
+
+use crate::config::ReplicationConfig;
+use crate::protocol::SdrProtocol;
+use sim_mpi::{JobBuilder, Protocol, ProtocolFactory};
+use sim_net::{Cluster, EndpointId, Placement};
+use std::sync::Arc;
+
+/// Protocol factory for SDR-MPI.
+#[derive(Debug, Clone)]
+pub struct SdrFactory {
+    cfg: ReplicationConfig,
+}
+
+impl SdrFactory {
+    /// Factory with an explicit configuration.
+    pub fn new(cfg: ReplicationConfig) -> Self {
+        SdrFactory { cfg }
+    }
+
+    /// Dual replication (the paper's configuration).
+    pub fn dual() -> Self {
+        SdrFactory::new(ReplicationConfig::dual())
+    }
+
+    /// The configuration this factory installs.
+    pub fn config(&self) -> ReplicationConfig {
+        self.cfg
+    }
+}
+
+impl ProtocolFactory for SdrFactory {
+    fn physical_processes(&self, app_ranks: usize) -> usize {
+        app_ranks * self.cfg.degree
+    }
+
+    fn build(&self, endpoint: EndpointId, app_ranks: usize) -> Box<dyn Protocol> {
+        Box::new(SdrProtocol::new(endpoint, app_ranks, self.cfg))
+    }
+
+    fn name(&self) -> &str {
+        "sdr-mpi"
+    }
+}
+
+/// A [`JobBuilder`] for `app_ranks` logical ranks replicated according to
+/// `cfg`, with the paper's placement: one core per physical process and the
+/// replica sets on disjoint node slices.
+pub fn replicated_job(app_ranks: usize, cfg: ReplicationConfig) -> JobBuilder {
+    let physical = app_ranks * cfg.degree;
+    JobBuilder::new(app_ranks)
+        .protocol(Arc::new(SdrFactory::new(cfg)))
+        .cluster(Cluster::new(physical, 1))
+        .placement(Placement::ReplicaSets {
+            ranks: app_ranks,
+            degree: cfg.degree,
+        })
+}
+
+/// A native (non-replicated) [`JobBuilder`] with the same cluster conventions,
+/// for apples-to-apples baseline runs.
+pub fn native_job(app_ranks: usize) -> JobBuilder {
+    JobBuilder::new(app_ranks)
+        .cluster(Cluster::new(app_ranks, 1))
+        .placement(Placement::Packed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AckOn;
+    use bytes::Bytes;
+    use sim_mpi::{ReduceOp, ANY_SOURCE};
+    use sim_net::{CrashSchedule, LogGpModel, SimTime};
+    use std::time::Duration;
+
+    fn fast() -> LogGpModel {
+        LogGpModel::fast_test_model()
+    }
+
+    #[test]
+    fn factory_sizes_and_identity() {
+        let f = SdrFactory::dual();
+        assert_eq!(f.physical_processes(8), 16);
+        assert_eq!(f.name(), "sdr-mpi");
+        let p = f.build(EndpointId(11), 8);
+        assert_eq!(p.app_rank(), 3);
+        assert_eq!(p.replica_id(), 1);
+        assert!(!p.is_primary());
+        let p0 = f.build(EndpointId(3), 8);
+        assert!(p0.is_primary());
+    }
+
+    #[test]
+    fn replicated_ping_pong_matches_native_results() {
+        let app = |p: &mut sim_mpi::Process| {
+            let world = p.world();
+            if p.rank() == 0 {
+                p.send_bytes(world, 1, 1, Bytes::from_static(b"ping"));
+                let (_, reply) = p.recv_bytes(world, 1, 2);
+                String::from_utf8(reply.to_vec()).unwrap()
+            } else {
+                let (_, msg) = p.recv_bytes(world, 0, 1);
+                assert_eq!(&msg[..], b"ping");
+                p.send_bytes(world, 0, 2, Bytes::from_static(b"pong"));
+                "sender".to_string()
+            }
+        };
+        let native = native_job(2).network(fast()).run(app);
+        let replicated = replicated_job(2, ReplicationConfig::dual())
+            .network(fast())
+            .run(app);
+        assert!(native.all_finished());
+        assert!(replicated.all_finished());
+        assert_eq!(native.primary_results(), replicated.primary_results());
+        // Parallel protocol: application messages double (each replica set runs
+        // its own copy), and acks flow (one per received message per other
+        // replica of the sender rank).
+        assert_eq!(replicated.stats.app_msgs(), 2 * native.stats.app_msgs());
+        assert_eq!(replicated.stats.ack_msgs(), replicated.stats.app_msgs());
+        assert_eq!(native.stats.ack_msgs(), 0);
+        // Both replica sets report the application result.
+        assert_eq!(replicated.processes.len(), 4);
+    }
+
+    #[test]
+    fn replicated_collectives_produce_correct_results() {
+        let report = replicated_job(4, ReplicationConfig::dual())
+            .network(fast())
+            .run(|p| {
+                let world = p.world();
+                p.barrier(world);
+                let sum = p.allreduce_f64(world, ReduceOp::Sum, (p.rank() + 1) as f64);
+                let bcast = p.bcast_f64s(world, 1, if p.rank() == 1 { Some(&[2.5][..]) } else { None });
+                let gathered = p.gather_bytes(world, 0, Bytes::from(vec![p.rank() as u8]));
+                let gathered_ok = match gathered {
+                    Some(blocks) => blocks.iter().enumerate().all(|(i, b)| b[0] as usize == i),
+                    None => true,
+                };
+                (sum, bcast[0], gathered_ok)
+            });
+        assert!(report.all_finished());
+        for r in report.primary_results() {
+            assert_eq!(*r, (10.0, 2.5, true));
+        }
+        // Non-primary replicas computed the same thing.
+        for proc in &report.processes {
+            if let Some(r) = proc.outcome.result() {
+                assert_eq!(*r, (10.0, 2.5, true));
+            }
+        }
+    }
+
+    #[test]
+    fn any_source_reception_needs_no_leader() {
+        // HPCCG/CM1-style anonymous receptions: rank 0 receives from everyone
+        // with MPI_ANY_SOURCE. Under SDR-MPI each replica decides locally; the
+        // run must produce identical data on both replicas with zero control
+        // messages (no leader decisions).
+        let report = replicated_job(4, ReplicationConfig::dual())
+            .network(fast())
+            .run(|p| {
+                let world = p.world();
+                if p.rank() == 0 {
+                    let mut total = 0u64;
+                    for _ in 0..3 {
+                        let (_, data) = p.recv_bytes(world, ANY_SOURCE, 7);
+                        total += sim_mpi::datatype::bytes_to_u64s(&data)[0];
+                    }
+                    total
+                } else {
+                    p.send_u64s(world, 0, 7, &[p.rank() as u64 * 100]);
+                    0
+                }
+            });
+        assert!(report.all_finished());
+        assert_eq!(report.primary_results()[0], &600);
+        // Every replica of rank 0 got the same total.
+        for proc in report.processes.iter().filter(|p| p.app_rank == 0) {
+            assert_eq!(proc.outcome.result(), Some(&600));
+        }
+        assert_eq!(report.stats.control_msgs(), 0, "no leader traffic");
+    }
+
+    #[test]
+    fn replica_crash_mid_run_application_still_completes() {
+        // Figure 3 scenario: two ranks, dual replication, repeated exchange;
+        // replica 1 of rank 1 (endpoint 3) crashes after its second send. The
+        // application (both replica sets' surviving processes) completes.
+        let rounds = 6u64;
+        let report = replicated_job(2, ReplicationConfig::dual())
+            .network(fast())
+            .crash(EndpointId(3), CrashSchedule::AfterSend { nth: 2 })
+            .recv_timeout(Duration::from_secs(5))
+            .run(move |p| {
+                let world = p.world();
+                let peer = 1 - p.rank();
+                let mut acc = 0u64;
+                for round in 0..rounds {
+                    if p.rank() == 1 {
+                        p.send_u64s(world, peer, 1, &[round]);
+                        let (_, v) = p.recv_u64s(world, peer as i64, 2);
+                        acc += v[0];
+                    } else {
+                        let (_, v) = p.recv_u64s(world, peer as i64, 1);
+                        acc += v[0];
+                        p.send_u64s(world, peer, 2, &[round * 10]);
+                    }
+                }
+                acc
+            });
+        // Endpoint 3 crashed; everyone else finished.
+        assert_eq!(report.crashed(), vec![EndpointId(3)]);
+        let finished: Vec<_> = report
+            .processes
+            .iter()
+            .filter(|p| p.outcome.is_finished())
+            .map(|p| p.endpoint)
+            .collect();
+        assert_eq!(finished, vec![EndpointId(0), EndpointId(1), EndpointId(2)]);
+        // All finished processes computed the correct sums.
+        let expect_rank0: u64 = (0..rounds).sum();
+        let expect_rank1: u64 = (0..rounds).map(|r| r * 10).sum();
+        for proc in &report.processes {
+            if let Some(&acc) = proc.outcome.result() {
+                if proc.app_rank == 0 {
+                    assert_eq!(acc, expect_rank0);
+                } else {
+                    assert_eq!(acc, expect_rank1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_of_receiver_side_replica_also_tolerated() {
+        // Crash a replica of the *receiving* rank (endpoint 2 = rank 0,
+        // replica 1) early in the run: the sender replicas stop expecting its
+        // acks and the rest completes.
+        let report = replicated_job(2, ReplicationConfig::dual())
+            .network(fast())
+            .crash(EndpointId(2), CrashSchedule::AtTime { at: SimTime::ZERO })
+            .recv_timeout(Duration::from_secs(5))
+            .run(|p| {
+                let world = p.world();
+                if p.rank() == 1 {
+                    for i in 0..4u64 {
+                        p.send_u64s(world, 0, 1, &[i]);
+                    }
+                    0
+                } else {
+                    let mut acc = 0;
+                    for _ in 0..4 {
+                        let (_, v) = p.recv_u64s(world, 1, 1);
+                        acc += v[0];
+                    }
+                    acc
+                }
+            });
+        assert_eq!(report.crashed(), vec![EndpointId(2)]);
+        for proc in &report.processes {
+            if proc.app_rank == 0 {
+                if let Some(&acc) = proc.outcome.result() {
+                    assert_eq!(acc, 6);
+                }
+            } else {
+                assert!(proc.outcome.is_finished() || proc.endpoint == EndpointId(2));
+            }
+        }
+    }
+
+    #[test]
+    fn degree_three_replication_works() {
+        let report = replicated_job(2, ReplicationConfig::with_degree(3))
+            .network(fast())
+            .run(|p| {
+                let world = p.world();
+                let peer = 1 - p.rank();
+                let (_, data) = p.sendrecv_bytes(
+                    world,
+                    peer,
+                    0,
+                    Bytes::from(vec![p.rank() as u8; 8]),
+                    peer as i64,
+                    0,
+                );
+                data[0] as usize
+            });
+        assert!(report.all_finished());
+        assert_eq!(report.processes.len(), 6);
+        for proc in &report.processes {
+            let expect = 1 - proc.app_rank;
+            assert_eq!(proc.outcome.result(), Some(&expect));
+        }
+        // Each received message is acked to the r-1 = 2 other sender replicas.
+        assert_eq!(report.stats.ack_msgs(), report.stats.app_msgs() * 2);
+    }
+
+    #[test]
+    fn degree_one_behaves_like_native() {
+        let app = |p: &mut sim_mpi::Process| {
+            let world = p.world();
+            p.allreduce_f64(world, ReduceOp::Sum, p.rank() as f64)
+        };
+        let native = native_job(4).network(fast()).run(app);
+        let degree1 = replicated_job(4, ReplicationConfig::with_degree(1))
+            .network(fast())
+            .run(app);
+        assert_eq!(native.primary_results(), degree1.primary_results());
+        assert_eq!(native.stats.app_msgs(), degree1.stats.app_msgs());
+        assert_eq!(degree1.stats.ack_msgs(), 0);
+    }
+
+    #[test]
+    fn ack_on_app_wait_deadlocks_irecv_send_wait_pattern() {
+        // Section 3.3: if acks were only emitted when the application waits on
+        // the receive, the Irecv-Send-Wait exchange deadlocks because both
+        // sides block in MPI_Send waiting for an ack that will never be sent.
+        let cfg = ReplicationConfig::dual().ack_on(AckOn::AppWait);
+        let report = replicated_job(2, cfg)
+            .network(fast())
+            .recv_timeout(Duration::from_millis(300))
+            .run(|p| {
+                let world = p.world();
+                let peer = 1 - p.rank();
+                let rreq = p.irecv_bytes(world, peer as i64, 0);
+                // Blocking send: cannot complete before the peer's replicas ack.
+                p.send_bytes(world, peer, 0, Bytes::from(vec![1u8; 32]));
+                let _ = p.wait(world, rreq);
+            });
+        assert!(
+            !report.deadlocked().is_empty(),
+            "AppWait acking must deadlock the exchange"
+        );
+
+        // The same pattern with the paper's RecvComplete acking finishes.
+        let report_ok = replicated_job(2, ReplicationConfig::dual())
+            .network(fast())
+            .recv_timeout(Duration::from_secs(5))
+            .run(|p| {
+                let world = p.world();
+                let peer = 1 - p.rank();
+                let rreq = p.irecv_bytes(world, peer as i64, 0);
+                p.send_bytes(world, peer, 0, Bytes::from(vec![1u8; 32]));
+                let _ = p.wait(world, rreq);
+            });
+        assert!(report_ok.all_finished());
+    }
+
+    #[test]
+    fn comm_split_under_replication() {
+        let report = replicated_job(4, ReplicationConfig::dual())
+            .network(fast())
+            .run(|p| {
+                let world = p.world();
+                let color = (p.rank() / 2) as i64;
+                let sub = p.comm_split(world, color, 0).unwrap();
+                p.allreduce_f64(sub, ReduceOp::Sum, p.rank() as f64)
+            });
+        assert!(report.all_finished());
+        let results = report.primary_results();
+        assert_eq!(results, vec![&1.0, &1.0, &5.0, &5.0]);
+    }
+
+    #[test]
+    fn replication_overhead_is_small_for_compute_bound_app() {
+        // The qualitative Table 1 claim: for compute-dominated applications the
+        // wall-clock overhead of dual replication is small.
+        let app = |p: &mut sim_mpi::Process| {
+            let world = p.world();
+            for _ in 0..20 {
+                p.compute(SimTime::from_micros(200));
+                let peer = (p.rank() + 1) % p.size();
+                let from = (p.rank() + p.size() - 1) % p.size();
+                p.sendrecv_bytes(world, peer, 0, Bytes::from(vec![0u8; 1024]), from as i64, 0);
+            }
+            p.now().as_micros_f64()
+        };
+        let native = native_job(4).network(LogGpModel::infiniband_20g()).run(app);
+        let replicated = replicated_job(4, ReplicationConfig::dual())
+            .network(LogGpModel::infiniband_20g())
+            .run(app);
+        assert!(native.all_finished() && replicated.all_finished());
+        let t_native = native.elapsed.as_secs_f64();
+        let t_repl = replicated.elapsed.as_secs_f64();
+        let overhead = (t_repl - t_native) / t_native;
+        assert!(
+            overhead >= -0.01 && overhead < 0.25,
+            "overhead {overhead} out of the expected range (native {t_native}s, replicated {t_repl}s)"
+        );
+    }
+}

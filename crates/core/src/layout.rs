@@ -1,0 +1,128 @@
+//! Mapping between logical MPI ranks, replica ids and physical processes.
+//!
+//! The job is launched with `r · n` physical processes (Figure 6 of the
+//! paper): physical process `P` plays logical rank `P mod n` in replica set
+//! `P div n`, so replica set 0 occupies endpoints `0..n`, replica set 1
+//! occupies `n..2n`, and so on. Combined with
+//! [`sim_net::Placement::ReplicaSets`], replica set `k` lands on the `k`-th
+//! slice of the cluster's nodes, reproducing the paper's placement ("the
+//! first set of 256 replicas run on the first half of the nodes").
+
+use sim_mpi::Rank;
+use sim_net::EndpointId;
+
+/// The rank/replica ↔ endpoint mapping for a replicated job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaLayout {
+    /// Number of logical MPI ranks `n`.
+    pub ranks: usize,
+    /// Replication degree `r`.
+    pub degree: usize,
+}
+
+impl ReplicaLayout {
+    /// Layout for `ranks` logical ranks replicated `degree` times.
+    pub fn new(ranks: usize, degree: usize) -> Self {
+        assert!(ranks > 0, "layout needs at least one rank");
+        assert!(degree >= 1, "layout needs degree >= 1");
+        ReplicaLayout { ranks, degree }
+    }
+
+    /// Total number of physical processes.
+    pub fn physical_processes(&self) -> usize {
+        self.ranks * self.degree
+    }
+
+    /// The physical process playing `rank` in replica set `replica`.
+    pub fn endpoint(&self, rank: Rank, replica: usize) -> EndpointId {
+        assert!(rank < self.ranks, "rank {rank} out of range");
+        assert!(replica < self.degree, "replica {replica} out of range");
+        EndpointId(replica * self.ranks + rank)
+    }
+
+    /// The (rank, replica) identity of a physical process.
+    pub fn locate(&self, endpoint: EndpointId) -> (Rank, usize) {
+        assert!(
+            endpoint.0 < self.physical_processes(),
+            "endpoint {} out of range",
+            endpoint.0
+        );
+        (endpoint.0 % self.ranks, endpoint.0 / self.ranks)
+    }
+
+    /// The logical rank of a physical process.
+    pub fn rank_of(&self, endpoint: EndpointId) -> Rank {
+        self.locate(endpoint).0
+    }
+
+    /// The replica id of a physical process.
+    pub fn replica_of(&self, endpoint: EndpointId) -> usize {
+        self.locate(endpoint).1
+    }
+
+    /// All physical processes playing `rank`, in replica-id order.
+    pub fn replicas_of_rank(&self, rank: Rank) -> Vec<EndpointId> {
+        (0..self.degree).map(|rep| self.endpoint(rank, rep)).collect()
+    }
+
+    /// All physical processes in replica set `replica`, in rank order.
+    pub fn replica_set(&self, replica: usize) -> Vec<EndpointId> {
+        (0..self.ranks).map(|r| self.endpoint(r, replica)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_locate_roundtrip() {
+        let l = ReplicaLayout::new(4, 3);
+        assert_eq!(l.physical_processes(), 12);
+        for rank in 0..4 {
+            for rep in 0..3 {
+                let e = l.endpoint(rank, rep);
+                assert_eq!(l.locate(e), (rank, rep));
+                assert_eq!(l.rank_of(e), rank);
+                assert_eq!(l.replica_of(e), rep);
+            }
+        }
+    }
+
+    #[test]
+    fn replica_sets_are_contiguous() {
+        let l = ReplicaLayout::new(3, 2);
+        assert_eq!(
+            l.replica_set(0),
+            vec![EndpointId(0), EndpointId(1), EndpointId(2)]
+        );
+        assert_eq!(
+            l.replica_set(1),
+            vec![EndpointId(3), EndpointId(4), EndpointId(5)]
+        );
+        assert_eq!(
+            l.replicas_of_rank(1),
+            vec![EndpointId(1), EndpointId(4)]
+        );
+    }
+
+    #[test]
+    fn degree_one_is_identity() {
+        let l = ReplicaLayout::new(5, 1);
+        for r in 0..5 {
+            assert_eq!(l.endpoint(r, 0), EndpointId(r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rank_panics() {
+        ReplicaLayout::new(2, 2).endpoint(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_endpoint_panics() {
+        ReplicaLayout::new(2, 2).locate(EndpointId(4));
+    }
+}

@@ -1,0 +1,819 @@
+//! The SDR-MPI replication protocol (Algorithm 1 of the paper).
+//!
+//! SDR-MPI is a *parallel* replication protocol for send-deterministic
+//! applications. Replica `k` of rank `i` sends each application message only
+//! to replica `k` of the destination rank `j`; every replica of `j` that
+//! receives its copy acknowledges it to the *other* replicas of `i`
+//! (on the library-level `irecvComplete` event). A send request completes at
+//! the application level only once the direct send has been handed to the
+//! network *and* the acknowledgements from all other replicas of the
+//! destination rank have been collected — guaranteeing that if the sender's
+//! counterpart replica crashes, some replica still holds every message the
+//! crashed process might not have delivered, and can re-send it
+//! (the `upon failure` handler below).
+//!
+//! Because the application is send-deterministic, no leader is needed to agree
+//! on the outcome of `MPI_ANY_SOURCE` receptions or other non-deterministic
+//! calls: replicas may temporarily diverge in their reception order without
+//! that divergence ever being observable in the messages they send
+//! (Section 3.1 of the paper).
+
+use crate::config::{AckOn, ReplicationConfig};
+use crate::layout::ReplicaLayout;
+use bytes::Bytes;
+use sim_mpi::pml::{MsgMeta, Pml, PmlEvent};
+use sim_mpi::{
+    CommId, PmlReqId, Protocol, ProtoRecvReq, ProtoSendReq, Rank, Status, Tag, TagSel,
+};
+use sim_net::stats::class;
+use sim_net::{EndpointId, FailureEvent, SimTime};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Control-message kinds carried in `header[0]` of SDR-MPI protocol traffic.
+pub mod ctl {
+    /// Acknowledgement of an application message (class `ACK`).
+    pub const ACK: i64 = 1;
+    /// Recovery notification broadcast by the substitute after forking a new
+    /// replica (class `CONTROL`), Section 3.4.
+    pub const RECOVERY_NOTIFY: i64 = 2;
+}
+
+/// Tracks which application-level sequence numbers have already been delivered
+/// from one sender rank, so duplicates created by post-failure re-sends can be
+/// dropped.
+#[derive(Debug, Default, Clone)]
+pub struct SeqTracker {
+    next_expected: u64,
+    ahead: BTreeSet<u64>,
+}
+
+impl SeqTracker {
+    /// Has `seq` already been delivered?
+    pub fn seen(&self, seq: u64) -> bool {
+        seq < self.next_expected || self.ahead.contains(&seq)
+    }
+
+    /// Record delivery of `seq`. Returns `false` if it was already delivered
+    /// (i.e. this is a duplicate).
+    pub fn record(&mut self, seq: u64) -> bool {
+        if self.seen(seq) {
+            return false;
+        }
+        if seq == self.next_expected {
+            self.next_expected += 1;
+            while self.ahead.remove(&self.next_expected) {
+                self.next_expected += 1;
+            }
+        } else {
+            self.ahead.insert(seq);
+        }
+        true
+    }
+
+    /// Number of out-of-order sequence numbers currently held.
+    pub fn pending_out_of_order(&self) -> usize {
+        self.ahead.len()
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct SendEntry {
+    pub(crate) dst_rank: Rank,
+    pub(crate) comm: CommId,
+    pub(crate) tag: Tag,
+    pub(crate) seq: u64,
+    /// Retained until all acks are in, so the substitute logic can re-send it.
+    pub(crate) payload: Bytes,
+    pub(crate) pml_reqs: Vec<PmlReqId>,
+    pub(crate) acks_expected: BTreeSet<EndpointId>,
+    pub(crate) acks_received: BTreeSet<EndpointId>,
+    /// Latest arrival time among the acknowledgements collected so far; the
+    /// application-level send completion (return from `MPI_Wait`) is
+    /// time-stamped no earlier than this.
+    pub(crate) completion_floor: SimTime,
+}
+
+impl SendEntry {
+    pub(crate) fn fully_acked(&self) -> bool {
+        self.acks_expected.is_subset(&self.acks_received)
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct RecvEntry {
+    pub(crate) src_rank: Option<Rank>,
+    pub(crate) comm: CommId,
+    pub(crate) tag: TagSel,
+    pub(crate) pml_req: PmlReqId,
+    /// Filled in once a non-duplicate message completes at the library level.
+    pub(crate) meta: Option<MsgMeta>,
+    /// Deferred-ack bookkeeping for the [`AckOn::AppWait`] ablation:
+    /// (sender rank, sender replica, app-level seq, message arrival).
+    pub(crate) deferred_ack: Option<(Rank, usize, u64, SimTime)>,
+    /// Acknowledgement-emission CPU time that was spent while this process's
+    /// clock was still behind the message's arrival. It is re-applied when the
+    /// application completes the receive, so that the reception processing
+    /// (match + ack emission) shows up on the critical path exactly as it does
+    /// in a library without asynchronous progress.
+    pub(crate) post_arrival_cost: SimTime,
+}
+
+/// Counters exposed for experiments and tests.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SdrCounters {
+    /// Acknowledgements emitted by this process.
+    pub acks_sent: u64,
+    /// Acknowledgements received by this process.
+    pub acks_received: u64,
+    /// Application messages re-sent on behalf of a failed replica.
+    pub resends: u64,
+    /// Duplicate application messages dropped by the sequence filter.
+    pub duplicates_dropped: u64,
+    /// Failure notifications handled.
+    pub failures_handled: u64,
+}
+
+/// The per-physical-process SDR-MPI protocol instance.
+pub struct SdrProtocol {
+    pub(crate) layout: ReplicaLayout,
+    pub(crate) cfg: ReplicationConfig,
+    pub(crate) my_rank: Rank,
+    pub(crate) my_replica: usize,
+
+    // --- Algorithm 1 state -------------------------------------------------
+    /// `physicalDests[rank]`: replicas of `rank` this process sends application
+    /// messages to directly.
+    pub(crate) physical_dests: Vec<BTreeSet<EndpointId>>,
+    /// `physicalSrc[rank]`: the replica of `rank` this process receives from.
+    pub(crate) physical_src: Vec<EndpointId>,
+    /// `substitute[rep]`: which replica id of *this* process's rank is in
+    /// charge of sending on behalf of replica `rep`.
+    pub(crate) substitute: Vec<usize>,
+    /// Liveness of every physical process, as known locally.
+    pub(crate) alive: Vec<bool>,
+
+    // --- sequencing and request bookkeeping --------------------------------
+    pub(crate) send_seq: Vec<u64>,
+    pub(crate) recv_seen: Vec<SeqTracker>,
+    pub(crate) sends: BTreeMap<u64, SendEntry>,
+    pub(crate) recvs: BTreeMap<u64, RecvEntry>,
+    next_req: u64,
+    pml_to_recv: HashMap<PmlReqId, u64>,
+    early_acks: HashMap<(Rank, u64), Vec<(EndpointId, SimTime)>>,
+    counters: SdrCounters,
+}
+
+impl std::fmt::Debug for SdrProtocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SdrProtocol")
+            .field("rank", &self.my_rank)
+            .field("replica", &self.my_replica)
+            .field("pending_sends", &self.sends.len())
+            .field("pending_recvs", &self.recvs.len())
+            .finish()
+    }
+}
+
+impl SdrProtocol {
+    /// Protocol instance for physical process `endpoint` in a job of
+    /// `app_ranks` logical ranks under `cfg`.
+    pub fn new(endpoint: EndpointId, app_ranks: usize, cfg: ReplicationConfig) -> Self {
+        let layout = ReplicaLayout::new(app_ranks, cfg.degree);
+        let (my_rank, my_replica) = layout.locate(endpoint);
+        let physical_dests = (0..app_ranks)
+            .map(|rank| {
+                let mut s = BTreeSet::new();
+                s.insert(layout.endpoint(rank, my_replica));
+                s
+            })
+            .collect();
+        let physical_src = (0..app_ranks)
+            .map(|rank| layout.endpoint(rank, my_replica))
+            .collect();
+        SdrProtocol {
+            layout,
+            cfg,
+            my_rank,
+            my_replica,
+            physical_dests,
+            physical_src,
+            substitute: (0..cfg.degree).collect(),
+            alive: vec![true; layout.physical_processes()],
+            send_seq: vec![0; app_ranks],
+            recv_seen: vec![SeqTracker::default(); app_ranks],
+            sends: BTreeMap::new(),
+            recvs: BTreeMap::new(),
+            next_req: 1,
+            pml_to_recv: HashMap::new(),
+            early_acks: HashMap::new(),
+            counters: SdrCounters::default(),
+        }
+    }
+
+    /// Experiment counters.
+    pub fn counters(&self) -> SdrCounters {
+        self.counters
+    }
+
+    /// The application-level send sequence numbers, one per destination rank
+    /// (exposed for recovery demonstrations and diagnostics).
+    pub fn send_sequence_numbers(&self) -> Vec<u64> {
+        self.send_seq.clone()
+    }
+
+    /// Has this process already delivered application message `seq` from
+    /// `src_rank`? (Exposed for recovery demonstrations and diagnostics.)
+    pub fn has_delivered(&self, src_rank: Rank, seq: u64) -> bool {
+        self.recv_seen
+            .get(src_rank)
+            .map(|t| t.seen(seq))
+            .unwrap_or(false)
+    }
+
+    /// The replica layout in use.
+    pub fn layout(&self) -> ReplicaLayout {
+        self.layout
+    }
+
+    fn is_alive(&self, e: EndpointId) -> bool {
+        self.alive.get(e.0).copied().unwrap_or(false)
+    }
+
+    /// Deterministic substitute election: the lowest-numbered alive replica of
+    /// `rank` (Algorithm 1, `electSubstitute`). Returns `None` when every
+    /// replica of the rank has failed.
+    fn elect_substitute(&self, rank: Rank) -> Option<usize> {
+        (0..self.cfg.degree).find(|&rep| self.is_alive(self.layout.endpoint(rank, rep)))
+    }
+
+    fn ack_header(sender_rank: Rank, acker_rank: Rank, seq: u64) -> [i64; 8] {
+        [
+            ctl::ACK,
+            sender_rank as i64,
+            acker_rank as i64,
+            seq as i64,
+            0,
+            0,
+            0,
+            0,
+        ]
+    }
+
+    fn send_acks_for(
+        &mut self,
+        pml: &mut Pml,
+        src_rank: Rank,
+        src_replica: usize,
+        seq: u64,
+        not_before: SimTime,
+    ) {
+        for rep in 0..self.cfg.degree {
+            if rep == src_replica {
+                continue;
+            }
+            let target = self.layout.endpoint(src_rank, rep);
+            if self.is_alive(target) {
+                // The ack reacts to the received message: it cannot be
+                // injected before that message has arrived, even if this
+                // process's clock has not caught up with the arrival yet.
+                pml.send_control_at(
+                    target,
+                    class::ACK,
+                    Self::ack_header(src_rank, self.my_rank, seq),
+                    Bytes::new(),
+                    not_before,
+                );
+                self.counters.acks_sent += 1;
+            }
+        }
+    }
+
+    fn register_ack(&mut self, from: EndpointId, dst_rank: Rank, seq: u64, arrival: SimTime) {
+        self.counters.acks_received += 1;
+        // Find the matching send entry (messages to `dst_rank` with `seq`).
+        let matching = self
+            .sends
+            .iter_mut()
+            .find(|(_, e)| e.dst_rank == dst_rank && e.seq == seq);
+        if let Some((_, entry)) = matching {
+            entry.acks_received.insert(from);
+            entry.completion_floor = entry.completion_floor.max(arrival);
+        } else if seq >= self.send_seq[dst_rank] {
+            // The ack raced ahead of the local send (replicas may skew):
+            // remember it until the send is posted.
+            self.early_acks
+                .entry((dst_rank, seq))
+                .or_default()
+                .push((from, arrival));
+        }
+        // Otherwise the send has already completed and been freed; stale ack.
+    }
+
+    fn handle_recv_complete(&mut self, pml: &mut Pml, pml_req: PmlReqId, meta: MsgMeta) {
+        let Some(&proto_id) = self.pml_to_recv.get(&pml_req) else {
+            // Not one of ours (should not happen: every application receive is
+            // registered). Ignore defensively.
+            return;
+        };
+        let (src_rank, src_replica) = self.layout.locate(meta.src);
+        let seq = meta.aux as u64;
+        let fresh = self.recv_seen[src_rank].record(seq);
+        if !fresh {
+            // Duplicate delivery caused by a post-failure re-send: drop the
+            // payload and re-arm the receive with the same filter.
+            self.counters.duplicates_dropped += 1;
+            let _ = pml.take_recv(pml_req);
+            self.pml_to_recv.remove(&pml_req);
+            let (new_pml_req, _) = {
+                let entry = self.recvs.get(&proto_id).expect("recv entry exists");
+                let src = entry
+                    .src_rank
+                    .map(|r| self.physical_src[r]);
+                (pml.irecv(src, entry.comm, entry.tag), ())
+            };
+            let entry = self.recvs.get_mut(&proto_id).expect("recv entry exists");
+            entry.pml_req = new_pml_req;
+            self.pml_to_recv.insert(new_pml_req, proto_id);
+            return;
+        }
+        // Record completion metadata for status translation.
+        if let Some(entry) = self.recvs.get_mut(&proto_id) {
+            entry.meta = Some(meta.clone());
+            match self.cfg.ack_on {
+                AckOn::RecvComplete | AckOn::Never => {}
+                AckOn::AppWait => {
+                    entry.deferred_ack = Some((src_rank, src_replica, seq, meta.arrival));
+                }
+            }
+        }
+        if self.cfg.ack_on == AckOn::RecvComplete {
+            // The paper's design: acknowledge on the library-level
+            // irecvComplete event (Algorithm 1, lines 15-17).
+            let before = pml.now();
+            self.send_acks_for(pml, src_rank, src_replica, seq, meta.arrival);
+            let cost = pml.now() - before;
+            // If the ack was emitted while this process was still (virtually)
+            // idle before the message's arrival, the charge above is absorbed
+            // when the clock later synchronises to the arrival; remember it so
+            // the receive completion re-applies it on the critical path.
+            if before < meta.arrival {
+                if let Some(entry) = self.recvs.get_mut(&proto_id) {
+                    entry.post_arrival_cost = cost;
+                }
+            }
+        }
+        // AckOn::Never: no acknowledgement at all (baseline configurations).
+    }
+
+    /// Section 3.4: a recovery notification announces that `recovered` has
+    /// been forked from the substitute's state and is live again. Relying on
+    /// FIFO channels, any message addressed to the recovered process's rank
+    /// that has not been acknowledged by the substitute *at the moment this
+    /// notification is processed* was not part of the forked state, so the
+    /// sender replays it directly to the new process. Acknowledgements toward
+    /// the recovered process resume for messages received afterwards. Only
+    /// meaningful for dual replication (the paper's restriction).
+    pub(crate) fn handle_recovery_notification(&mut self, pml: &mut Pml, recovered: EndpointId) {
+        let (rrank, rrep) = self.layout.locate(recovered);
+        if recovered.0 < self.alive.len() {
+            self.alive[recovered.0] = true;
+        }
+        if self.my_rank == rrank {
+            // Replicas of the recovered rank: the recovered process is in
+            // charge of itself again; stop sending on its behalf.
+            for l in 0..self.cfg.degree {
+                if l == rrep {
+                    self.substitute[l] = rrep;
+                }
+            }
+            if self.my_replica != rrep {
+                // I was the substitute: stop sending on behalf of the
+                // recovered replica (drop its counterpart destinations, which
+                // are all distinct from my own because rrep != my_replica).
+                for rank in 0..self.layout.ranks {
+                    let proxy_dest = self.layout.endpoint(rank, rrep);
+                    self.physical_dests[rank].remove(&proxy_dest);
+                }
+            }
+            return;
+        }
+        if self.my_replica == rrep {
+            // The recovered process is my counterpart for rank `rrank`: resume
+            // sending directly to it, and replay every message it cannot have
+            // inherited from the substitute's forked state (those not yet
+            // acknowledged by the substitute).
+            self.physical_dests[rrank].insert(recovered);
+            let mut replays = Vec::new();
+            for entry in self.sends.values_mut() {
+                if entry.dst_rank != rrank {
+                    continue;
+                }
+                let sub_ep = {
+                    // The substitute is the other alive replica of rrank.
+                    let mut sub = None;
+                    for rep in 0..self.cfg.degree {
+                        let e = self.layout.endpoint(rrank, rep);
+                        if e != recovered && self.alive[e.0] {
+                            sub = Some(e);
+                            break;
+                        }
+                    }
+                    sub
+                };
+                let acked_by_sub = sub_ep
+                    .map(|s| entry.acks_received.contains(&s))
+                    .unwrap_or(false);
+                if !acked_by_sub {
+                    replays.push((entry.comm, entry.tag, entry.seq, entry.payload.clone()));
+                }
+            }
+            for (comm, tag, seq, payload) in replays {
+                pml.isend(recovered, comm, tag, seq as i64, payload);
+                self.counters.resends += 1;
+            }
+        }
+        // Processes that receive from the substitute (my_replica != rrep) only
+        // need the liveness update: the ack rule "ack every alive replica of
+        // the sender rank except the one received from" now includes the
+        // recovered process again, exactly for messages received after this
+        // notification (FIFO ordering argument of Section 3.4).
+    }
+
+    /// Algorithm 1, `upon failure of p^rep_rank`.
+    fn handle_failure(&mut self, pml: &mut Pml, ev: FailureEvent) {
+        if ev.endpoint.0 >= self.alive.len() || !self.alive[ev.endpoint.0] {
+            return; // unknown or already handled
+        }
+        self.alive[ev.endpoint.0] = false;
+        self.counters.failures_handled += 1;
+        let (failed_rank, failed_rep) = self.layout.locate(ev.endpoint);
+        let Some(sub) = self.elect_substitute(failed_rank) else {
+            // Every replica of the rank is gone; nothing the protocol can do
+            // (the paper would fall back to checkpoint/restart here).
+            return;
+        };
+
+        if failed_rank == self.my_rank {
+            // I am a replica of the failed process's rank.
+            if sub == self.my_replica {
+                // I am the elected substitute (Algorithm 1, lines 21-25).
+                let delegated: Vec<usize> = (0..self.cfg.degree)
+                    .filter(|&l| self.substitute[l] == failed_rep || l == failed_rep)
+                    .collect();
+                for &l in &delegated {
+                    // Add the failed replica set's destinations to mine.
+                    for rank in 0..self.layout.ranks {
+                        let target = self.layout.endpoint(rank, l);
+                        if self.is_alive(target) {
+                            self.physical_dests[rank].insert(target);
+                        }
+                    }
+                    // Re-send every message whose ack from replica `l` of the
+                    // destination rank is missing.
+                    let mut resends = Vec::new();
+                    for entry in self.sends.values_mut() {
+                        let target = self.layout.endpoint(entry.dst_rank, l);
+                        if !self.alive[target.0] {
+                            continue;
+                        }
+                        if !entry.acks_received.contains(&target) {
+                            resends.push((
+                                target,
+                                entry.comm,
+                                entry.tag,
+                                entry.seq,
+                                entry.payload.clone(),
+                            ));
+                        }
+                        // Delivery is now guaranteed over our own reliable
+                        // channel; stop waiting for that ack.
+                        entry.acks_expected.remove(&target);
+                        entry.acks_received.insert(target);
+                    }
+                    for (target, comm, tag, seq, payload) in resends {
+                        let req = pml.isend(target, comm, tag, seq as i64, payload);
+                        self.counters.resends += 1;
+                        // Attach the resend to its entry so completion still
+                        // covers it.
+                        if let Some(entry) = self
+                            .sends
+                            .values_mut()
+                            .find(|e| e.seq == seq && self.layout.rank_of(target) == e.dst_rank)
+                        {
+                            entry.pml_reqs.push(req);
+                        }
+                    }
+                }
+            }
+            // Everyone in the rank updates the substitution table
+            // (Algorithm 1, lines 26-27).
+            for l in 0..self.cfg.degree {
+                if self.substitute[l] == failed_rep {
+                    self.substitute[l] = sub;
+                }
+            }
+            if self.substitute[failed_rep] == failed_rep {
+                self.substitute[failed_rep] = sub;
+            }
+        } else {
+            // Algorithm 1, lines 28-35: I am not a replica of the failed rank.
+            let new_src = self.layout.endpoint(failed_rank, sub);
+            if self.physical_src[failed_rank] == ev.endpoint {
+                self.physical_src[failed_rank] = new_src;
+            }
+            // Cancel ack expectations that the dead process would have sent
+            // (it was a destination-rank replica for my sends to failed_rank).
+            for entry in self.sends.values_mut() {
+                if entry.dst_rank == failed_rank {
+                    entry.acks_expected.remove(&ev.endpoint);
+                    // The direct send to the dead process (if any) is moot; the
+                    // PML send already completed, nothing to cancel there.
+                }
+            }
+            // Redirect pending receives that were expecting the dead process.
+            let pending = pml.pending_recvs_from(ev.endpoint);
+            for pml_req in pending {
+                pml.redirect_recv(pml_req, Some(new_src));
+            }
+        }
+    }
+}
+
+impl Protocol for SdrProtocol {
+    fn app_rank(&self) -> Rank {
+        self.my_rank
+    }
+
+    fn app_size(&self) -> usize {
+        self.layout.ranks
+    }
+
+    fn replica_id(&self) -> usize {
+        self.my_replica
+    }
+
+    fn is_primary(&self) -> bool {
+        self.my_replica == self.cfg.primary_replica
+    }
+
+    fn isend(
+        &mut self,
+        pml: &mut Pml,
+        dst: Rank,
+        comm: CommId,
+        tag: Tag,
+        payload: Bytes,
+    ) -> ProtoSendReq {
+        assert!(dst < self.layout.ranks, "destination rank {dst} out of range");
+        let seq = self.send_seq[dst];
+        self.send_seq[dst] += 1;
+
+        let mut entry = SendEntry {
+            dst_rank: dst,
+            comm,
+            tag,
+            seq,
+            payload: payload.clone(),
+            pml_reqs: Vec::new(),
+            acks_expected: BTreeSet::new(),
+            acks_received: BTreeSet::new(),
+            completion_floor: SimTime::ZERO,
+        };
+        // Algorithm 1, MPI_Isend (lines 4-9): send directly to every replica in
+        // physicalDests, expect an ack from every other alive replica.
+        for rep in 0..self.cfg.degree {
+            let target = self.layout.endpoint(dst, rep);
+            if self.physical_dests[dst].contains(&target) {
+                if self.is_alive(target) {
+                    let req = pml.isend(target, comm, tag, seq as i64, payload.clone());
+                    entry.pml_reqs.push(req);
+                }
+            } else if self.is_alive(target) && self.cfg.ack_on != AckOn::Never {
+                entry.acks_expected.insert(target);
+            }
+        }
+        // Fold in acks that arrived before this send was posted.
+        if let Some(early) = self.early_acks.remove(&(dst, seq)) {
+            for (e, arrival) in early {
+                entry.acks_received.insert(e);
+                entry.completion_floor = entry.completion_floor.max(arrival);
+            }
+        }
+        let id = self.next_req;
+        self.next_req += 1;
+        self.sends.insert(id, entry);
+        ProtoSendReq(id)
+    }
+
+    fn irecv(
+        &mut self,
+        pml: &mut Pml,
+        src: Option<Rank>,
+        comm: CommId,
+        tag: TagSel,
+    ) -> ProtoRecvReq {
+        // Algorithm 1, MPI_Irecv (lines 10-11): receive from physicalSrc[rank];
+        // MPI_ANY_SOURCE stays an any-source receive — send-determinism makes a
+        // leader-decided source unnecessary (Section 3.1).
+        let phys_src = src.map(|r| {
+            assert!(r < self.layout.ranks, "source rank {r} out of range");
+            self.physical_src[r]
+        });
+        let pml_req = pml.irecv(phys_src, comm, tag);
+        let id = self.next_req;
+        self.next_req += 1;
+        self.recvs.insert(
+            id,
+            RecvEntry {
+                src_rank: src,
+                comm,
+                tag,
+                pml_req,
+                meta: None,
+                deferred_ack: None,
+                post_arrival_cost: SimTime::ZERO,
+            },
+        );
+        self.pml_to_recv.insert(pml_req, id);
+        ProtoRecvReq(id)
+    }
+
+    fn send_complete(&mut self, pml: &mut Pml, req: ProtoSendReq) -> bool {
+        match self.sends.get(&req.0) {
+            None => true,
+            Some(entry) => {
+                entry.pml_reqs.iter().all(|r| pml.is_complete(*r)) && entry.fully_acked()
+            }
+        }
+    }
+
+    fn recv_complete(&mut self, pml: &mut Pml, req: ProtoRecvReq) -> bool {
+        match self.recvs.get(&req.0) {
+            None => true,
+            Some(entry) => entry.meta.is_some() && pml.is_complete(entry.pml_req),
+        }
+    }
+
+    fn take_recv(&mut self, pml: &mut Pml, req: ProtoRecvReq) -> Option<(Status, Bytes)> {
+        let ready = self
+            .recvs
+            .get(&req.0)
+            .map(|e| e.meta.is_some())
+            .unwrap_or(false);
+        if !ready {
+            return None;
+        }
+        let entry = self.recvs.remove(&req.0).expect("checked above");
+        self.pml_to_recv.remove(&entry.pml_req);
+        let (meta, payload) = pml.take_recv(entry.pml_req)?;
+        if !entry.post_arrival_cost.is_zero() {
+            pml.endpoint_mut().clock_mut().charge_comm(entry.post_arrival_cost);
+        }
+        if let Some((src_rank, src_replica, seq, arrival)) = entry.deferred_ack {
+            // AppWait ablation: acknowledge only now that the application has
+            // completed the receive.
+            self.send_acks_for(pml, src_rank, src_replica, seq, arrival);
+        }
+        let src_rank = self.layout.rank_of(meta.src);
+        Some((
+            Status {
+                source: src_rank,
+                tag: meta.tag,
+                len: meta.len,
+            },
+            payload,
+        ))
+    }
+
+    fn free_send(&mut self, pml: &mut Pml, req: ProtoSendReq) {
+        if let Some(entry) = self.sends.remove(&req.0) {
+            // The application-level send completion (return from MPI_Wait)
+            // happens no earlier than the last acknowledgement it waited for.
+            pml.endpoint_mut().clock_mut().sync_to(entry.completion_floor);
+            for r in entry.pml_reqs {
+                pml.free(r);
+            }
+        }
+    }
+
+    fn handle_event(&mut self, pml: &mut Pml, ev: PmlEvent) {
+        match ev {
+            PmlEvent::RecvCompleted { req, meta } => self.handle_recv_complete(pml, req, meta),
+            PmlEvent::Control { src, class: cls, header, arrival, .. } => {
+                if cls == class::ACK && header[0] == ctl::ACK {
+                    let sender_rank = header[1] as usize;
+                    debug_assert_eq!(sender_rank, self.my_rank, "ack routed to the wrong rank");
+                    let acker_rank = header[2] as usize;
+                    let seq = header[3] as u64;
+                    let _ = acker_rank;
+                    self.register_ack(src, self.layout.rank_of(src), seq, arrival);
+                } else if cls == class::CONTROL && header[0] == ctl::RECOVERY_NOTIFY {
+                    let recovered = EndpointId(header[1] as usize);
+                    self.handle_recovery_notification(pml, recovered);
+                }
+            }
+            PmlEvent::ProcessFailed(ev) => self.handle_failure(pml, ev),
+        }
+    }
+
+    fn describe_pending(&self) -> String {
+        let waiting_acks: usize = self
+            .sends
+            .values()
+            .filter(|e| !e.fully_acked())
+            .count();
+        format!(
+            "SDR-MPI rank {} replica {}: {} sends awaiting acks, {} receives outstanding",
+            self.my_rank,
+            self.my_replica,
+            waiting_acks,
+            self.recvs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_tracker_in_order() {
+        let mut t = SeqTracker::default();
+        for s in 0..10 {
+            assert!(!t.seen(s));
+            assert!(t.record(s));
+            assert!(t.seen(s));
+        }
+        assert_eq!(t.pending_out_of_order(), 0);
+    }
+
+    #[test]
+    fn seq_tracker_detects_duplicates() {
+        let mut t = SeqTracker::default();
+        assert!(t.record(0));
+        assert!(!t.record(0), "duplicate must be rejected");
+        assert!(t.record(1));
+        assert!(!t.record(0));
+        assert!(!t.record(1));
+    }
+
+    #[test]
+    fn seq_tracker_out_of_order_then_compacts() {
+        let mut t = SeqTracker::default();
+        assert!(t.record(2));
+        assert!(t.record(0));
+        assert_eq!(t.pending_out_of_order(), 1);
+        assert!(t.record(1));
+        assert_eq!(t.pending_out_of_order(), 0);
+        assert!(!t.record(2));
+        assert!(t.record(3));
+    }
+
+    #[test]
+    fn initial_routing_is_own_replica_set() {
+        let proto = SdrProtocol::new(EndpointId(5), 4, ReplicationConfig::dual());
+        // Endpoint 5 with 4 ranks → rank 1, replica 1.
+        assert_eq!(proto.app_rank(), 1);
+        assert_eq!(proto.replica_id(), 1);
+        assert!(!proto.is_primary());
+        for rank in 0..4 {
+            assert_eq!(
+                proto.physical_src[rank],
+                EndpointId(4 + rank),
+                "replica 1 receives from replica 1 of every rank"
+            );
+            assert!(proto.physical_dests[rank].contains(&EndpointId(4 + rank)));
+            assert_eq!(proto.physical_dests[rank].len(), 1);
+        }
+    }
+
+    #[test]
+    fn substitute_election_is_lowest_alive_replica() {
+        let mut proto = SdrProtocol::new(EndpointId(0), 2, ReplicationConfig::with_degree(3));
+        assert_eq!(proto.elect_substitute(1), Some(0));
+        // Kill replica 0 of rank 1 (endpoint 1).
+        proto.alive[1] = false;
+        assert_eq!(proto.elect_substitute(1), Some(1));
+        // Kill replica 1 of rank 1 (endpoint 3).
+        proto.alive[3] = false;
+        assert_eq!(proto.elect_substitute(1), Some(2));
+        // Kill the last one.
+        proto.alive[5] = false;
+        assert_eq!(proto.elect_substitute(1), None);
+    }
+
+    #[test]
+    fn ack_header_roundtrip() {
+        let h = SdrProtocol::ack_header(3, 7, 42);
+        assert_eq!(h[0], ctl::ACK);
+        assert_eq!(h[1], 3);
+        assert_eq!(h[2], 7);
+        assert_eq!(h[3], 42);
+    }
+
+    #[test]
+    fn counters_start_at_zero() {
+        let proto = SdrProtocol::new(EndpointId(0), 2, ReplicationConfig::dual());
+        assert_eq!(proto.counters(), SdrCounters::default());
+    }
+}

@@ -1,0 +1,219 @@
+//! Recovery of a failed replica (Section 3.4 of the paper).
+//!
+//! The paper describes — but, like its Open MPI prototype, does not deploy in
+//! production runs — a recovery procedure restricted to dual replication:
+//!
+//! 1. The substitute of the failed replica *forks* a new process from its own
+//!    current state (send-determinism guarantees this state is equivalent to
+//!    what the failed replica would have reached).
+//! 2. The substitute broadcasts a recovery notification to every alive
+//!    physical process.
+//! 3. Relying on FIFO channels, each process compares the notification's
+//!    arrival with the acknowledgements it has received from the substitute:
+//!    messages to the recovered rank not yet acknowledged by the substitute
+//!    are re-sent directly to the new replica, and acknowledgements toward the
+//!    recovered replica resume for messages received after the notification.
+//!
+//! In this reproduction the *fork* is modelled as a protocol-state snapshot
+//! ([`ReplicaStateSnapshot`]) taken from the substitute and installed into a
+//! freshly constructed [`SdrProtocol`] bound to the recovered physical
+//! identity; the application-level state hand-off is the responsibility of the
+//! scenario (our tests and the `recovery_demo` example use explicit
+//! application state, mirroring how the paper's `fork()` would copy it). Step
+//! 3 is implemented inside `SdrProtocol::handle_event` so that notification
+//! handling uses the regular event path.
+
+use crate::layout::ReplicaLayout;
+use crate::protocol::{ctl, SdrProtocol, SeqTracker};
+use bytes::Bytes;
+use sim_mpi::pml::Pml;
+use sim_net::stats::class;
+use sim_net::EndpointId;
+
+/// The protocol state copied from the substitute when forking a replacement
+/// replica ("the fork" of Section 3.4).
+#[derive(Debug, Clone)]
+pub struct ReplicaStateSnapshot {
+    /// Per-destination-rank application-level send sequence numbers.
+    pub send_seq: Vec<u64>,
+    /// Per-source-rank delivered-sequence trackers (duplicate filter).
+    pub recv_seen: Vec<SeqTracker>,
+    /// The rank whose state this snapshot represents.
+    pub rank: usize,
+}
+
+/// What happened during one recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// The physical identity that was recovered.
+    pub recovered: EndpointId,
+    /// Number of alive processes that were notified.
+    pub notified: usize,
+}
+
+/// Recovery-related events, for logging/inspection by harnesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// A snapshot was taken from the substitute.
+    SnapshotTaken {
+        /// Rank of the substitute (and of the recovered process).
+        rank: usize,
+    },
+    /// The notification broadcast was sent.
+    NotificationBroadcast {
+        /// The recovered physical process.
+        recovered: EndpointId,
+        /// How many alive processes were notified.
+        notified: usize,
+    },
+}
+
+/// Orchestrates the recovery of one failed replica. The coordinator runs on
+/// the substitute (the alive replica of the failed rank).
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryCoordinator {
+    layout: ReplicaLayout,
+}
+
+impl RecoveryCoordinator {
+    /// A coordinator for the given replica layout. Recovery is only supported
+    /// for dual replication, exactly as in the paper.
+    pub fn new(layout: ReplicaLayout) -> Self {
+        assert_eq!(
+            layout.degree, 2,
+            "the SDR-MPI recovery protocol only works for a replication degree of two"
+        );
+        RecoveryCoordinator { layout }
+    }
+
+    /// Capture the substitute's protocol state — the "fork" of the paper.
+    pub fn fork_snapshot(&self, substitute: &SdrProtocol) -> ReplicaStateSnapshot {
+        ReplicaStateSnapshot {
+            send_seq: substitute.send_seq.clone(),
+            recv_seen: substitute.recv_seen.clone(),
+            rank: substitute.my_rank,
+        }
+    }
+
+    /// Build the protocol instance of the recovered process from a snapshot.
+    /// The returned protocol is bound to the recovered physical identity and
+    /// resumes sequence numbering where the substitute's state left off.
+    pub fn restore(
+        &self,
+        recovered: EndpointId,
+        snapshot: &ReplicaStateSnapshot,
+        cfg: crate::config::ReplicationConfig,
+    ) -> SdrProtocol {
+        let mut proto = SdrProtocol::new(recovered, self.layout.ranks, cfg);
+        assert_eq!(
+            proto.my_rank, snapshot.rank,
+            "snapshot rank must match the recovered process's rank"
+        );
+        proto.send_seq = snapshot.send_seq.clone();
+        proto.recv_seen = snapshot.recv_seen.clone();
+        proto
+    }
+
+    /// Broadcast the recovery notification from the substitute to every alive
+    /// physical process (Section 3.4). Returns how many were notified.
+    ///
+    /// The substitute must not fail between the fork and this broadcast (the
+    /// paper's explicit requirement); the caller is responsible for honouring
+    /// that in failure-injection scenarios.
+    pub fn broadcast_notification(
+        &self,
+        pml: &mut Pml,
+        substitute: &SdrProtocol,
+        recovered: EndpointId,
+    ) -> RecoveryOutcome {
+        let mut header = [0i64; 8];
+        header[0] = ctl::RECOVERY_NOTIFY;
+        header[1] = recovered.0 as i64;
+        let mut notified = 0;
+        for e in 0..self.layout.physical_processes() {
+            let target = EndpointId(e);
+            if target == pml.endpoint_id() || target == recovered {
+                continue;
+            }
+            if substitute.alive.get(e).copied().unwrap_or(false) {
+                pml.send_control(target, class::CONTROL, header, Bytes::new());
+                notified += 1;
+            }
+        }
+        // The fabric-level failure service forgets the failure so the
+        // recovered identity can act again.
+        pml.endpoint().fabric().failure().mark_recovered(recovered);
+        RecoveryOutcome { recovered, notified }
+    }
+
+    /// The replica layout.
+    pub fn layout(&self) -> ReplicaLayout {
+        self.layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReplicationConfig;
+    use crate::protocol::SdrProtocol;
+    use sim_mpi::Protocol as _;
+
+    #[test]
+    fn snapshot_restores_sequence_state() {
+        let layout = ReplicaLayout::new(2, 2);
+        let coord = RecoveryCoordinator::new(layout);
+        let mut substitute = SdrProtocol::new(EndpointId(1), 2, ReplicationConfig::dual());
+        // Simulate some protocol history on the substitute.
+        substitute.send_seq = vec![5, 9];
+        substitute.recv_seen[0].record(0);
+        substitute.recv_seen[0].record(1);
+        let snap = coord.fork_snapshot(&substitute);
+        assert_eq!(snap.rank, 1);
+        assert_eq!(snap.send_seq, vec![5, 9]);
+
+        let restored = coord.restore(EndpointId(3), &snap, ReplicationConfig::dual());
+        assert_eq!(restored.app_rank(), 1);
+        assert_eq!(restored.replica_id(), 1);
+        assert_eq!(restored.send_seq, vec![5, 9]);
+        assert!(restored.recv_seen[0].seen(1));
+        assert!(!restored.recv_seen[0].seen(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "degree of two")]
+    fn recovery_requires_dual_replication() {
+        RecoveryCoordinator::new(ReplicaLayout::new(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn restore_rejects_wrong_rank() {
+        let layout = ReplicaLayout::new(2, 2);
+        let coord = RecoveryCoordinator::new(layout);
+        let substitute = SdrProtocol::new(EndpointId(1), 2, ReplicationConfig::dual());
+        let snap = coord.fork_snapshot(&substitute);
+        // Endpoint 2 is rank 0, but the snapshot is for rank 1.
+        coord.restore(EndpointId(2), &snap, ReplicationConfig::dual());
+    }
+
+    fn app_rank_of(proto: &SdrProtocol) -> usize {
+        use sim_mpi::Protocol as _;
+        proto.app_rank()
+    }
+
+    #[test]
+    fn snapshot_rank_matches_protocol_rank() {
+        let layout = ReplicaLayout::new(4, 2);
+        let coord = RecoveryCoordinator::new(layout);
+        for rank in 0..4 {
+            let substitute = SdrProtocol::new(
+                layout.endpoint(rank, 0),
+                4,
+                ReplicationConfig::dual(),
+            );
+            let snap = coord.fork_snapshot(&substitute);
+            assert_eq!(snap.rank, app_rank_of(&substitute));
+        }
+    }
+}

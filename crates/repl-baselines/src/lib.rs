@@ -1,0 +1,26 @@
+//! # repl-baselines — the replication protocols SDR-MPI is compared against
+//!
+//! The paper's related-work section (Section 2.4) contrasts SDR-MPI with three
+//! existing MPI replication approaches. This crate implements all three on the
+//! same `sim-mpi` interception layer so that the comparisons can be reproduced
+//! on identical substrates:
+//!
+//! * [`mirror`] — the **mirror protocol** of MR-MPI: every replica of the
+//!   sender transmits the message to every replica of the receiver, so the
+//!   application-message complexity grows as `O(q·r²)` instead of the parallel
+//!   protocol's `O(q·r)`.
+//! * [`leader`] — the **leader-based parallel protocol** used by rMPI: a
+//!   leader replica decides the outcome of non-deterministic operations
+//!   (`MPI_ANY_SOURCE` receptions) and informs the other replicas, putting an
+//!   extra decision message on the critical path of anonymous receptions.
+//! * [`redmpi`] — the **redMPI-style SDC detector**: replicas additionally
+//!   exchange payload hashes so receivers can detect silent data corruption;
+//!   no crash tolerance (and therefore no acknowledgements).
+
+pub mod leader;
+pub mod mirror;
+pub mod redmpi;
+
+pub use leader::{LeaderFactory, LeaderParallelProtocol};
+pub use mirror::{MirrorFactory, MirrorProtocol};
+pub use redmpi::{CorruptionSpec, RedMpiFactory, RedMpiProtocol, SdcReport};

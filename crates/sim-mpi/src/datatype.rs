@@ -1,0 +1,128 @@
+//! Minimal datatype support: converting typed slices to and from the byte
+//! payloads carried by the fabric.
+//!
+//! The real MPI datatype engine (derived types, packing) is far larger than
+//! anything the replication protocol interacts with; SDR-MPI treats payloads
+//! as opaque bytes. We therefore only provide the conversions the workloads
+//! need: `f64`, `i64`, `u64`, `u32` and raw bytes, all little-endian.
+
+use bytes::Bytes;
+
+/// Encode a slice of `f64` values.
+pub fn f64s_to_bytes(values: &[f64]) -> Bytes {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+/// Decode a payload produced by [`f64s_to_bytes`].
+///
+/// Panics if the payload length is not a multiple of 8.
+pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
+    assert!(bytes.len() % 8 == 0, "payload length {} not a multiple of 8", bytes.len());
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+/// Encode a slice of `i64` values.
+pub fn i64s_to_bytes(values: &[i64]) -> Bytes {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+/// Decode a payload produced by [`i64s_to_bytes`].
+pub fn bytes_to_i64s(bytes: &[u8]) -> Vec<i64> {
+    assert!(bytes.len() % 8 == 0, "payload length {} not a multiple of 8", bytes.len());
+    bytes
+        .chunks_exact(8)
+        .map(|c| i64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+/// Encode a slice of `u64` values.
+pub fn u64s_to_bytes(values: &[u64]) -> Bytes {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+/// Decode a payload produced by [`u64s_to_bytes`].
+pub fn bytes_to_u64s(bytes: &[u8]) -> Vec<u64> {
+    assert!(bytes.len() % 8 == 0, "payload length {} not a multiple of 8", bytes.len());
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+/// Encode a single `f64`.
+pub fn f64_to_bytes(v: f64) -> Bytes {
+    Bytes::copy_from_slice(&v.to_le_bytes())
+}
+
+/// Decode a single `f64` (panics on wrong length).
+pub fn bytes_to_f64(bytes: &[u8]) -> f64 {
+    assert_eq!(bytes.len(), 8, "expected 8 bytes for an f64");
+    f64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+}
+
+/// Encode a single `u64`.
+pub fn u64_to_bytes(v: u64) -> Bytes {
+    Bytes::copy_from_slice(&v.to_le_bytes())
+}
+
+/// Decode a single `u64` (panics on wrong length).
+pub fn bytes_to_u64(bytes: &[u8]) -> u64 {
+    assert_eq!(bytes.len(), 8, "expected 8 bytes for a u64");
+    u64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let v = vec![0.0, -1.5, std::f64::consts::PI, f64::MAX, f64::MIN_POSITIVE];
+        assert_eq!(bytes_to_f64s(&f64s_to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn i64_roundtrip() {
+        let v = vec![0, -1, i64::MAX, i64::MIN, 42];
+        assert_eq!(bytes_to_i64s(&i64s_to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let v = vec![0, 1, u64::MAX, 0xdead_beef];
+        assert_eq!(bytes_to_u64s(&u64s_to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(bytes_to_f64(&f64_to_bytes(2.75)), 2.75);
+        assert_eq!(bytes_to_u64(&u64_to_bytes(77)), 77);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert!(bytes_to_f64s(&f64s_to_bytes(&[])).is_empty());
+        assert!(bytes_to_i64s(&i64s_to_bytes(&[])).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn misaligned_payload_panics() {
+        bytes_to_f64s(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,360 @@
+//! The message matching engine: posted-receive queue and unexpected-message
+//! queue.
+//!
+//! This is the part of the PML where the paper's `match` event happens: an
+//! incoming message is matched against posted receive requests on
+//! (communicator, source, tag), honouring the `MPI_ANY_SOURCE` and
+//! `MPI_ANY_TAG` wildcards. Messages that arrive before a matching receive has
+//! been posted go to the *unexpected queue*; delivering from the unexpected
+//! queue later costs an extra copy, which is exactly the cost the paper says
+//! leader-based protocols inflate by delaying receive posting (Section 3.1).
+
+use crate::types::{CommId, Tag, TagSel};
+use bytes::Bytes;
+use sim_net::{EndpointId, SimTime};
+use std::collections::VecDeque;
+
+/// Identifier of a PML-level request (send or receive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PmlReqId(pub u64);
+
+/// An application-class message delivered by the fabric, after the wire
+/// header has been decoded.
+#[derive(Debug, Clone)]
+pub struct IncomingMsg {
+    /// Sending physical process.
+    pub src: EndpointId,
+    /// Communicator context.
+    pub comm: CommId,
+    /// Message tag.
+    pub tag: Tag,
+    /// PML-level sequence number for the (src, dst, comm) stream.
+    pub seq: u64,
+    /// Protocol-defined auxiliary word (SDR-MPI stores its application-level
+    /// per-rank-pair sequence number here).
+    pub aux: i64,
+    /// Payload.
+    pub payload: Bytes,
+    /// Virtual arrival time at the receiver.
+    pub arrival: SimTime,
+}
+
+/// A receive request posted to the matching engine.
+#[derive(Debug, Clone)]
+pub struct PostedRecv {
+    /// The request this posting belongs to.
+    pub req: PmlReqId,
+    /// Source filter: `None` means `MPI_ANY_SOURCE`.
+    pub src: Option<EndpointId>,
+    /// Communicator context.
+    pub comm: CommId,
+    /// Tag filter.
+    pub tag: TagSel,
+}
+
+impl PostedRecv {
+    fn matches(&self, m: &IncomingMsg) -> bool {
+        self.comm == m.comm
+            && self.tag.matches(m.tag)
+            && self.src.map(|s| s == m.src).unwrap_or(true)
+    }
+}
+
+/// Result of delivering a message from the unexpected queue: the engine also
+/// reports that an extra copy is required so the PML can charge its cost.
+#[derive(Debug, Clone)]
+pub struct UnexpectedDelivery {
+    /// The matched message.
+    pub msg: IncomingMsg,
+    /// Always true; kept explicit for readability at call sites.
+    pub extra_copy: bool,
+}
+
+/// Matching engine state.
+#[derive(Debug, Default)]
+pub struct MatchingEngine {
+    posted: VecDeque<PostedRecv>,
+    unexpected: VecDeque<IncomingMsg>,
+    /// Highest number of simultaneously queued unexpected messages (a useful
+    /// experiment statistic: leader-based protocols grow this).
+    peak_unexpected: usize,
+    total_unexpected: u64,
+}
+
+impl MatchingEngine {
+    /// New empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Post a receive request. If a message in the unexpected queue already
+    /// matches it, the earliest such message is removed and returned (the
+    /// request completes immediately, at the cost of an extra copy).
+    pub fn post_recv(&mut self, posting: PostedRecv) -> Option<UnexpectedDelivery> {
+        if let Some(pos) = self.unexpected.iter().position(|m| posting.matches(m)) {
+            let msg = self.unexpected.remove(pos).expect("position valid");
+            return Some(UnexpectedDelivery { msg, extra_copy: true });
+        }
+        self.posted.push_back(posting);
+        None
+    }
+
+    /// Handle an incoming message. If a posted receive matches (first match in
+    /// posting order, per MPI semantics), that posting is removed and its
+    /// request id returned together with the message. Otherwise the message is
+    /// stored in the unexpected queue.
+    pub fn incoming(&mut self, msg: IncomingMsg) -> Option<(PmlReqId, IncomingMsg)> {
+        if let Some(pos) = self.posted.iter().position(|p| p.matches(&msg)) {
+            let posting = self.posted.remove(pos).expect("position valid");
+            Some((posting.req, msg))
+        } else {
+            self.unexpected.push_back(msg);
+            self.total_unexpected += 1;
+            self.peak_unexpected = self.peak_unexpected.max(self.unexpected.len());
+            None
+        }
+    }
+
+    /// Remove a posted receive. Returns true if it was still posted.
+    pub fn cancel(&mut self, req: PmlReqId) -> bool {
+        if let Some(pos) = self.posted.iter().position(|p| p.req == req) {
+            self.posted.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Change the source filter of a posted receive (Algorithm 1, line 35:
+    /// receive requests from a failed replica are redirected to its
+    /// substitute). If the new filter matches an unexpected message, that
+    /// message is delivered immediately.
+    pub fn redirect(
+        &mut self,
+        req: PmlReqId,
+        new_src: Option<EndpointId>,
+    ) -> Option<UnexpectedDelivery> {
+        let pos = self.posted.iter().position(|p| p.req == req)?;
+        self.posted[pos].src = new_src;
+        let posting = self.posted[pos].clone();
+        if let Some(upos) = self.unexpected.iter().position(|m| posting.matches(m)) {
+            let msg = self.unexpected.remove(upos).expect("position valid");
+            self.posted.remove(pos);
+            return Some(UnexpectedDelivery { msg, extra_copy: true });
+        }
+        None
+    }
+
+    /// Is there an unexpected message matching (comm, src, tag)? Used by
+    /// `MPI_Iprobe`-style calls.
+    pub fn probe(&self, comm: CommId, src: Option<EndpointId>, tag: TagSel) -> Option<&IncomingMsg> {
+        self.unexpected.iter().find(|m| {
+            m.comm == comm && tag.matches(m.tag) && src.map(|s| s == m.src).unwrap_or(true)
+        })
+    }
+
+    /// Number of currently posted receives.
+    pub fn posted_len(&self) -> usize {
+        self.posted.len()
+    }
+
+    /// Number of currently queued unexpected messages.
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+
+    /// Peak length of the unexpected queue over the lifetime of the engine.
+    pub fn peak_unexpected(&self) -> usize {
+        self.peak_unexpected
+    }
+
+    /// Total number of messages that ever went through the unexpected queue.
+    pub fn total_unexpected(&self) -> u64 {
+        self.total_unexpected
+    }
+
+    /// The source filters of all currently posted receives (used by failure
+    /// handling to find requests that need redirecting).
+    pub fn posted_requests(&self) -> impl Iterator<Item = &PostedRecv> {
+        self.posted.iter()
+    }
+
+    /// Drop every unexpected message for which `discard` returns true.
+    /// Returns how many were dropped. Used by protocols that deliberately
+    /// over-send (the mirror protocol's redundant copies) to keep the
+    /// unexpected queue bounded.
+    pub fn purge_unexpected<F: FnMut(&IncomingMsg) -> bool>(&mut self, mut discard: F) -> usize {
+        let before = self.unexpected.len();
+        self.unexpected.retain(|m| !discard(m));
+        before - self.unexpected.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(src: usize, comm: u64, tag: Tag, seq: u64) -> IncomingMsg {
+        IncomingMsg {
+            src: EndpointId(src),
+            comm: CommId(comm),
+            tag,
+            seq,
+            aux: 0,
+            payload: Bytes::from(vec![seq as u8]),
+            arrival: SimTime::from_nanos(seq),
+        }
+    }
+
+    fn posting(req: u64, src: Option<usize>, comm: u64, tag: TagSel) -> PostedRecv {
+        PostedRecv {
+            req: PmlReqId(req),
+            src: src.map(EndpointId),
+            comm: CommId(comm),
+            tag,
+        }
+    }
+
+    #[test]
+    fn exact_match_on_posted_recv() {
+        let mut eng = MatchingEngine::new();
+        assert!(eng.post_recv(posting(1, Some(0), 1, TagSel::Tag(5))).is_none());
+        let matched = eng.incoming(msg(0, 1, 5, 0));
+        assert_eq!(matched.map(|(r, _)| r), Some(PmlReqId(1)));
+        assert_eq!(eng.posted_len(), 0);
+        assert_eq!(eng.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn mismatched_message_goes_unexpected() {
+        let mut eng = MatchingEngine::new();
+        eng.post_recv(posting(1, Some(0), 1, TagSel::Tag(5)));
+        // Wrong tag.
+        assert!(eng.incoming(msg(0, 1, 6, 0)).is_none());
+        // Wrong source.
+        assert!(eng.incoming(msg(2, 1, 5, 1)).is_none());
+        // Wrong communicator.
+        assert!(eng.incoming(msg(0, 2, 5, 2)).is_none());
+        assert_eq!(eng.unexpected_len(), 3);
+        assert_eq!(eng.posted_len(), 1);
+        assert_eq!(eng.total_unexpected(), 3);
+    }
+
+    #[test]
+    fn any_source_matches_any_sender() {
+        let mut eng = MatchingEngine::new();
+        eng.post_recv(posting(1, None, 1, TagSel::Tag(5)));
+        let matched = eng.incoming(msg(17, 1, 5, 0));
+        assert_eq!(matched.map(|(r, m)| (r, m.src)), Some((PmlReqId(1), EndpointId(17))));
+    }
+
+    #[test]
+    fn any_tag_matches_any_tag() {
+        let mut eng = MatchingEngine::new();
+        eng.post_recv(posting(1, Some(0), 1, TagSel::Any));
+        assert!(eng.incoming(msg(0, 1, 999, 0)).is_some());
+    }
+
+    #[test]
+    fn unexpected_message_delivered_on_later_post() {
+        let mut eng = MatchingEngine::new();
+        assert!(eng.incoming(msg(0, 1, 5, 0)).is_none());
+        let delivery = eng.post_recv(posting(1, Some(0), 1, TagSel::Tag(5)));
+        let d = delivery.expect("unexpected message should be delivered");
+        assert!(d.extra_copy);
+        assert_eq!(d.msg.seq, 0);
+        assert_eq!(eng.unexpected_len(), 0);
+        assert_eq!(eng.posted_len(), 0);
+    }
+
+    #[test]
+    fn posting_order_respected_for_matching() {
+        // Two identical postings: the first posted must match the first message.
+        let mut eng = MatchingEngine::new();
+        eng.post_recv(posting(1, Some(0), 1, TagSel::Tag(5)));
+        eng.post_recv(posting(2, Some(0), 1, TagSel::Tag(5)));
+        let first = eng.incoming(msg(0, 1, 5, 0)).unwrap();
+        let second = eng.incoming(msg(0, 1, 5, 1)).unwrap();
+        assert_eq!(first.0, PmlReqId(1));
+        assert_eq!(second.0, PmlReqId(2));
+    }
+
+    #[test]
+    fn arrival_order_respected_in_unexpected_queue() {
+        let mut eng = MatchingEngine::new();
+        eng.incoming(msg(0, 1, 5, 0));
+        eng.incoming(msg(0, 1, 5, 1));
+        let d1 = eng.post_recv(posting(1, Some(0), 1, TagSel::Tag(5))).unwrap();
+        let d2 = eng.post_recv(posting(2, Some(0), 1, TagSel::Tag(5))).unwrap();
+        assert_eq!(d1.msg.seq, 0, "earliest unexpected message first");
+        assert_eq!(d2.msg.seq, 1);
+    }
+
+    #[test]
+    fn wildcard_posting_does_not_steal_from_specific_older_posting() {
+        // MPI semantics: matching is in posting order. A specific posting made
+        // earlier must match before a wildcard posted later.
+        let mut eng = MatchingEngine::new();
+        eng.post_recv(posting(1, Some(0), 1, TagSel::Tag(5)));
+        eng.post_recv(posting(2, None, 1, TagSel::Any));
+        let (req, _) = eng.incoming(msg(0, 1, 5, 0)).unwrap();
+        assert_eq!(req, PmlReqId(1));
+    }
+
+    #[test]
+    fn cancel_removes_posting() {
+        let mut eng = MatchingEngine::new();
+        eng.post_recv(posting(1, Some(0), 1, TagSel::Tag(5)));
+        assert!(eng.cancel(PmlReqId(1)));
+        assert!(!eng.cancel(PmlReqId(1)), "cancel is not idempotent-true");
+        assert!(eng.incoming(msg(0, 1, 5, 0)).is_none(), "cancelled posting no longer matches");
+    }
+
+    #[test]
+    fn redirect_changes_source_and_may_deliver_unexpected() {
+        let mut eng = MatchingEngine::new();
+        // Message from endpoint 9 arrives; posted recv expects endpoint 3.
+        eng.incoming(msg(9, 1, 5, 0));
+        eng.post_recv(posting(1, Some(3), 1, TagSel::Tag(5)));
+        assert_eq!(eng.unexpected_len(), 1);
+        // Failure handling redirects the posting to endpoint 9 (the substitute):
+        // the queued message is delivered immediately.
+        let d = eng.redirect(PmlReqId(1), Some(EndpointId(9))).expect("delivered");
+        assert_eq!(d.msg.src, EndpointId(9));
+        assert_eq!(eng.posted_len(), 0);
+    }
+
+    #[test]
+    fn redirect_without_queued_message_just_updates_filter() {
+        let mut eng = MatchingEngine::new();
+        eng.post_recv(posting(1, Some(3), 1, TagSel::Tag(5)));
+        assert!(eng.redirect(PmlReqId(1), Some(EndpointId(9))).is_none());
+        // Now a message from 9 matches, one from 3 does not.
+        assert!(eng.incoming(msg(3, 1, 5, 0)).is_none());
+        assert!(eng.incoming(msg(9, 1, 5, 1)).is_some());
+    }
+
+    #[test]
+    fn probe_finds_unexpected_without_removing() {
+        let mut eng = MatchingEngine::new();
+        eng.incoming(msg(2, 1, 7, 0));
+        assert!(eng.probe(CommId(1), None, TagSel::Any).is_some());
+        assert!(eng.probe(CommId(1), Some(EndpointId(2)), TagSel::Tag(7)).is_some());
+        assert!(eng.probe(CommId(1), Some(EndpointId(3)), TagSel::Tag(7)).is_none());
+        assert!(eng.probe(CommId(2), None, TagSel::Any).is_none());
+        assert_eq!(eng.unexpected_len(), 1, "probe must not consume");
+    }
+
+    #[test]
+    fn peak_unexpected_tracks_high_water_mark() {
+        let mut eng = MatchingEngine::new();
+        for i in 0..5 {
+            eng.incoming(msg(0, 1, 5, i));
+        }
+        for _ in 0..5 {
+            eng.post_recv(posting(1, Some(0), 1, TagSel::Tag(5)));
+        }
+        assert_eq!(eng.unexpected_len(), 0);
+        assert_eq!(eng.peak_unexpected(), 5);
+    }
+}

@@ -1,0 +1,448 @@
+//! The application-facing process handle: MPI-like point-to-point calls,
+//! request completion (wait/test), and communicator management.
+//!
+//! A [`Process`] combines the [`Pml`] (point-to-point engine), the active
+//! [`Protocol`] (native pass-through or a replication protocol) and the
+//! communicator table. Workloads are written against this API only — the same
+//! code runs natively or replicated depending on which protocol factory the
+//! job was launched with, which is the paper's transparency argument for
+//! implementing replication inside the library.
+
+use crate::comm::{derive_comm_id, CommInfo, Group};
+use crate::datatype;
+use crate::pml::Pml;
+use crate::protocol::{Protocol, ProtoRecvReq, ProtoSendReq};
+use crate::types::{MpiError, Rank, Status, Tag, TagSel, ANY_SOURCE, ANY_TAG};
+use bytes::Bytes;
+use sim_net::trace::{digest, EventKind, EventTrace, TraceEvent};
+use sim_net::SimTime;
+
+/// Handle to a communicator owned by a [`Process`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Comm(pub(crate) usize);
+
+impl Comm {
+    /// The world communicator handle.
+    pub const WORLD: Comm = Comm(0);
+}
+
+/// A non-blocking request handle returned by `isend`/`irecv`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Request {
+    /// A send request.
+    Send(ProtoSendReq),
+    /// A receive request.
+    Recv(ProtoRecvReq),
+}
+
+/// The per-process application handle.
+pub struct Process {
+    pml: Pml,
+    protocol: Box<dyn Protocol>,
+    comms: Vec<CommInfo>,
+    trace: EventTrace,
+}
+
+impl std::fmt::Debug for Process {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Process")
+            .field("rank", &self.rank())
+            .field("size", &self.size())
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+impl Process {
+    /// Assemble a process from its parts (used by the runtime launcher).
+    pub fn new(mut pml: Pml, mut protocol: Box<dyn Protocol>, trace: EventTrace) -> Self {
+        protocol.init(&mut pml);
+        let world = CommInfo::world(protocol.app_size(), protocol.app_rank());
+        Process {
+            pml,
+            protocol,
+            comms: vec![world],
+            trace,
+        }
+    }
+
+    // -- identity and time ---------------------------------------------------
+
+    /// This process's rank in the application world.
+    pub fn rank(&self) -> Rank {
+        self.protocol.app_rank()
+    }
+
+    /// Number of ranks in the application world.
+    pub fn size(&self) -> usize {
+        self.protocol.app_size()
+    }
+
+    /// Replica id of the underlying physical process (0 when not replicated).
+    pub fn replica_id(&self) -> usize {
+        self.protocol.replica_id()
+    }
+
+    /// The world communicator.
+    pub fn world(&self) -> Comm {
+        Comm::WORLD
+    }
+
+    /// Current virtual time of this process.
+    pub fn now(&self) -> SimTime {
+        self.pml.now()
+    }
+
+    /// Advance the virtual clock by `d` of application computation.
+    pub fn compute(&mut self, d: SimTime) {
+        self.drain_events();
+        self.pml.compute(d);
+    }
+
+    /// Convenience: advance the clock by `us` microseconds of computation.
+    pub fn compute_us(&mut self, us: f64) {
+        self.compute(SimTime::from_micros_f64(us));
+    }
+
+    /// Access the PML (protocol implementations and tests).
+    pub fn pml(&self) -> &Pml {
+        &self.pml
+    }
+
+    /// Access the event trace.
+    pub fn trace(&self) -> &EventTrace {
+        &self.trace
+    }
+
+    /// Access the active protocol (diagnostics).
+    pub fn protocol(&self) -> &dyn Protocol {
+        self.protocol.as_ref()
+    }
+
+    // -- communicators --------------------------------------------------------
+
+    fn comm_info(&self, comm: Comm) -> &CommInfo {
+        &self.comms[comm.0]
+    }
+
+    /// Size of a communicator.
+    pub fn comm_size(&self, comm: Comm) -> usize {
+        self.comm_info(comm).size()
+    }
+
+    /// This process's rank within a communicator.
+    pub fn comm_rank(&self, comm: Comm) -> Rank {
+        self.comm_info(comm).my_rank
+    }
+
+    /// The group of a communicator.
+    pub fn comm_group(&self, comm: Comm) -> Group {
+        self.comm_info(comm).group.clone()
+    }
+
+    /// `MPI_Comm_dup`: duplicate a communicator (same members, fresh context).
+    /// Collective over the communicator: every member must call it.
+    pub fn comm_dup(&mut self, comm: Comm) -> Comm {
+        let (parent_id, derived, group, my_rank) = {
+            let info = &mut self.comms[comm.0];
+            let d = info.derived;
+            info.derived += 1;
+            (info.id, d, info.group.clone(), info.my_rank)
+        };
+        let id = derive_comm_id(parent_id, derived, 0);
+        self.comms.push(CommInfo {
+            id,
+            group,
+            my_rank,
+            coll_seq: 0,
+            derived: 0,
+        });
+        Comm(self.comms.len() - 1)
+    }
+
+    /// `MPI_Comm_split`: split a communicator by `color`, ordering members of
+    /// each new communicator by `(key, old rank)`. Collective over the parent
+    /// communicator. Returns `None` if `color` is negative (the
+    /// `MPI_UNDEFINED` convention: this process joins no new communicator).
+    pub fn comm_split(&mut self, comm: Comm, color: i64, key: i64) -> Option<Comm> {
+        let my_rank = self.comm_rank(comm);
+        let size = self.comm_size(comm);
+        // Exchange (color, key) with every member via an allgather on the parent.
+        let mine = datatype::i64s_to_bytes(&[color, key]);
+        let all = self.allgather_bytes(comm, mine);
+        assert_eq!(all.len(), size);
+        let derived = {
+            let info = &mut self.comms[comm.0];
+            let d = info.derived;
+            info.derived += 1;
+            d
+        };
+        if color < 0 {
+            return None;
+        }
+        // Build the member list of my color, sorted by (key, parent rank).
+        let mut members: Vec<(i64, usize)> = Vec::new();
+        for (r, bytes) in all.iter().enumerate() {
+            let vals = datatype::bytes_to_i64s(bytes);
+            if vals[0] == color {
+                members.push((vals[1], r));
+            }
+        }
+        members.sort();
+        let parent_info = self.comm_info(comm);
+        let group = Group::from_members(
+            members
+                .iter()
+                .map(|&(_, r)| parent_info.group.world_rank(r))
+                .collect(),
+        );
+        let new_rank = members
+            .iter()
+            .position(|&(_, r)| r == my_rank)
+            .expect("calling process must be in its own color");
+        let id = derive_comm_id(parent_info.id, derived, color);
+        self.comms.push(CommInfo {
+            id,
+            group,
+            my_rank: new_rank,
+            coll_seq: 0,
+            derived: 0,
+        });
+        Some(Comm(self.comms.len() - 1))
+    }
+
+    /// Create a communicator from an explicit group of *parent communicator*
+    /// ranks (`MPI_Comm_create`-like). Collective over the parent; processes
+    /// not in the group receive `None`.
+    pub fn comm_create(&mut self, comm: Comm, group_ranks: &[Rank]) -> Option<Comm> {
+        let my_rank = self.comm_rank(comm);
+        let color = if group_ranks.contains(&my_rank) { 0 } else { -1 };
+        let key = group_ranks
+            .iter()
+            .position(|&r| r == my_rank)
+            .map(|p| p as i64)
+            .unwrap_or(0);
+        self.comm_split(comm, color, key)
+    }
+
+    // -- point-to-point -------------------------------------------------------
+
+    fn check_rank(&self, comm: Comm, rank: Rank) {
+        let size = self.comm_size(comm);
+        if rank >= size {
+            std::panic::panic_any(MpiError::InvalidRank { rank, size });
+        }
+    }
+
+    /// Non-blocking send of raw bytes to `dst` (communicator rank).
+    pub fn isend_bytes(&mut self, comm: Comm, dst: Rank, tag: Tag, payload: Bytes) -> Request {
+        self.check_rank(comm, dst);
+        self.drain_events();
+        let info = self.comm_info(comm);
+        let world_dst = info.world_rank(dst);
+        let comm_id = info.id;
+        if self.trace.is_enabled() {
+            self.trace.record(TraceEvent {
+                process: self.pml.endpoint_id(),
+                kind: EventKind::Send,
+                peer: Some(world_dst),
+                tag: Some(tag),
+                payload_digest: digest(&payload),
+                payload_len: payload.len(),
+                at: self.pml.now(),
+            });
+        }
+        let req = self.protocol.isend(&mut self.pml, world_dst, comm_id, tag, payload);
+        Request::Send(req)
+    }
+
+    /// Non-blocking receive of raw bytes from `src` (communicator rank, or
+    /// [`ANY_SOURCE`]) with tag `tag` (or [`ANY_TAG`]).
+    pub fn irecv_bytes(&mut self, comm: Comm, src: i64, tag: Tag) -> Request {
+        self.drain_events();
+        let info = self.comm_info(comm);
+        let world_src = if src == ANY_SOURCE {
+            None
+        } else {
+            self.check_rank(comm, src as usize);
+            Some(self.comm_info(comm).world_rank(src as usize))
+        };
+        let tag_sel = if tag == ANY_TAG { TagSel::Any } else { TagSel::Tag(tag) };
+        let comm_id = info.id;
+        let req = self.protocol.irecv(&mut self.pml, world_src, comm_id, tag_sel);
+        Request::Recv(req)
+    }
+
+    fn drain_events(&mut self) {
+        for ev in self.pml.progress() {
+            self.protocol.handle_event(&mut self.pml, ev);
+        }
+    }
+
+    fn block_for_events(&mut self, what: &str) {
+        let desc = format!("{what}; protocol: {}", self.protocol.describe_pending());
+        match self.pml.progress_blocking(&desc) {
+            Ok(events) => {
+                for ev in events {
+                    self.protocol.handle_event(&mut self.pml, ev);
+                }
+            }
+            Err(err) => std::panic::panic_any(err),
+        }
+    }
+
+    fn request_complete(&mut self, req: Request) -> bool {
+        match req {
+            Request::Send(s) => self.protocol.send_complete(&mut self.pml, s),
+            Request::Recv(r) => self.protocol.recv_complete(&mut self.pml, r),
+        }
+    }
+
+    /// `MPI_Test`: non-blocking completion check (makes progress first).
+    pub fn test(&mut self, req: Request) -> bool {
+        self.drain_events();
+        self.request_complete(req)
+    }
+
+    /// `MPI_Wait`: block until the request completes. For receives, returns
+    /// the status and payload; for sends, the payload slot is `None`.
+    ///
+    /// Translate a communicator-rank status by passing the same `comm` the
+    /// request was created on.
+    pub fn wait(&mut self, comm: Comm, req: Request) -> (Status, Option<Bytes>) {
+        loop {
+            self.drain_events();
+            if self.request_complete(req) {
+                break;
+            }
+            self.block_for_events("request completion in MPI_Wait");
+        }
+        match req {
+            Request::Send(s) => {
+                self.protocol.free_send(&mut self.pml, s);
+                (Status { source: self.comm_rank(comm), tag: 0, len: 0 }, None)
+            }
+            Request::Recv(r) => {
+                let (status, payload) = self
+                    .protocol
+                    .take_recv(&mut self.pml, r)
+                    .expect("completed receive must yield a payload");
+                let comm_src = self
+                    .comm_info(comm)
+                    .comm_rank_of(status.source)
+                    .unwrap_or(status.source);
+                if self.trace.is_enabled() {
+                    self.trace.record(TraceEvent {
+                        process: self.pml.endpoint_id(),
+                        kind: EventKind::RecvComplete,
+                        peer: Some(status.source),
+                        tag: Some(status.tag),
+                        payload_digest: digest(&payload),
+                        payload_len: payload.len(),
+                        at: self.pml.now(),
+                    });
+                }
+                (
+                    Status { source: comm_src, tag: status.tag, len: status.len },
+                    Some(payload),
+                )
+            }
+        }
+    }
+
+    /// `MPI_Waitall`: wait for every request, in order.
+    pub fn waitall(&mut self, comm: Comm, reqs: &[Request]) -> Vec<(Status, Option<Bytes>)> {
+        reqs.iter().map(|&r| self.wait(comm, r)).collect()
+    }
+
+    /// `MPI_Waitany`: block until any of the requests completes; returns its
+    /// index and result. Panics if `reqs` is empty.
+    pub fn waitany(&mut self, comm: Comm, reqs: &[Request]) -> (usize, Status, Option<Bytes>) {
+        assert!(!reqs.is_empty(), "waitany on an empty request list");
+        loop {
+            self.drain_events();
+            if let Some(idx) = reqs.iter().position(|&r| self.request_complete(r)) {
+                let (status, payload) = self.wait(comm, reqs[idx]);
+                return (idx, status, payload);
+            }
+            self.block_for_events("any request completion in MPI_Waitany");
+        }
+    }
+
+    /// Blocking send (`MPI_Send`).
+    pub fn send_bytes(&mut self, comm: Comm, dst: Rank, tag: Tag, payload: Bytes) {
+        let req = self.isend_bytes(comm, dst, tag, payload);
+        self.wait(comm, req);
+    }
+
+    /// Blocking receive (`MPI_Recv`). Returns the status and payload.
+    pub fn recv_bytes(&mut self, comm: Comm, src: i64, tag: Tag) -> (Status, Bytes) {
+        let req = self.irecv_bytes(comm, src, tag);
+        let (status, payload) = self.wait(comm, req);
+        (status, payload.expect("receive yields a payload"))
+    }
+
+    /// `MPI_Sendrecv`: post the receive, send, then wait for both (the
+    /// deadlock-free exchange order under SDR-MPI's ack protocol).
+    pub fn sendrecv_bytes(
+        &mut self,
+        comm: Comm,
+        dst: Rank,
+        send_tag: Tag,
+        payload: Bytes,
+        src: i64,
+        recv_tag: Tag,
+    ) -> (Status, Bytes) {
+        let rreq = self.irecv_bytes(comm, src, recv_tag);
+        let sreq = self.isend_bytes(comm, dst, send_tag, payload);
+        let (status, recv_payload) = self.wait(comm, rreq);
+        self.wait(comm, sreq);
+        (status, recv_payload.expect("receive yields a payload"))
+    }
+
+    // -- typed convenience wrappers ------------------------------------------
+
+    /// Blocking send of an `f64` slice.
+    pub fn send_f64s(&mut self, comm: Comm, dst: Rank, tag: Tag, values: &[f64]) {
+        self.send_bytes(comm, dst, tag, datatype::f64s_to_bytes(values));
+    }
+
+    /// Blocking receive of an `f64` vector.
+    pub fn recv_f64s(&mut self, comm: Comm, src: i64, tag: Tag) -> (Status, Vec<f64>) {
+        let (status, bytes) = self.recv_bytes(comm, src, tag);
+        (status, datatype::bytes_to_f64s(&bytes))
+    }
+
+    /// Blocking send of a `u64` slice.
+    pub fn send_u64s(&mut self, comm: Comm, dst: Rank, tag: Tag, values: &[u64]) {
+        self.send_bytes(comm, dst, tag, datatype::u64s_to_bytes(values));
+    }
+
+    /// Blocking receive of a `u64` vector.
+    pub fn recv_u64s(&mut self, comm: Comm, src: i64, tag: Tag) -> (Status, Vec<u64>) {
+        let (status, bytes) = self.recv_bytes(comm, src, tag);
+        (status, datatype::bytes_to_u64s(&bytes))
+    }
+
+    /// Finalize: let the protocol flush its state (e.g. outstanding acks).
+    pub fn finalize(&mut self) {
+        self.drain_events();
+        self.protocol.finalize(&mut self.pml);
+    }
+
+    /// Split the process back into its parts (used by the runtime to collect
+    /// accounting after the application returns).
+    pub fn into_parts(self) -> (Pml, Box<dyn Protocol>) {
+        (self.pml, self.protocol)
+    }
+
+    // -- internals shared with collectives ------------------------------------
+
+    pub(crate) fn next_coll_tag(&mut self, comm: Comm, op_code: i64) -> Tag {
+        let info = &mut self.comms[comm.0];
+        let seq = info.coll_seq;
+        info.coll_seq += 1;
+        // Collective tags live far above any reasonable application tag.
+        (1 << 40) + (seq as i64) * 64 + op_code
+    }
+}

@@ -1,0 +1,619 @@
+//! The job launcher: spawns one OS thread per physical process, wires each to
+//! the fabric and the selected protocol, runs the application closure, and
+//! collects a [`JobReport`].
+//!
+//! Crashed processes (scheduled via [`sim_net::CrashSchedule`]) unwind with a
+//! `CrashSignal` panic that the launcher converts into a
+//! [`ProcessOutcome::Crashed`] record rather than a test failure; deadlocks
+//! (no progress within the fabric's real-time timeout) become
+//! [`ProcessOutcome::Deadlocked`]. The job's *elapsed* virtual time — the
+//! quantity reported in the paper's tables — is the maximum finish time over
+//! the processes that completed the application.
+
+use crate::pml::{Pml, PmlConfig};
+use crate::process::Process;
+use crate::protocol::{NativeFactory, ProtocolFactory};
+use crate::types::{MpiError, Rank};
+use sim_net::failure::CrashSignal;
+use sim_net::stats::StatsSnapshot;
+use sim_net::trace::EventTrace;
+use sim_net::{
+    Cluster, CrashSchedule, EndpointId, Fabric, LogGpModel, NetworkModel, Placement, SimTime,
+};
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+/// How one physical process finished.
+#[derive(Debug)]
+pub enum ProcessOutcome<R> {
+    /// The application closure returned normally.
+    Finished(R),
+    /// The process crashed (its crash schedule fired).
+    Crashed {
+        /// Virtual time of the crash.
+        at: SimTime,
+    },
+    /// The process made no progress within the real-time timeout.
+    Deadlocked {
+        /// Description of what it was waiting for.
+        waiting_for: String,
+    },
+    /// The application panicked for another reason (a real bug).
+    Panicked(String),
+}
+
+impl<R> ProcessOutcome<R> {
+    /// True if the process finished the application normally.
+    pub fn is_finished(&self) -> bool {
+        matches!(self, ProcessOutcome::Finished(_))
+    }
+
+    /// True if the process crashed by schedule.
+    pub fn is_crashed(&self) -> bool {
+        matches!(self, ProcessOutcome::Crashed { .. })
+    }
+
+    /// True if the process deadlocked.
+    pub fn is_deadlocked(&self) -> bool {
+        matches!(self, ProcessOutcome::Deadlocked { .. })
+    }
+
+    /// The result, if finished.
+    pub fn result(&self) -> Option<&R> {
+        match self {
+            ProcessOutcome::Finished(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Per-process record in the job report.
+#[derive(Debug)]
+pub struct ProcessReport<R> {
+    /// Physical identity.
+    pub endpoint: EndpointId,
+    /// Application-world rank this process played.
+    pub app_rank: Rank,
+    /// Replica id (0 when not replicated).
+    pub replica: usize,
+    /// Whether this process's results are the job's primary output.
+    pub primary: bool,
+    /// How the process finished.
+    pub outcome: ProcessOutcome<R>,
+    /// Final virtual time of the process.
+    pub finish_time: SimTime,
+    /// Time accounted to application computation.
+    pub compute_time: SimTime,
+    /// Time accounted to communication overheads.
+    pub comm_time: SimTime,
+    /// Time accounted to idle waiting.
+    pub idle_time: SimTime,
+}
+
+/// The result of running a job.
+#[derive(Debug)]
+pub struct JobReport<R> {
+    /// One report per physical process, indexed by endpoint id.
+    pub processes: Vec<ProcessReport<R>>,
+    /// Fabric-wide message statistics.
+    pub stats: StatsSnapshot,
+    /// Simulated wall-clock time of the job: the maximum finish time over all
+    /// processes that completed the application.
+    pub elapsed: SimTime,
+    /// Name of the protocol the job ran with.
+    pub protocol: String,
+    /// The shared event trace (empty unless tracing was enabled).
+    pub trace: EventTrace,
+}
+
+impl<R> JobReport<R> {
+    /// Results of the primary replica set, in application-rank order.
+    pub fn primary_results(&self) -> Vec<&R> {
+        let mut with_rank: Vec<(Rank, &R)> = self
+            .processes
+            .iter()
+            .filter(|p| p.primary)
+            .filter_map(|p| p.outcome.result().map(|r| (p.app_rank, r)))
+            .collect();
+        with_rank.sort_by_key(|(r, _)| *r);
+        with_rank.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Did every process finish normally?
+    pub fn all_finished(&self) -> bool {
+        self.processes.iter().all(|p| p.outcome.is_finished())
+    }
+
+    /// Endpoints that crashed.
+    pub fn crashed(&self) -> Vec<EndpointId> {
+        self.processes
+            .iter()
+            .filter(|p| p.outcome.is_crashed())
+            .map(|p| p.endpoint)
+            .collect()
+    }
+
+    /// Endpoints that deadlocked.
+    pub fn deadlocked(&self) -> Vec<EndpointId> {
+        self.processes
+            .iter()
+            .filter(|p| p.outcome.is_deadlocked())
+            .map(|p| p.endpoint)
+            .collect()
+    }
+}
+
+/// Builder for a simulated MPI job.
+pub struct JobBuilder {
+    app_ranks: usize,
+    model: Arc<dyn NetworkModel>,
+    cluster: Option<Cluster>,
+    placement: Option<Placement>,
+    factory: Arc<dyn ProtocolFactory>,
+    crash_schedules: Vec<(EndpointId, CrashSchedule)>,
+    pml_config: PmlConfig,
+    trace: bool,
+    recv_timeout: Duration,
+}
+
+impl JobBuilder {
+    /// A job of `app_ranks` application ranks, run natively (no replication)
+    /// on the InfiniBand-20G model.
+    pub fn new(app_ranks: usize) -> Self {
+        assert!(app_ranks > 0, "a job needs at least one rank");
+        JobBuilder {
+            app_ranks,
+            model: Arc::new(LogGpModel::infiniband_20g()),
+            cluster: None,
+            placement: None,
+            factory: Arc::new(NativeFactory),
+            crash_schedules: Vec::new(),
+            pml_config: PmlConfig::default(),
+            trace: false,
+            recv_timeout: Duration::from_secs(20),
+        }
+    }
+
+    /// Use a specific network cost model.
+    pub fn network<M: NetworkModel>(mut self, model: M) -> Self {
+        self.model = Arc::new(model);
+        self
+    }
+
+    /// Use a pre-shared network cost model.
+    pub fn network_shared(mut self, model: Arc<dyn NetworkModel>) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Explicit cluster shape (defaults to one core per physical process, one
+    /// process per node).
+    pub fn cluster(mut self, cluster: Cluster) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Explicit placement policy (defaults to packed; replication factories
+    /// usually install [`Placement::ReplicaSets`]).
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = Some(placement);
+        self
+    }
+
+    /// Select the protocol (native, SDR-MPI, mirror, ...).
+    pub fn protocol(mut self, factory: Arc<dyn ProtocolFactory>) -> Self {
+        self.factory = factory;
+        self
+    }
+
+    /// Schedule a crash for a physical process.
+    pub fn crash(mut self, endpoint: EndpointId, schedule: CrashSchedule) -> Self {
+        self.crash_schedules.push((endpoint, schedule));
+        self
+    }
+
+    /// Override PML cost parameters.
+    pub fn pml_config(mut self, config: PmlConfig) -> Self {
+        self.pml_config = config;
+        self
+    }
+
+    /// Enable event tracing (needed by the send-determinism checker).
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Real-time deadlock-detection timeout.
+    pub fn recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = timeout;
+        self
+    }
+
+    /// Number of physical processes this job will launch.
+    pub fn physical_processes(&self) -> usize {
+        self.factory.physical_processes(self.app_ranks)
+    }
+
+    /// Launch the job: run `app` once per physical process and collect the
+    /// report. The closure receives the application-facing [`Process`] handle;
+    /// replicas of the same rank run the same closure (replication is
+    /// transparent, as in the paper's Figure 6).
+    pub fn run<F, R>(self, app: F) -> JobReport<R>
+    where
+        F: Fn(&mut Process) -> R + Send + Sync + 'static,
+        R: Send + 'static,
+    {
+        install_quiet_panic_hook();
+        let physical = self.factory.physical_processes(self.app_ranks);
+        let cluster = self.cluster.unwrap_or(Cluster::new(physical, 1));
+        let placement = self.placement.unwrap_or(Placement::Packed);
+        let fabric = Fabric::new_shared(physical, Arc::clone(&self.model), cluster, placement);
+        fabric.set_recv_timeout(self.recv_timeout);
+        for (ep, schedule) in &self.crash_schedules {
+            fabric.failure().schedule(*ep, *schedule);
+        }
+        let trace = if self.trace {
+            EventTrace::enabled()
+        } else {
+            EventTrace::disabled()
+        };
+        let app = Arc::new(app);
+        let mut handles = Vec::with_capacity(physical);
+        for p in 0..physical {
+            let fabric = Arc::clone(&fabric);
+            let factory = Arc::clone(&self.factory);
+            let app = Arc::clone(&app);
+            let trace = trace.clone();
+            let pml_config = self.pml_config;
+            let app_ranks = self.app_ranks;
+            let handle = std::thread::Builder::new()
+                .name(format!("simproc-{p}"))
+                .spawn(move || {
+                    let endpoint = fabric.endpoint(EndpointId(p));
+                    let pml = Pml::with_config(endpoint, pml_config);
+                    let protocol = factory.build(EndpointId(p), app_ranks);
+                    let app_rank = protocol.app_rank();
+                    let replica = protocol.replica_id();
+                    let primary = protocol.is_primary();
+                    let mut process = Process::new(pml, protocol, trace);
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let r = app(&mut process);
+                        process.finalize();
+                        r
+                    }));
+                    let outcome = match result {
+                        Ok(r) => ProcessOutcome::Finished(r),
+                        Err(payload) => classify_panic(payload),
+                    };
+                    let (pml, _protocol) = process.into_parts();
+                    let clock = pml.endpoint().clock();
+                    ProcessReport {
+                        endpoint: EndpointId(p),
+                        app_rank,
+                        replica,
+                        primary,
+                        outcome,
+                        finish_time: clock.now(),
+                        compute_time: clock.compute_time(),
+                        comm_time: clock.comm_overhead_time(),
+                        idle_time: clock.idle_time(),
+                    }
+                })
+                .expect("spawn simulated process thread");
+            handles.push(handle);
+        }
+        let mut processes: Vec<ProcessReport<R>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("simulated process thread must not die unexpectedly"))
+            .collect();
+        processes.sort_by_key(|p| p.endpoint);
+        let elapsed = processes
+            .iter()
+            .filter(|p| p.outcome.is_finished())
+            .map(|p| p.finish_time)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        JobReport {
+            processes,
+            stats: fabric.stats().snapshot(),
+            elapsed,
+            protocol: self.factory.name().to_string(),
+            trace,
+        }
+    }
+}
+
+fn classify_panic<R>(payload: Box<dyn std::any::Any + Send>) -> ProcessOutcome<R> {
+    if let Some(sig) = payload.downcast_ref::<CrashSignal>() {
+        return ProcessOutcome::Crashed { at: sig.at };
+    }
+    if let Some(err) = payload.downcast_ref::<MpiError>() {
+        if let MpiError::Deadlock { waiting_for, .. } = err {
+            return ProcessOutcome::Deadlocked {
+                waiting_for: waiting_for.clone(),
+            };
+        }
+        return ProcessOutcome::Panicked(err.to_string());
+    }
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    ProcessOutcome::Panicked(msg)
+}
+
+/// Silence the default panic printer for the panics we use as control flow
+/// (crash signals, deadlock reports); real panics still print.
+fn install_quiet_panic_hook() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            if payload.downcast_ref::<CrashSignal>().is_some()
+                || payload.downcast_ref::<MpiError>().is_some()
+            {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::ReduceOp;
+    use bytes::Bytes;
+
+    fn fast() -> LogGpModel {
+        LogGpModel::fast_test_model()
+    }
+
+    #[test]
+    fn two_rank_ping_pong_native() {
+        let report = JobBuilder::new(2).network(fast()).run(|p| {
+            let world = p.world();
+            if p.rank() == 0 {
+                p.send_bytes(world, 1, 7, Bytes::from_static(b"ping"));
+                let (_, data) = p.recv_bytes(world, 1, 8);
+                assert_eq!(&data[..], b"pong");
+            } else {
+                let (_, data) = p.recv_bytes(world, 0, 7);
+                assert_eq!(&data[..], b"ping");
+                p.send_bytes(world, 0, 8, Bytes::from_static(b"pong"));
+            }
+            p.rank()
+        });
+        assert!(report.all_finished());
+        assert_eq!(report.primary_results(), vec![&0, &1]);
+        assert!(report.elapsed > SimTime::ZERO);
+        assert_eq!(report.stats.app_msgs(), 2);
+        assert_eq!(report.protocol, "native");
+    }
+
+    #[test]
+    fn wildcard_receive_reports_actual_source() {
+        let report = JobBuilder::new(3).network(fast()).run(|p| {
+            let world = p.world();
+            if p.rank() == 0 {
+                let mut sources = Vec::new();
+                for _ in 0..2 {
+                    let (status, data) = p.recv_bytes(world, crate::types::ANY_SOURCE, 1);
+                    assert_eq!(data.len(), 8);
+                    sources.push(status.source);
+                }
+                sources.sort();
+                sources
+            } else {
+                p.send_u64s(world, 0, 1, &[p.rank() as u64]);
+                vec![]
+            }
+        });
+        assert!(report.all_finished());
+        assert_eq!(report.primary_results()[0], &vec![1, 2]);
+    }
+
+    #[test]
+    fn collectives_native_smoke() {
+        let report = JobBuilder::new(4).network(fast()).run(|p| {
+            let world = p.world();
+            p.barrier(world);
+            let root_data = if p.rank() == 2 { Some(vec![1.5, 2.5]) } else { None };
+            let bcast = p.bcast_f64s(world, 2, root_data.as_deref());
+            assert_eq!(bcast, vec![1.5, 2.5]);
+
+            let sum = p.allreduce_f64(world, ReduceOp::Sum, (p.rank() + 1) as f64);
+            assert_eq!(sum, 10.0);
+
+            let reduced = p.reduce_f64s(world, 0, ReduceOp::Max, &[p.rank() as f64]);
+            if p.rank() == 0 {
+                assert_eq!(reduced.unwrap(), vec![3.0]);
+            } else {
+                assert!(reduced.is_none());
+            }
+
+            let gathered = p.gather_bytes(world, 1, Bytes::from(vec![p.rank() as u8]));
+            if p.rank() == 1 {
+                let g = gathered.unwrap();
+                assert_eq!(g.len(), 4);
+                for (i, b) in g.iter().enumerate() {
+                    assert_eq!(b[0] as usize, i);
+                }
+            }
+
+            let all = p.allgather_bytes(world, Bytes::from(vec![p.rank() as u8 * 10]));
+            assert_eq!(all.len(), 4);
+            for (i, b) in all.iter().enumerate() {
+                assert_eq!(b[0] as usize, i * 10);
+            }
+
+            let scattered = p.scatter_bytes(
+                world,
+                0,
+                if p.rank() == 0 {
+                    Some((0..4).map(|i| Bytes::from(vec![i as u8 + 100])).collect())
+                } else {
+                    None
+                },
+            );
+            assert_eq!(scattered[0] as usize, p.rank() + 100);
+
+            let blocks: Vec<Bytes> = (0..4).map(|d| Bytes::from(vec![(p.rank() * 10 + d) as u8])).collect();
+            let a2a = p.alltoall_bytes(world, blocks);
+            for (src, b) in a2a.iter().enumerate() {
+                assert_eq!(b[0] as usize, src * 10 + p.rank());
+            }
+
+            let scan = p.scan_f64s(world, ReduceOp::Sum, &[1.0]);
+            assert_eq!(scan, vec![(p.rank() + 1) as f64]);
+            true
+        });
+        assert!(report.all_finished());
+    }
+
+    #[test]
+    fn comm_split_even_odd() {
+        let report = JobBuilder::new(4).network(fast()).run(|p| {
+            let world = p.world();
+            let color = (p.rank() % 2) as i64;
+            let sub = p.comm_split(world, color, p.rank() as i64).unwrap();
+            let sub_size = p.comm_size(sub);
+            let sub_rank = p.comm_rank(sub);
+            // Sum ranks within the sub-communicator.
+            let sum = p.allreduce_f64(sub, ReduceOp::Sum, p.rank() as f64);
+            (sub_size, sub_rank, sum)
+        });
+        assert!(report.all_finished());
+        let results = report.primary_results();
+        // Even ranks {0,2}: sum 2. Odd ranks {1,3}: sum 4.
+        assert_eq!(results[0], &(2, 0, 2.0));
+        assert_eq!(results[1], &(2, 0, 4.0));
+        assert_eq!(results[2], &(2, 1, 2.0));
+        assert_eq!(results[3], &(2, 1, 4.0));
+    }
+
+    #[test]
+    fn comm_dup_isolates_traffic() {
+        let report = JobBuilder::new(2).network(fast()).run(|p| {
+            let world = p.world();
+            let dup = p.comm_dup(world);
+            // Same tag on both communicators; messages must not cross.
+            if p.rank() == 0 {
+                p.send_bytes(world, 1, 5, Bytes::from_static(b"world"));
+                p.send_bytes(dup, 1, 5, Bytes::from_static(b"dup"));
+                true
+            } else {
+                // Receive in the opposite order of sending: only correct if
+                // the contexts are separate.
+                let (_, d) = p.recv_bytes(dup, 0, 5);
+                let (_, w) = p.recv_bytes(world, 0, 5);
+                d == Bytes::from_static(b"dup") && w == Bytes::from_static(b"world")
+            }
+        });
+        assert!(report.all_finished());
+        assert_eq!(report.primary_results(), vec![&true, &true]);
+    }
+
+    #[test]
+    fn waitany_and_test() {
+        let report = JobBuilder::new(3).network(fast()).run(|p| {
+            let world = p.world();
+            if p.rank() == 0 {
+                let r1 = p.irecv_bytes(world, 1, 1);
+                let r2 = p.irecv_bytes(world, 2, 2);
+                let reqs = vec![r1, r2];
+                let (idx1, st1, _) = p.waitany(world, &reqs);
+                let (_idx2, st2, _) = {
+                    let remaining = vec![reqs[1 - idx1]];
+                    let (i, s, b) = p.waitany(world, &remaining);
+                    (i, s, b)
+                };
+                let mut sources = vec![st1.source, st2.source];
+                sources.sort();
+                assert_eq!(sources, vec![1, 2]);
+                // test() on a fresh request eventually turns true.
+                let r3 = p.irecv_bytes(world, 1, 3);
+                while !p.test(r3) {
+                    std::thread::yield_now();
+                }
+                true
+            } else {
+                p.compute(SimTime::from_micros(p.rank() as u64 * 3));
+                p.send_bytes(world, 0, p.rank() as i64, Bytes::from(vec![p.rank() as u8]));
+                if p.rank() == 1 {
+                    p.send_bytes(world, 0, 3, Bytes::from_static(b"late"));
+                }
+                true
+            }
+        });
+        assert!(report.all_finished());
+    }
+
+    #[test]
+    fn scheduled_crash_reported_not_failed_test() {
+        let report = JobBuilder::new(2)
+            .network(fast())
+            .crash(EndpointId(1), CrashSchedule::BeforeSend { nth: 1 })
+            .recv_timeout(Duration::from_millis(200))
+            .run(|p| {
+                let world = p.world();
+                if p.rank() == 0 {
+                    // This receive can never be satisfied: the peer crashes
+                    // before sending. The process deadlocks.
+                    let (_, _) = p.recv_bytes(world, 1, 0);
+                    0
+                } else {
+                    p.send_bytes(world, 0, 0, Bytes::from_static(b"never"));
+                    1
+                }
+            });
+        assert_eq!(report.crashed(), vec![EndpointId(1)]);
+        assert_eq!(report.deadlocked(), vec![EndpointId(0)]);
+        assert!(!report.all_finished());
+    }
+
+    #[test]
+    fn compute_time_accounted_and_elapsed_reasonable() {
+        let report = JobBuilder::new(2).network(fast()).run(|p| {
+            p.compute(SimTime::from_millis(5));
+            let world = p.world();
+            // simple exchange
+            let peer = 1 - p.rank();
+            let (_, _data) = p.sendrecv_bytes(world, peer, 0, Bytes::from(vec![0u8; 64]), peer as i64, 0);
+        });
+        assert!(report.all_finished());
+        for proc in &report.processes {
+            assert!(proc.compute_time >= SimTime::from_millis(5));
+            assert!(proc.finish_time >= proc.compute_time);
+        }
+        assert!(report.elapsed >= SimTime::from_millis(5));
+        // Elapsed is maximum over processes.
+        let max_finish = report.processes.iter().map(|p| p.finish_time).max().unwrap();
+        assert_eq!(report.elapsed, max_finish);
+    }
+
+    #[test]
+    fn trace_records_send_sequences() {
+        let report = JobBuilder::new(2).network(fast()).trace(true).run(|p| {
+            let world = p.world();
+            if p.rank() == 0 {
+                for i in 0..3u8 {
+                    p.send_bytes(world, 1, i as i64, Bytes::from(vec![i]));
+                }
+            } else {
+                for i in 0..3 {
+                    p.recv_bytes(world, 0, i as i64);
+                }
+            }
+        });
+        assert!(report.all_finished());
+        let sends = report.trace.send_sequence(EndpointId(0));
+        assert_eq!(sends.len(), 3);
+        assert!(report.trace.send_sequence(EndpointId(1)).is_empty());
+    }
+}

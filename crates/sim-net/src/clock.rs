@@ -1,0 +1,143 @@
+//! Per-process virtual clocks.
+//!
+//! Each simulated physical process owns one [`VirtualClock`]. The clock only
+//! ever moves forward: computation and per-message CPU overheads `advance` it,
+//! and message arrivals `sync_to` it (a process cannot observe a message
+//! before the message exists). The maximum clock value across processes at the
+//! end of a run is the simulated wall-clock time of the application.
+
+use crate::time::SimTime;
+
+/// A monotonically non-decreasing virtual clock.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: SimTime,
+    /// Total time spent in explicitly-charged computation (excludes
+    /// communication overheads and idle waiting). Used by experiment reports
+    /// to split runtime into compute / communication / wait.
+    compute: SimTime,
+    /// Total time attributed to communication CPU overheads.
+    comm_overhead: SimTime,
+    /// Total time spent idle, i.e. jumped over by `sync_to` while waiting for
+    /// a message to arrive.
+    idle: SimTime,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance the clock by `d`, accounting it as application computation.
+    pub fn compute(&mut self, d: SimTime) {
+        self.now += d;
+        self.compute += d;
+    }
+
+    /// Advance the clock by `d`, accounting it as communication overhead
+    /// (send/receive CPU costs, protocol processing such as ack handling).
+    pub fn charge_comm(&mut self, d: SimTime) {
+        self.now += d;
+        self.comm_overhead += d;
+    }
+
+    /// Move the clock forward to `t` if `t` is in the future, accounting the
+    /// jumped-over span as idle (waiting) time. Returns the amount of idle
+    /// time added (zero if `t` is in the past).
+    pub fn sync_to(&mut self, t: SimTime) -> SimTime {
+        if t > self.now {
+            let idle = t - self.now;
+            self.idle += idle;
+            self.now = t;
+            idle
+        } else {
+            SimTime::ZERO
+        }
+    }
+
+    /// Total accounted computation time.
+    pub fn compute_time(&self) -> SimTime {
+        self.compute
+    }
+
+    /// Total accounted communication-overhead time.
+    pub fn comm_overhead_time(&self) -> SimTime {
+        self.comm_overhead
+    }
+
+    /// Total accounted idle (waiting) time.
+    pub fn idle_time(&self) -> SimTime {
+        self.idle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        assert_eq!(c.compute_time(), SimTime::ZERO);
+        assert_eq!(c.idle_time(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn compute_advances_and_accounts() {
+        let mut c = VirtualClock::new();
+        c.compute(SimTime::from_nanos(100));
+        c.compute(SimTime::from_nanos(50));
+        assert_eq!(c.now(), SimTime::from_nanos(150));
+        assert_eq!(c.compute_time(), SimTime::from_nanos(150));
+        assert_eq!(c.comm_overhead_time(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn comm_charge_separately_accounted() {
+        let mut c = VirtualClock::new();
+        c.compute(SimTime::from_nanos(10));
+        c.charge_comm(SimTime::from_nanos(30));
+        assert_eq!(c.now(), SimTime::from_nanos(40));
+        assert_eq!(c.compute_time(), SimTime::from_nanos(10));
+        assert_eq!(c.comm_overhead_time(), SimTime::from_nanos(30));
+    }
+
+    #[test]
+    fn sync_to_future_adds_idle() {
+        let mut c = VirtualClock::new();
+        c.compute(SimTime::from_nanos(10));
+        let idle = c.sync_to(SimTime::from_nanos(25));
+        assert_eq!(idle, SimTime::from_nanos(15));
+        assert_eq!(c.now(), SimTime::from_nanos(25));
+        assert_eq!(c.idle_time(), SimTime::from_nanos(15));
+    }
+
+    #[test]
+    fn sync_to_past_is_noop() {
+        let mut c = VirtualClock::new();
+        c.compute(SimTime::from_nanos(100));
+        let idle = c.sync_to(SimTime::from_nanos(40));
+        assert_eq!(idle, SimTime::ZERO);
+        assert_eq!(c.now(), SimTime::from_nanos(100));
+        assert_eq!(c.idle_time(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn accounting_sums_to_now() {
+        let mut c = VirtualClock::new();
+        c.compute(SimTime::from_nanos(100));
+        c.charge_comm(SimTime::from_nanos(20));
+        c.sync_to(SimTime::from_nanos(200));
+        assert_eq!(
+            c.compute_time() + c.comm_overhead_time() + c.idle_time(),
+            c.now()
+        );
+    }
+}

@@ -1,0 +1,690 @@
+//! The fabric: reliable FIFO transport between physical processes, with
+//! virtual-time delivery.
+//!
+//! Each physical process owns one [`Endpoint`]. Sending charges the sender's
+//! clock with the model's send overhead and stamps the message with an arrival
+//! time (`sender clock + wire time`). Receivers pop physically delivered
+//! messages in virtual-arrival order; the receiver's clock is synchronised to
+//! a message's arrival only when the layer above actually completes a request
+//! that depends on it (see the `sim-mpi` PML), never by the mere act of
+//! polling the queue.
+//!
+//! Reliability and FIFO ordering per ordered process pair follow from using
+//! one crossbeam channel per destination (crossbeam preserves per-producer
+//! order). Messages to a crashed process are silently dropped, but messages a
+//! process handed to the fabric *before* crashing are still delivered — the
+//! paper's "channels are reliable" assumption.
+
+use crate::clock::VirtualClock;
+use crate::failure::{CrashSignal, FailureService};
+use crate::model::NetworkModel;
+use crate::stats::{class, NetStats};
+use crate::time::SimTime;
+use crate::topology::{Cluster, NodeId, Placement};
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifier of a physical process / its fabric endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EndpointId(pub usize);
+
+/// Number of opaque header words carried by every message. The upper layers
+/// (sim-mpi, replication protocols) encode tags, communicator ids, sequence
+/// numbers, etc. into these words; the fabric never interprets them.
+pub const HEADER_WORDS: usize = 8;
+
+/// A message in flight on the fabric.
+#[derive(Debug, Clone)]
+pub struct RawMessage {
+    /// Sending physical process.
+    pub src: EndpointId,
+    /// Destination physical process.
+    pub dst: EndpointId,
+    /// Traffic class (see [`crate::stats::class`]); used for statistics and by
+    /// upper layers to demultiplex protocol traffic from application traffic.
+    pub class: u8,
+    /// Opaque header words interpreted by the upper layers.
+    pub header: [i64; HEADER_WORDS],
+    /// Payload bytes.
+    pub payload: Bytes,
+    /// Sender virtual time at which the message was injected.
+    pub injected_at: SimTime,
+    /// Virtual time at which the message becomes visible to the receiver.
+    pub arrival: SimTime,
+}
+
+impl RawMessage {
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+struct PendingMsg(Reverse<(SimTime, u64)>, RawMessage);
+
+impl PartialEq for PendingMsg {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for PendingMsg {}
+impl PartialOrd for PendingMsg {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingMsg {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+/// The shared fabric connecting `n` endpoints.
+pub struct Fabric {
+    n: usize,
+    model: Arc<dyn NetworkModel>,
+    cluster: Cluster,
+    node_of: Vec<NodeId>,
+    senders: Vec<Sender<RawMessage>>,
+    // The fabric keeps one receiver per endpoint alive for the whole run so
+    // that (a) messages sent to a crashed process are not lost by channel
+    // disconnection and (b) recovery can hand out a fresh endpoint handle for
+    // the same identity (crossbeam receivers are cloneable).
+    receivers: Vec<Receiver<RawMessage>>,
+    taken: Mutex<Vec<bool>>,
+    stats: Arc<NetStats>,
+    failure: FailureService,
+    recv_timeout_ms: std::sync::atomic::AtomicU64,
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric")
+            .field("endpoints", &self.n)
+            .field("cluster", &self.cluster)
+            .finish()
+    }
+}
+
+impl Fabric {
+    /// Build a fabric for `n` physical processes using `model` for costs and
+    /// `placement` over `cluster` for intra/inter-node classification.
+    pub fn new<M: NetworkModel>(
+        n: usize,
+        model: M,
+        cluster: Cluster,
+        placement: Placement,
+    ) -> Arc<Fabric> {
+        Fabric::new_shared(n, Arc::new(model), cluster, placement)
+    }
+
+    /// Like [`Fabric::new`] but with an already type-erased cost model (used
+    /// by the job launcher, which stores the model as `Arc<dyn NetworkModel>`).
+    pub fn new_shared(
+        n: usize,
+        model: Arc<dyn NetworkModel>,
+        cluster: Cluster,
+        placement: Placement,
+    ) -> Arc<Fabric> {
+        assert!(n > 0, "fabric needs at least one endpoint");
+        let node_of: Vec<NodeId> = (0..n).map(|p| placement.node_of(p, n, &cluster)).collect();
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        Arc::new(Fabric {
+            n,
+            model,
+            cluster,
+            node_of,
+            senders,
+            receivers,
+            taken: Mutex::new(vec![false; n]),
+            stats: Arc::new(NetStats::new()),
+            failure: FailureService::new(n),
+            recv_timeout_ms: std::sync::atomic::AtomicU64::new(20_000),
+        })
+    }
+
+    /// Convenience constructor: `n` endpoints, one per core, packed placement.
+    pub fn with_defaults<M: NetworkModel>(n: usize, model: M) -> Arc<Fabric> {
+        let nodes = n.max(1);
+        Fabric::new(n, model, Cluster::new(nodes, 1), Placement::Packed)
+    }
+
+    /// Number of endpoints.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// The shared statistics counters.
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+
+    /// The failure injection/detection service.
+    pub fn failure(&self) -> &FailureService {
+        &self.failure
+    }
+
+    /// The node hosting endpoint `e`.
+    pub fn node_of(&self, e: EndpointId) -> NodeId {
+        self.node_of[e.0]
+    }
+
+    /// Do two endpoints share a node?
+    pub fn same_node(&self, a: EndpointId, b: EndpointId) -> bool {
+        self.node_of[a.0] == self.node_of[b.0]
+    }
+
+    /// The cost model in use.
+    pub fn model(&self) -> &Arc<dyn NetworkModel> {
+        &self.model
+    }
+
+    /// Real-time timeout used by blocking receives before declaring a
+    /// simulated deadlock.
+    pub fn recv_timeout(&self) -> Duration {
+        Duration::from_millis(
+            self.recv_timeout_ms
+                .load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+
+    /// Change the deadlock-detection timeout (tests that intentionally
+    /// provoke a deadlock use a short timeout).
+    pub fn set_recv_timeout(&self, timeout: Duration) {
+        self.recv_timeout_ms.store(
+            timeout.as_millis() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+    }
+
+    /// Take the endpoint for physical process `id`. Panics if taken twice
+    /// (unless [`Fabric::reset_endpoint`] released it in between).
+    pub fn endpoint(self: &Arc<Self>, id: EndpointId) -> Endpoint {
+        assert!(id.0 < self.n, "endpoint id out of range");
+        {
+            let mut taken = self.taken.lock();
+            assert!(!taken[id.0], "endpoint {} already taken", id.0);
+            taken[id.0] = true;
+        }
+        Endpoint {
+            id,
+            fabric: Arc::clone(self),
+            rx: self.receivers[id.0].clone(),
+            clock: VirtualClock::new(),
+            pending: BinaryHeap::new(),
+            pending_seq: 0,
+            app_sends: 0,
+        }
+    }
+
+    /// Release endpoint `id` so a *new* endpoint handle can be taken for the
+    /// same physical identity. Used by recovery to fork a replacement process
+    /// (Section 3.4 of the paper). Messages queued while the previous
+    /// incarnation was dead remain in the queue; the recovery protocol decides
+    /// by epoch which of them the new incarnation must honour.
+    pub fn reset_endpoint(self: &Arc<Self>, id: EndpointId) {
+        assert!(id.0 < self.n, "endpoint id out of range");
+        self.taken.lock()[id.0] = false;
+    }
+}
+
+/// A physical process's handle onto the fabric. Owns the process's virtual
+/// clock and its incoming message queue.
+pub struct Endpoint {
+    id: EndpointId,
+    fabric: Arc<Fabric>,
+    rx: Receiver<RawMessage>,
+    clock: VirtualClock,
+    pending: BinaryHeap<PendingMsg>,
+    pending_seq: u64,
+    app_sends: u64,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("id", &self.id)
+            .field("now", &self.clock.now())
+            .field("app_sends", &self.app_sends)
+            .finish()
+    }
+}
+
+impl Endpoint {
+    /// This endpoint's identifier.
+    pub fn id(&self) -> EndpointId {
+        self.id
+    }
+
+    /// The fabric this endpoint belongs to.
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// Current virtual time of this process.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Immutable access to the clock (for accounting reports).
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Mutable access to the clock (the MPI layer charges overheads itself for
+    /// operations the fabric does not see, e.g. matching or copies from the
+    /// unexpected queue).
+    pub fn clock_mut(&mut self) -> &mut VirtualClock {
+        &mut self.clock
+    }
+
+    /// Advance the clock by `d` of application computation.
+    pub fn compute(&mut self, d: SimTime) {
+        self.maybe_crash(false);
+        self.clock.compute(d);
+        self.maybe_crash(false);
+    }
+
+    /// Number of application-class messages sent so far.
+    pub fn app_sends(&self) -> u64 {
+        self.app_sends
+    }
+
+    /// Check this process's crash schedule and, if it fires, record the
+    /// failure and unwind with a [`CrashSignal`] panic. `pre_send` selects the
+    /// before/after-send semantics of the schedule.
+    ///
+    /// Before unwinding, a system-class wake-up message is pushed to every
+    /// other endpoint so that processes blocked on their incoming queue poll
+    /// the failure detector promptly — the paper's "the underlying system
+    /// notifies every process".
+    pub fn maybe_crash(&mut self, pre_send: bool) {
+        let svc = self.fabric.failure();
+        if svc.should_crash(self.id, self.clock.now(), self.app_sends, pre_send) {
+            let ev = svc.record_failure(self.id, self.clock.now());
+            for (i, tx) in self.fabric.senders.iter().enumerate() {
+                if i == self.id.0 {
+                    continue;
+                }
+                let wakeup = RawMessage {
+                    src: self.id,
+                    dst: EndpointId(i),
+                    class: class::SYSTEM,
+                    header: [0; HEADER_WORDS],
+                    payload: Bytes::new(),
+                    injected_at: ev.at,
+                    arrival: ev.at,
+                };
+                let _ = tx.send(wakeup);
+            }
+            std::panic::panic_any(CrashSignal {
+                endpoint: self.id,
+                at: ev.at,
+            });
+        }
+    }
+
+    /// Inject a message. Charges the sender's clock with the model's send
+    /// overhead, stamps the arrival time and hands the message to the
+    /// destination queue. Application-class sends also drive the crash
+    /// schedule (`BeforeSend`/`AfterSend`).
+    pub fn send(
+        &mut self,
+        dst: EndpointId,
+        cls: u8,
+        header: [i64; HEADER_WORDS],
+        payload: Bytes,
+    ) {
+        self.send_with_floor(dst, cls, header, payload, SimTime::ZERO);
+    }
+
+    /// Like [`Endpoint::send`], but the message is stamped as if injected no
+    /// earlier than `not_before`. Protocol layers use this to emit reactions
+    /// to a message (e.g. an acknowledgement) that must not appear to precede
+    /// that message's own arrival, even when the local clock has not yet been
+    /// synchronised to it (progress only happens inside MPI calls, so a
+    /// process may handle a physically-arrived message while its own virtual
+    /// clock is still behind the message's arrival time).
+    pub fn send_with_floor(
+        &mut self,
+        dst: EndpointId,
+        cls: u8,
+        header: [i64; HEADER_WORDS],
+        payload: Bytes,
+        not_before: SimTime,
+    ) {
+        let is_app = cls == class::APP;
+        if is_app {
+            self.maybe_crash(true);
+        }
+        let intra = self.fabric.same_node(self.id, dst);
+        let model = Arc::clone(&self.fabric.model);
+        self.clock.charge_comm(model.send_overhead(payload.len(), intra));
+        let injected_at = self.clock.now().max(not_before);
+        let arrival = injected_at + model.wire_time(payload.len(), intra);
+        let msg = RawMessage {
+            src: self.id,
+            dst,
+            class: cls,
+            header,
+            payload,
+            injected_at,
+            arrival,
+        };
+        self.fabric.stats.record_send(cls, msg.len());
+        // Sending to a crashed process (or to ourselves after crash) may fail
+        // if the receiver end is gone; the message is then simply lost, which
+        // is fine because nobody will ever wait on the dead process.
+        let _ = self.fabric.senders[dst.0].send(msg);
+        if is_app {
+            self.app_sends += 1;
+            self.maybe_crash(false);
+        }
+    }
+
+    /// Send to self without going over the wire (used by collectives that
+    /// include the root in their own destination set). Costs only the
+    /// intra-node overheads.
+    pub fn send_to_self(&mut self, cls: u8, header: [i64; HEADER_WORDS], payload: Bytes) {
+        self.send(self.id, cls, header, payload);
+    }
+
+    fn drain_channel(&mut self) {
+        while let Ok(m) = self.rx.try_recv() {
+            self.fabric.stats.record_delivery(m.class);
+            let seq = self.pending_seq;
+            self.pending_seq += 1;
+            self.pending.push(PendingMsg(Reverse((m.arrival, seq)), m));
+        }
+    }
+
+    /// Non-blocking receive: returns the earliest-arriving (in virtual time)
+    /// message that has been physically delivered, charging the receive
+    /// overhead, or `None` if nothing is queued.
+    ///
+    /// Note: the receiver's clock is *not* advanced to the message's arrival
+    /// time here. A message may be handled by the progress engine while the
+    /// receiver's clock is still behind its arrival (the receiver was simply
+    /// polled early in real time); the clock is only synchronised to the
+    /// arrival when a caller actually *waits* on the corresponding request
+    /// (see the `sim-mpi` PML), which keeps timing causal without letting
+    /// unrelated future messages inflate the clock.
+    pub fn try_recv(&mut self) -> Option<RawMessage> {
+        self.maybe_crash(false);
+        self.drain_channel();
+        match self.pending.pop() {
+            Some(p) => {
+                let msg = p.1;
+                self.charge_recv_overhead(&msg);
+                Some(msg)
+            }
+            None => None,
+        }
+    }
+
+    // Application payload receive overhead is charged by the MPI layer when
+    // the receive request actually completes for the application (after the
+    // clock has been synchronised to the arrival); protocol-level messages
+    // (acks, control, hashes) are charged here, when they are processed.
+    fn charge_recv_overhead(&mut self, msg: &RawMessage) {
+        if msg.class == class::APP {
+            return;
+        }
+        let intra = self.fabric.same_node(msg.src, self.id);
+        let model = Arc::clone(&self.fabric.model);
+        self.clock.charge_comm(model.recv_overhead(msg.len(), intra));
+    }
+
+    /// Is there any message queued (whether or not it has virtually arrived)?
+    pub fn has_pending(&mut self) -> bool {
+        self.drain_channel();
+        !self.pending.is_empty()
+    }
+
+    /// Blocking receive: waits (in real time) until at least one message is
+    /// queued, then returns the one with the earliest virtual arrival. Returns
+    /// `None` after the fabric's deadlock timeout elapses with no traffic —
+    /// the caller treats this as a simulated deadlock.
+    ///
+    /// As with [`Endpoint::try_recv`], the clock is not advanced to the
+    /// message's arrival; waiting layers synchronise the clock when the
+    /// request they are blocked on completes.
+    pub fn recv_blocking(&mut self) -> Option<RawMessage> {
+        self.maybe_crash(false);
+        self.drain_channel();
+        if self.pending.is_empty() {
+            match self.rx.recv_timeout(self.fabric.recv_timeout()) {
+                Ok(m) => {
+                    self.fabric.stats.record_delivery(m.class);
+                    let seq = self.pending_seq;
+                    self.pending_seq += 1;
+                    self.pending.push(PendingMsg(Reverse((m.arrival, seq)), m));
+                    // Drain anything else that raced in.
+                    self.drain_channel();
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    return None;
+                }
+            }
+        }
+        let msg = self.pending.pop().expect("pending non-empty").1;
+        self.charge_recv_overhead(&msg);
+        self.maybe_crash(false);
+        Some(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::CrashSchedule;
+    use crate::model::LogGpModel;
+
+    fn two_endpoint_fabric() -> (Endpoint, Endpoint, Arc<Fabric>) {
+        let fabric = Fabric::with_defaults(2, LogGpModel::fast_test_model());
+        let a = fabric.endpoint(EndpointId(0));
+        let b = fabric.endpoint(EndpointId(1));
+        (a, b, fabric)
+    }
+
+    fn hdr(x: i64) -> [i64; HEADER_WORDS] {
+        let mut h = [0; HEADER_WORDS];
+        h[0] = x;
+        h
+    }
+
+    #[test]
+    fn send_charges_sender_and_stamps_arrival() {
+        let (mut a, mut b, fabric) = two_endpoint_fabric();
+        let before = a.now();
+        a.send(EndpointId(1), class::APP, hdr(7), Bytes::from_static(b"hello"));
+        assert!(a.now() > before, "send overhead must be charged");
+        let msg = b.recv_blocking().expect("message delivered");
+        assert_eq!(msg.header[0], 7);
+        assert_eq!(&msg.payload[..], b"hello");
+        assert!(msg.arrival > msg.injected_at);
+        // Application payloads are charged by the MPI layer at delivery time,
+        // so the raw endpoint clock is untouched here.
+        assert_eq!(b.now(), SimTime::ZERO);
+        assert_eq!(fabric.stats().snapshot().app_msgs(), 1);
+    }
+
+    #[test]
+    fn try_recv_returns_arrival_stamp_without_jumping_clock() {
+        let (mut a, mut b, _f) = two_endpoint_fabric();
+        a.send(EndpointId(1), class::APP, hdr(1), Bytes::from_static(b"x"));
+        // Give the channel time to deliver in real time.
+        std::thread::sleep(Duration::from_millis(5));
+        let msg = b.try_recv().expect("physically delivered message is returned");
+        assert_eq!(msg.header[0], 1);
+        // The arrival stamp carries the virtual delivery time; the receiver's
+        // clock is only charged the receive overhead, not jumped to the
+        // arrival (waiting layers synchronise when a request completes).
+        assert!(msg.arrival > SimTime::ZERO);
+        assert!(b.now() < msg.arrival);
+    }
+
+    #[test]
+    fn send_with_floor_delays_injection_stamp() {
+        let (mut a, mut b, _f) = two_endpoint_fabric();
+        let floor = SimTime::from_millis(3);
+        a.send_with_floor(EndpointId(1), class::ACK, hdr(9), Bytes::new(), floor);
+        let msg = b.recv_blocking().expect("delivered");
+        assert!(msg.injected_at >= floor, "injection stamped no earlier than the floor");
+        assert!(msg.arrival > floor);
+        // The sender's own clock is not forced forward by the floor.
+        assert!(a.now() < floor);
+    }
+
+    #[test]
+    fn fifo_order_per_sender_in_virtual_time() {
+        let (mut a, mut b, _f) = two_endpoint_fabric();
+        for i in 0..10 {
+            a.send(EndpointId(1), class::APP, hdr(i), Bytes::new());
+        }
+        let mut got = Vec::new();
+        for _ in 0..10 {
+            got.push(b.recv_blocking().unwrap().header[0]);
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn earliest_arrival_delivered_first_across_senders() {
+        let fabric = Fabric::with_defaults(3, LogGpModel::fast_test_model());
+        let mut a = fabric.endpoint(EndpointId(0));
+        let mut c = fabric.endpoint(EndpointId(2));
+        let mut b = fabric.endpoint(EndpointId(1));
+        // c is "late": advance its clock before sending so its message has a
+        // later virtual arrival even if it lands in the channel first.
+        c.compute(SimTime::from_millis(10));
+        c.send(EndpointId(1), class::APP, hdr(2), Bytes::new());
+        std::thread::sleep(Duration::from_millis(5));
+        a.send(EndpointId(1), class::APP, hdr(1), Bytes::new());
+        std::thread::sleep(Duration::from_millis(5));
+        let first = b.recv_blocking().unwrap();
+        let second = b.recv_blocking().unwrap();
+        assert_eq!(first.header[0], 1, "earlier virtual arrival first");
+        assert_eq!(second.header[0], 2);
+    }
+
+    #[test]
+    fn larger_messages_arrive_later() {
+        let (mut a, _b, _f) = two_endpoint_fabric();
+        let mut arrivals = Vec::new();
+        for size in [1usize, 1024, 1 << 20] {
+            let payload = Bytes::from(vec![0u8; size]);
+            let before = a.now();
+            a.send(EndpointId(1), class::APP, hdr(0), payload);
+            arrivals.push(a.now() - before);
+        }
+        // send overhead is flat until the rendezvous threshold, but the wire
+        // time (and hence arrival) grows; verify via a second fabric where we
+        // inspect the arrival stamps directly.
+        let fabric = Fabric::with_defaults(2, LogGpModel::fast_test_model());
+        let mut s = fabric.endpoint(EndpointId(0));
+        let mut r = fabric.endpoint(EndpointId(1));
+        s.send(EndpointId(1), class::APP, hdr(0), Bytes::from(vec![0u8; 1]));
+        s.send(EndpointId(1), class::APP, hdr(1), Bytes::from(vec![0u8; 1 << 20]));
+        let m1 = r.recv_blocking().unwrap();
+        let m2 = r.recv_blocking().unwrap();
+        assert!(m2.arrival - m2.injected_at > m1.arrival - m1.injected_at);
+    }
+
+    #[test]
+    fn endpoint_taken_once() {
+        let fabric = Fabric::with_defaults(1, LogGpModel::fast_test_model());
+        let _a = fabric.endpoint(EndpointId(0));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _again = fabric.endpoint(EndpointId(0));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn crash_schedule_unwinds_with_signal() {
+        let fabric = Fabric::with_defaults(2, LogGpModel::fast_test_model());
+        fabric
+            .failure()
+            .schedule(EndpointId(0), CrashSchedule::AfterSend { nth: 2 });
+        let mut a = fabric.endpoint(EndpointId(0));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for i in 0..5 {
+                a.send(EndpointId(1), class::APP, hdr(i), Bytes::new());
+            }
+        }));
+        let err = result.expect_err("process must crash");
+        let sig = err
+            .downcast_ref::<CrashSignal>()
+            .expect("panic payload is a CrashSignal");
+        assert_eq!(sig.endpoint, EndpointId(0));
+        assert!(fabric.failure().is_failed(EndpointId(0)));
+        // Exactly 2 application messages were handed to the fabric before the
+        // crash; they remain deliverable.
+        assert_eq!(fabric.stats().snapshot().app_msgs(), 2);
+        let mut b = fabric.endpoint(EndpointId(1));
+        assert!(b.recv_blocking().is_some());
+        assert!(b.recv_blocking().is_some());
+    }
+
+    #[test]
+    fn non_app_classes_do_not_count_as_app_sends() {
+        let (mut a, _b, _f) = two_endpoint_fabric();
+        a.send(EndpointId(1), class::ACK, hdr(0), Bytes::new());
+        a.send(EndpointId(1), class::CONTROL, hdr(0), Bytes::new());
+        assert_eq!(a.app_sends(), 0);
+        a.send(EndpointId(1), class::APP, hdr(0), Bytes::new());
+        assert_eq!(a.app_sends(), 1);
+    }
+
+    #[test]
+    fn intra_node_cheaper_than_inter_node_delivery() {
+        // 2 nodes x 2 cores; endpoints 0,1 share node 0, endpoint 2 is remote.
+        let fabric = Fabric::new(
+            4,
+            LogGpModel::infiniband_20g(),
+            Cluster::new(2, 2),
+            Placement::Packed,
+        );
+        let mut p0 = fabric.endpoint(EndpointId(0));
+        let mut p1 = fabric.endpoint(EndpointId(1));
+        let mut p2 = fabric.endpoint(EndpointId(2));
+        p0.send(EndpointId(1), class::APP, hdr(0), Bytes::from(vec![0u8; 1024]));
+        p0.send(EndpointId(2), class::APP, hdr(0), Bytes::from(vec![0u8; 1024]));
+        let local = p1.recv_blocking().unwrap();
+        let remote = p2.recv_blocking().unwrap();
+        assert!(
+            local.arrival - local.injected_at < remote.arrival - remote.injected_at,
+            "intra-node wire time should be smaller"
+        );
+    }
+
+    #[test]
+    fn send_to_dead_endpoint_is_silently_dropped() {
+        let fabric = Fabric::with_defaults(2, LogGpModel::fast_test_model());
+        let mut a = fabric.endpoint(EndpointId(0));
+        {
+            let _b = fabric.endpoint(EndpointId(1));
+            // b dropped here: receiver end disappears.
+        }
+        a.send(EndpointId(1), class::APP, hdr(0), Bytes::from_static(b"lost"));
+        // No panic; stats still count the attempt.
+        assert_eq!(fabric.stats().snapshot().app_msgs(), 1);
+    }
+}

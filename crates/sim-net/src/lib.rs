@@ -1,0 +1,39 @@
+//! # sim-net — a virtual-time simulated interconnect
+//!
+//! This crate provides the network substrate on which the `sim-mpi` runtime
+//! (and on top of it, the SDR-MPI replication protocol) is built. It plays the
+//! role that InfiniBand + the Open MPI BTL layer played in the original paper:
+//! reliable FIFO channels between physical processes, with communication costs
+//! charged in *virtual time* by a LogGP-style model.
+//!
+//! Design summary (see `DESIGN.md` §5):
+//!
+//! * Every physical process runs on its own OS thread and owns a
+//!   [`clock::VirtualClock`]. Computation advances the clock explicitly;
+//!   communication costs are charged by the [`model::NetworkModel`].
+//! * Transport is a crossbeam channel per destination endpoint. Messages from
+//!   one sender to one receiver are delivered in order (the paper's FIFO
+//!   reliable channel assumption).
+//! * Crash failures are injected by the [`failure::FailureService`], which also
+//!   acts as the "external service" the paper assumes for failure detection:
+//!   every alive endpoint learns about a crash.
+//! * [`stats::NetStats`] counts messages and bytes so protocol-level message
+//!   complexity (e.g. mirror's `O(q·r²)` vs parallel's `O(q·r)`) can be
+//!   measured directly.
+
+pub mod clock;
+pub mod fabric;
+pub mod failure;
+pub mod model;
+pub mod stats;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+pub use clock::VirtualClock;
+pub use fabric::{Endpoint, EndpointId, Fabric, RawMessage};
+pub use failure::{CrashSchedule, FailureEvent, FailureService};
+pub use model::{HockneyModel, LogGpModel, NetworkModel};
+pub use stats::{NetStats, StatsSnapshot};
+pub use time::SimTime;
+pub use topology::{Cluster, NodeId, Placement};

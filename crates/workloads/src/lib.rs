@@ -1,0 +1,33 @@
+//! # workloads — the applications the paper evaluates SDR-MPI with
+//!
+//! The paper's evaluation (Section 4) uses:
+//!
+//! * **NetPipe** ping-pong for latency/throughput (Figure 7a/7b) — [`netpipe`];
+//! * five **NAS Parallel Benchmarks** (BT, CG, FT, MG, SP, class D) for
+//!   Table 1 — [`nas`];
+//! * **HPCCG** (Mantevo conjugate gradient on a 3D chimney domain) and **CM1**
+//!   (cloud model), both containing `MPI_ANY_SOURCE` receptions, for
+//!   Table 2 — [`apps`].
+//!
+//! Since the original codes and the 64-node InfiniBand cluster are not
+//! available here, each workload is re-implemented as a communication-pattern
+//! faithful mini-kernel: real (small-scale) numerics produce a checksum that
+//! must agree between native and replicated executions, and the per-iteration
+//! computation cost is charged to the virtual clock through an explicit cost
+//! model so that the compute/communication ratio is class-D-like (see
+//! `DESIGN.md` §2 for the substitution argument).
+//!
+//! [`determinism`] provides the operational send-determinism check of
+//! Definition 1: run a workload under perturbed message timing and compare the
+//! per-rank send sequences. [`runner`] packages the native-vs-replicated
+//! comparison used by the Table 1/2 harnesses.
+
+pub mod apps;
+pub mod determinism;
+pub mod nas;
+pub mod netpipe;
+pub mod runner;
+
+pub use determinism::{check_send_determinism, DeterminismReport, JitterModel};
+pub use netpipe::{netpipe_sweep, NetpipePoint};
+pub use runner::{compare_protocols, ComparisonRow, WorkloadSpec};

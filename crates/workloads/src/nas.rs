@@ -1,0 +1,611 @@
+//! NAS-Parallel-Benchmark-like mini-kernels (Table 1 of the paper).
+//!
+//! The paper measures SDR-MPI on five NAS benchmarks (BT, CG, FT, MG, SP,
+//! class D, 256 ranks). We reproduce each benchmark's *communication pattern*
+//! at reduced scale with real (small) numerics, and charge a calibrated
+//! per-iteration computation cost to the virtual clock so that the
+//! compute/communication ratio — which is what determines the replication
+//! overhead percentage — is representative of a class-D execution:
+//!
+//! | kernel | communication pattern reproduced |
+//! |--------|----------------------------------|
+//! | CG     | 1-D row-block sparse mat-vec: halo exchange with both neighbours + dot-product allreduces every iteration |
+//! | MG     | V-cycle over a 1-D grid hierarchy: halo exchange at every level, residual-norm allreduce per cycle |
+//! | FT     | distributed 2-D FFT: local row FFTs, all-to-all transpose, column FFTs, checksum allreduce |
+//! | BT     | 2-D process grid ADI: face halo exchange + pipelined line sweeps in x and y (large block messages) |
+//! | SP     | same structure as BT with smaller (scalar pentadiagonal) messages and lighter per-point compute |
+//!
+//! Every kernel returns a checksum so that tests can assert that native and
+//! replicated executions compute identical results.
+
+use bytes::Bytes;
+use sim_mpi::datatype::{bytes_to_f64s, f64s_to_bytes};
+use sim_mpi::{Process, ReduceOp};
+use sim_net::SimTime;
+
+/// Which NAS-like kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NasKernel {
+    /// Block tridiagonal ADI-like solver.
+    Bt,
+    /// Conjugate gradient.
+    Cg,
+    /// 2-D FFT with all-to-all transposes.
+    Ft,
+    /// Multigrid V-cycles.
+    Mg,
+    /// Scalar pentadiagonal ADI-like solver.
+    Sp,
+}
+
+impl NasKernel {
+    /// All five kernels, in the order of the paper's Table 1.
+    pub fn all() -> [NasKernel; 5] {
+        [NasKernel::Bt, NasKernel::Cg, NasKernel::Ft, NasKernel::Mg, NasKernel::Sp]
+    }
+
+    /// The name used in the paper's table.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NasKernel::Bt => "BT",
+            NasKernel::Cg => "CG",
+            NasKernel::Ft => "FT",
+            NasKernel::Mg => "MG",
+            NasKernel::Sp => "SP",
+        }
+    }
+}
+
+/// Problem-size / iteration configuration for the mini-kernels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NasConfig {
+    /// Local (per-rank) problem size (elements per rank for 1-D kernels, grid
+    /// edge for 2-D kernels).
+    pub local_size: usize,
+    /// Number of outer iterations (CG iterations, V-cycles, FFT steps, ADI
+    /// steps).
+    pub iterations: usize,
+    /// Virtual nanoseconds of computation charged per local grid point and
+    /// per iteration. Calibrated so that the compute/communication ratio is
+    /// class-D-like; see `EXPERIMENTS.md`.
+    pub compute_ns_per_point: u64,
+}
+
+impl NasConfig {
+    /// A quick configuration for unit tests (small, fast in real time).
+    pub fn test_size() -> Self {
+        NasConfig {
+            local_size: 256,
+            iterations: 4,
+            compute_ns_per_point: 40,
+        }
+    }
+
+    /// The configuration used by the Table 1 harness: large enough virtual
+    /// compute per iteration to be class-D-like, small enough real data to run
+    /// quickly on a laptop.
+    pub fn class_d_like() -> Self {
+        NasConfig {
+            local_size: 4096,
+            iterations: 12,
+            compute_ns_per_point: 220,
+        }
+    }
+
+    fn charge_compute(&self, p: &mut Process, points: usize, weight: f64) {
+        let ns = (points as f64 * self.compute_ns_per_point as f64 * weight).round() as u64;
+        p.compute(SimTime::from_nanos(ns));
+    }
+}
+
+/// Run one kernel and return its checksum.
+pub fn run_kernel(kernel: NasKernel, p: &mut Process, cfg: &NasConfig) -> f64 {
+    match kernel {
+        NasKernel::Cg => run_cg(p, cfg),
+        NasKernel::Mg => run_mg(p, cfg),
+        NasKernel::Ft => run_ft(p, cfg),
+        NasKernel::Bt => run_adi(p, cfg, AdiFlavor::Bt),
+        NasKernel::Sp => run_adi(p, cfg, AdiFlavor::Sp),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CG: conjugate gradient on a 1-D Laplacian, row-block decomposition
+// ---------------------------------------------------------------------------
+
+/// Distributed sparse mat-vec for the 1-D Laplacian: needs one halo value from
+/// each neighbour.
+fn laplacian_matvec(p: &mut Process, x: &[f64], cfg: &NasConfig) -> Vec<f64> {
+    let world = p.world();
+    let rank = p.rank();
+    let size = p.size();
+    let n = x.len();
+    // Exchange boundary values with neighbours (post receives first).
+    let mut left_halo = 0.0;
+    let mut right_halo = 0.0;
+    let mut reqs = Vec::new();
+    if rank > 0 {
+        reqs.push((0usize, p.irecv_bytes(world, (rank - 1) as i64, 11)));
+    }
+    if rank + 1 < size {
+        reqs.push((1usize, p.irecv_bytes(world, (rank + 1) as i64, 10)));
+    }
+    if rank > 0 {
+        let req = p.isend_bytes(world, rank - 1, 10, f64s_to_bytes(&[x[0]]));
+        p.wait(world, req);
+    }
+    if rank + 1 < size {
+        let req = p.isend_bytes(world, rank + 1, 11, f64s_to_bytes(&[x[n - 1]]));
+        p.wait(world, req);
+    }
+    for (side, req) in reqs {
+        let (_, payload) = p.wait(world, req);
+        let v = bytes_to_f64s(&payload.expect("halo payload"))[0];
+        if side == 0 {
+            left_halo = v;
+        } else {
+            right_halo = v;
+        }
+    }
+    cfg.charge_compute(p, n, 3.0);
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let left = if i == 0 { left_halo } else { x[i - 1] };
+        let right = if i + 1 == n { right_halo } else { x[i + 1] };
+        y[i] = 2.0 * x[i] - left - right;
+    }
+    y
+}
+
+fn dot(p: &mut Process, a: &[f64], b: &[f64], cfg: &NasConfig) -> f64 {
+    cfg.charge_compute(p, a.len(), 1.0);
+    let local: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    p.allreduce_f64(p.world(), ReduceOp::Sum, local)
+}
+
+/// Conjugate gradient iterations; returns the final residual-norm checksum.
+pub fn run_cg(p: &mut Process, cfg: &NasConfig) -> f64 {
+    let n = cfg.local_size;
+    let rank = p.rank();
+    // Right-hand side: a deterministic function of the global index.
+    let b: Vec<f64> = (0..n)
+        .map(|i| ((rank * n + i) as f64 * 0.37).sin())
+        .collect();
+    let mut x = vec![0.0; n];
+    let mut r = b.clone();
+    let mut d = r.clone();
+    let mut rr = dot(p, &r, &r, cfg);
+    for _ in 0..cfg.iterations {
+        let ad = laplacian_matvec(p, &d, cfg);
+        let dad = dot(p, &d, &ad, cfg);
+        let alpha = if dad.abs() > 1e-300 { rr / dad } else { 0.0 };
+        cfg.charge_compute(p, n, 2.0);
+        for i in 0..n {
+            x[i] += alpha * d[i];
+            r[i] -= alpha * ad[i];
+        }
+        let rr_new = dot(p, &r, &r, cfg);
+        let beta = if rr.abs() > 1e-300 { rr_new / rr } else { 0.0 };
+        rr = rr_new;
+        cfg.charge_compute(p, n, 1.0);
+        for i in 0..n {
+            d[i] = r[i] + beta * d[i];
+        }
+    }
+    rr.sqrt()
+}
+
+// ---------------------------------------------------------------------------
+// MG: 1-D multigrid V-cycles
+// ---------------------------------------------------------------------------
+
+fn halo_exchange_1d(p: &mut Process, field: &[f64], tag_base: i64) -> (f64, f64) {
+    let world = p.world();
+    let rank = p.rank();
+    let size = p.size();
+    let n = field.len();
+    let mut left = 0.0;
+    let mut right = 0.0;
+    let mut reqs = Vec::new();
+    if rank > 0 {
+        reqs.push((0usize, p.irecv_bytes(world, (rank - 1) as i64, tag_base + 1)));
+    }
+    if rank + 1 < size {
+        reqs.push((1usize, p.irecv_bytes(world, (rank + 1) as i64, tag_base)));
+    }
+    if rank > 0 {
+        let req = p.isend_bytes(world, rank - 1, tag_base, f64s_to_bytes(&[field[0]]));
+        p.wait(world, req);
+    }
+    if rank + 1 < size {
+        let req = p.isend_bytes(world, rank + 1, tag_base + 1, f64s_to_bytes(&[field[n - 1]]));
+        p.wait(world, req);
+    }
+    for (side, req) in reqs {
+        let (_, payload) = p.wait(world, req);
+        let v = bytes_to_f64s(&payload.expect("halo payload"))[0];
+        if side == 0 {
+            left = v;
+        } else {
+            right = v;
+        }
+    }
+    (left, right)
+}
+
+fn jacobi_smooth(p: &mut Process, u: &mut Vec<f64>, f: &[f64], cfg: &NasConfig, tag: i64) {
+    let (left, right) = halo_exchange_1d(p, u, tag);
+    cfg.charge_compute(p, u.len(), 2.0);
+    let n = u.len();
+    let old = u.clone();
+    for i in 0..n {
+        let l = if i == 0 { left } else { old[i - 1] };
+        let r = if i + 1 == n { right } else { old[i + 1] };
+        u[i] = 0.5 * (l + r + f[i]);
+    }
+}
+
+/// Multigrid V-cycles; returns the final residual norm.
+pub fn run_mg(p: &mut Process, cfg: &NasConfig) -> f64 {
+    let levels = 4usize;
+    let n = cfg.local_size.next_power_of_two().max(1 << levels);
+    let rank = p.rank();
+    let f: Vec<f64> = (0..n).map(|i| ((rank * n + i) as f64 * 0.11).cos()).collect();
+    let mut u = vec![0.0; n];
+    for _cycle in 0..cfg.iterations {
+        // Descend: smooth and restrict.
+        let mut fine_f = f.clone();
+        let mut grids: Vec<(Vec<f64>, Vec<f64>)> = Vec::new();
+        let mut level_u = u.clone();
+        for level in 0..levels {
+            jacobi_smooth(p, &mut level_u, &fine_f, cfg, 20 + 2 * level as i64);
+            // Restriction: average pairs.
+            let coarse_n = level_u.len() / 2;
+            let coarse_f: Vec<f64> = (0..coarse_n)
+                .map(|i| 0.5 * (fine_f[2 * i] + fine_f[2 * i + 1]))
+                .collect();
+            grids.push((level_u.clone(), fine_f.clone()));
+            level_u = (0..coarse_n)
+                .map(|i| 0.5 * (level_u[2 * i] + level_u[2 * i + 1]))
+                .collect();
+            fine_f = coarse_f;
+        }
+        // Ascend: prolongate and smooth.
+        for level in (0..levels).rev() {
+            let (mut fine_u, fine_f) = grids[level].clone();
+            for i in 0..fine_u.len() {
+                fine_u[i] += level_u[i / 2];
+            }
+            jacobi_smooth(p, &mut fine_u, &fine_f, cfg, 40 + 2 * level as i64);
+            level_u = fine_u;
+        }
+        u = level_u;
+        // Residual norm once per cycle (the paper's MG also reduces norms).
+        let local: f64 = u.iter().map(|v| v * v).sum();
+        let _norm = p.allreduce_f64(p.world(), ReduceOp::Sum, local);
+    }
+    let local: f64 = u.iter().map(|v| v * v).sum();
+    p.allreduce_f64(p.world(), ReduceOp::Sum, local).sqrt()
+}
+
+// ---------------------------------------------------------------------------
+// FT: distributed 2-D FFT (row FFTs, all-to-all transpose, column FFTs)
+// ---------------------------------------------------------------------------
+
+/// In-place iterative radix-2 FFT over (re, im) pairs.
+fn fft_inplace(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ur, ui) = (re[i + k], im[i + k]);
+                let (vr, vi) = (
+                    re[i + k + len / 2] * cr - im[i + k + len / 2] * ci,
+                    re[i + k + len / 2] * ci + im[i + k + len / 2] * cr,
+                );
+                re[i + k] = ur + vr;
+                im[i + k] = ui + vi;
+                re[i + k + len / 2] = ur - vr;
+                im[i + k + len / 2] = ui - vi;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Distributed FFT steps; returns a checksum of the transformed field.
+pub fn run_ft(p: &mut Process, cfg: &NasConfig) -> f64 {
+    let size = p.size();
+    let rank = p.rank();
+    // Global grid: (rows = size * rows_per_rank) x (cols = size * rows_per_rank),
+    // each rank holds `rows_per_rank` full rows.
+    let rows_per_rank = (cfg.local_size / size).next_power_of_two().clamp(2, 64);
+    let cols = (rows_per_rank * size).next_power_of_two();
+    let rows = rows_per_rank;
+    let mut re: Vec<Vec<f64>> = (0..rows)
+        .map(|r| (0..cols).map(|c| (((rank * rows + r) * cols + c) as f64 * 0.017).sin()).collect())
+        .collect();
+    let mut im: Vec<Vec<f64>> = vec![vec![0.0; cols]; rows];
+    let mut checksum = 0.0;
+    for _step in 0..cfg.iterations {
+        // Local row FFTs.
+        cfg.charge_compute(p, rows * cols, 2.5);
+        for r in 0..rows {
+            fft_inplace(&mut re[r], &mut im[r]);
+        }
+        // All-to-all transpose: block (this rank, dest) of columns.
+        let block_cols = cols / size;
+        let blocks: Vec<Bytes> = (0..size)
+            .map(|dst| {
+                let mut flat = Vec::with_capacity(rows * block_cols * 2);
+                for r in 0..rows {
+                    for c in 0..block_cols {
+                        flat.push(re[r][dst * block_cols + c]);
+                        flat.push(im[r][dst * block_cols + c]);
+                    }
+                }
+                f64s_to_bytes(&flat)
+            })
+            .collect();
+        let received = p.alltoall_bytes(p.world(), blocks);
+        // Rebuild the local slab from the received blocks (transposed layout),
+        // then FFT along the other dimension (still length `cols` rows locally
+        // to keep the kernel simple).
+        cfg.charge_compute(p, rows * cols, 1.0);
+        for (src, block) in received.iter().enumerate() {
+            let vals = bytes_to_f64s(block);
+            for (k, chunk) in vals.chunks_exact(2).enumerate() {
+                let r = k / (cols / size);
+                let c = k % (cols / size);
+                re[r % rows][src * (cols / size) + c] = chunk[0];
+                im[r % rows][src * (cols / size) + c] = chunk[1];
+            }
+        }
+        cfg.charge_compute(p, rows * cols, 2.5);
+        for r in 0..rows {
+            fft_inplace(&mut re[r], &mut im[r]);
+        }
+        // Checksum reduce, as NPB FT does after each evolution step.
+        let local: f64 = re.iter().flatten().map(|v| v.abs()).sum::<f64>()
+            + im.iter().flatten().map(|v| v.abs()).sum::<f64>();
+        checksum = p.allreduce_f64(p.world(), ReduceOp::Sum, local);
+    }
+    checksum
+}
+
+// ---------------------------------------------------------------------------
+// BT / SP: ADI-like solvers on a 2-D process grid
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AdiFlavor {
+    Bt,
+    Sp,
+}
+
+fn process_grid(size: usize) -> (usize, usize) {
+    let mut px = (size as f64).sqrt() as usize;
+    while px > 1 && size % px != 0 {
+        px -= 1;
+    }
+    (px.max(1), size / px.max(1))
+}
+
+fn run_adi(p: &mut Process, cfg: &NasConfig, flavor: AdiFlavor) -> f64 {
+    let world = p.world();
+    let size = p.size();
+    let rank = p.rank();
+    let (px, py) = process_grid(size);
+    let (ix, iy) = (rank % px, rank / px);
+    let edge = (cfg.local_size as f64).sqrt() as usize + 2;
+    // Per-point unknowns: BT solves 5x5 blocks (heavier messages and compute),
+    // SP solves scalar pentadiagonal systems.
+    let (vars, weight) = match flavor {
+        AdiFlavor::Bt => (5usize, 5.0),
+        AdiFlavor::Sp => (1usize, 2.0),
+    };
+    let mut field: Vec<f64> = (0..edge * edge * vars)
+        .map(|i| ((rank * 131 + i) as f64 * 0.013).sin())
+        .collect();
+    let neighbour = |dx: i64, dy: i64| -> Option<usize> {
+        let nx = ix as i64 + dx;
+        let ny = iy as i64 + dy;
+        if nx < 0 || ny < 0 || nx >= px as i64 || ny >= py as i64 {
+            None
+        } else {
+            Some(ny as usize * px + nx as usize)
+        }
+    };
+    let mut checksum = 0.0;
+    for step in 0..cfg.iterations {
+        // Face halo exchange with up to 4 neighbours (post receives first).
+        let face = edge * vars;
+        let mut reqs = Vec::new();
+        for (tag, (dx, dy)) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)].iter().enumerate() {
+            if let Some(nb) = neighbour(*dx, *dy) {
+                reqs.push(p.irecv_bytes(world, nb as i64, 60 + tag as i64));
+            }
+        }
+        for (tag, (dx, dy)) in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)].iter().enumerate() {
+            if let Some(nb) = neighbour(*dx, *dy) {
+                let boundary: Vec<f64> = field.iter().take(face).copied().collect();
+                let req = p.isend_bytes(world, nb, 60 + tag as i64, f64s_to_bytes(&boundary));
+                p.wait(world, req);
+            }
+        }
+        let mut halo_sum = 0.0;
+        for req in reqs {
+            let (_, payload) = p.wait(world, req);
+            halo_sum += bytes_to_f64s(&payload.expect("face halo")).iter().sum::<f64>();
+        }
+        // Local relaxation sweep.
+        cfg.charge_compute(p, edge * edge * vars, weight);
+        for v in field.iter_mut() {
+            *v = 0.99 * *v + 1e-6 * halo_sum;
+        }
+        // Pipelined line sweep along x then y: pass a boundary line to the
+        // next process in the row / column (this is the ADI structure that
+        // makes BT/SP communication-latency sensitive).
+        for (axis, (dx, dy)) in [(0usize, (1i64, 0i64)), (1, (0, 1))] {
+            let upstream = neighbour(-dx, -dy);
+            let downstream = neighbour(dx, dy);
+            let tag = 70 + 2 * step as i64 % 8 + axis as i64;
+            let mut line: Vec<f64> = field.iter().take(face).copied().collect();
+            if let Some(up) = upstream {
+                let (_, payload) = p.recv_bytes(world, up as i64, tag);
+                let incoming = bytes_to_f64s(&payload);
+                for (l, i) in line.iter_mut().zip(incoming) {
+                    *l += 0.5 * i;
+                }
+            }
+            cfg.charge_compute(p, edge * vars, weight);
+            if let Some(down) = downstream {
+                p.send_bytes(world, down, tag, f64s_to_bytes(&line));
+            }
+        }
+        let local: f64 = field.iter().map(|v| v * v).sum();
+        checksum = p.allreduce_f64(world, ReduceOp::Sum, local);
+    }
+    checksum
+}
+
+/// Public wrappers for the two ADI flavours.
+pub fn run_bt(p: &mut Process, cfg: &NasConfig) -> f64 {
+    run_adi(p, cfg, AdiFlavor::Bt)
+}
+
+/// Scalar-pentadiagonal flavour.
+pub fn run_sp(p: &mut Process, cfg: &NasConfig) -> f64 {
+    run_adi(p, cfg, AdiFlavor::Sp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdr_core::{native_job, replicated_job, ReplicationConfig};
+    use sim_net::LogGpModel;
+
+    fn run_native_and_replicated(kernel: NasKernel) -> (Vec<f64>, Vec<f64>) {
+        let cfg = NasConfig::test_size();
+        let app = move |p: &mut Process| run_kernel(kernel, p, &cfg);
+        let native = native_job(4).network(LogGpModel::fast_test_model()).run(app);
+        let repl = replicated_job(4, ReplicationConfig::dual())
+            .network(LogGpModel::fast_test_model())
+            .run(app);
+        assert!(native.all_finished(), "{kernel:?} native run failed");
+        assert!(repl.all_finished(), "{kernel:?} replicated run failed");
+        (
+            native.primary_results().into_iter().copied().collect(),
+            repl.primary_results().into_iter().copied().collect(),
+        )
+    }
+
+    #[test]
+    fn cg_native_equals_replicated() {
+        let (a, b) = run_native_and_replicated(NasKernel::Cg);
+        assert_eq!(a, b);
+        assert!(a[0].is_finite() && a[0] > 0.0);
+    }
+
+    #[test]
+    fn mg_native_equals_replicated() {
+        let (a, b) = run_native_and_replicated(NasKernel::Mg);
+        assert_eq!(a, b);
+        assert!(a[0].is_finite());
+    }
+
+    #[test]
+    fn ft_native_equals_replicated() {
+        let (a, b) = run_native_and_replicated(NasKernel::Ft);
+        assert_eq!(a, b);
+        assert!(a[0].is_finite() && a[0] > 0.0);
+    }
+
+    #[test]
+    fn bt_native_equals_replicated() {
+        let (a, b) = run_native_and_replicated(NasKernel::Bt);
+        assert_eq!(a, b);
+        assert!(a[0].is_finite());
+    }
+
+    #[test]
+    fn sp_native_equals_replicated() {
+        let (a, b) = run_native_and_replicated(NasKernel::Sp);
+        assert_eq!(a, b);
+        assert!(a[0].is_finite());
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_on_small_input() {
+        let n = 8;
+        let input: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).sin()).collect();
+        let mut re = input.clone();
+        let mut im = vec![0.0; n];
+        fft_inplace(&mut re, &mut im);
+        for k in 0..n {
+            let mut dr = 0.0;
+            let mut di = 0.0;
+            for (j, x) in input.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                dr += x * ang.cos();
+                di += x * ang.sin();
+            }
+            assert!((re[k] - dr).abs() < 1e-9, "re[{k}]");
+            assert!((im[k] - di).abs() < 1e-9, "im[{k}]");
+        }
+    }
+
+    #[test]
+    fn cg_converges_on_laplacian() {
+        // With enough iterations the residual shrinks substantially.
+        let cfg_short = NasConfig { local_size: 64, iterations: 2, compute_ns_per_point: 1 };
+        let cfg_long = NasConfig { local_size: 64, iterations: 30, compute_ns_per_point: 1 };
+        let short = native_job(2)
+            .network(LogGpModel::fast_test_model())
+            .run(move |p| run_cg(p, &cfg_short));
+        let long = native_job(2)
+            .network(LogGpModel::fast_test_model())
+            .run(move |p| run_cg(p, &cfg_long));
+        let r_short = *short.primary_results()[0];
+        let r_long = *long.primary_results()[0];
+        assert!(r_long < r_short, "CG residual should decrease ({r_long} vs {r_short})");
+    }
+
+    #[test]
+    fn process_grid_factorisation() {
+        assert_eq!(process_grid(16), (4, 4));
+        assert_eq!(process_grid(12), (3, 4));
+        assert_eq!(process_grid(7), (1, 7));
+        assert_eq!(process_grid(1), (1, 1));
+    }
+
+    #[test]
+    fn kernel_names_match_table_order() {
+        let names: Vec<_> = NasKernel::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["BT", "CG", "FT", "MG", "SP"]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Native-vs-replicated comparison runner.
+//!
+//! The rows of the paper's Table 1 and Table 2 all have the same shape:
+//! *application, native wall-clock time, replicated wall-clock time, overhead
+//! in percent*. [`compare_protocols`] runs one workload under both
+//! configurations on the calibrated InfiniBand-20G model and produces such a
+//! row; the `sdr-bench` harness binaries print them.
+
+use sdr_core::{native_job, replicated_job, ReplicationConfig};
+use sim_mpi::{JobBuilder, Process};
+use sim_net::LogGpModel;
+use std::sync::Arc;
+
+/// A workload packaged for comparison runs.
+#[derive(Clone)]
+pub struct WorkloadSpec {
+    /// Display name (e.g. "CG", "HPCCG").
+    pub name: String,
+    /// Number of application ranks to run with.
+    pub ranks: usize,
+    /// The application body. Must be send-deterministic and return a checksum.
+    pub app: Arc<dyn Fn(&mut Process) -> f64 + Send + Sync>,
+}
+
+impl WorkloadSpec {
+    /// Package a workload.
+    pub fn new<F>(name: &str, ranks: usize, app: F) -> Self
+    where
+        F: Fn(&mut Process) -> f64 + Send + Sync + 'static,
+    {
+        WorkloadSpec {
+            name: name.to_string(),
+            ranks,
+            app: Arc::new(app),
+        }
+    }
+}
+
+/// One row of a Table-1/Table-2-style comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Workload name.
+    pub name: String,
+    /// Number of application ranks.
+    pub ranks: usize,
+    /// Replication degree used for the replicated run.
+    pub degree: usize,
+    /// Native simulated wall-clock time, seconds.
+    pub native_secs: f64,
+    /// Replicated simulated wall-clock time, seconds.
+    pub replicated_secs: f64,
+    /// Overhead in percent.
+    pub overhead_pct: f64,
+    /// Whether the native and replicated checksums agreed.
+    pub results_match: bool,
+    /// Application messages sent natively.
+    pub native_app_msgs: u64,
+    /// Application messages sent with replication.
+    pub replicated_app_msgs: u64,
+    /// Acknowledgement messages sent with replication.
+    pub replicated_ack_msgs: u64,
+}
+
+fn checksums(report: &sim_mpi::JobReport<f64>) -> Vec<f64> {
+    report.primary_results().into_iter().copied().collect()
+}
+
+/// Run `spec` natively and replicated (degree from `cfg`) and build the row.
+pub fn compare_protocols(spec: &WorkloadSpec, cfg: ReplicationConfig) -> ComparisonRow {
+    let app_native = Arc::clone(&spec.app);
+    let app_repl = Arc::clone(&spec.app);
+    let native = native_job(spec.ranks)
+        .network(LogGpModel::infiniband_20g())
+        .run(move |p| (app_native)(p));
+    let replicated = replicated_job(spec.ranks, cfg)
+        .network(LogGpModel::infiniband_20g())
+        .run(move |p| (app_repl)(p));
+    assert!(
+        native.all_finished(),
+        "{}: native run did not finish",
+        spec.name
+    );
+    assert!(
+        replicated.all_finished(),
+        "{}: replicated run did not finish",
+        spec.name
+    );
+    let native_secs = native.elapsed.as_secs_f64();
+    let replicated_secs = replicated.elapsed.as_secs_f64();
+    ComparisonRow {
+        name: spec.name.clone(),
+        ranks: spec.ranks,
+        degree: cfg.degree,
+        native_secs,
+        replicated_secs,
+        overhead_pct: (replicated_secs - native_secs) / native_secs * 100.0,
+        results_match: checksums(&native) == checksums(&replicated),
+        native_app_msgs: native.stats.app_msgs(),
+        replicated_app_msgs: replicated.stats.app_msgs(),
+        replicated_ack_msgs: replicated.stats.ack_msgs(),
+    }
+}
+
+/// Run a workload under an arbitrary protocol factory (used by the ablation
+/// harnesses to compare SDR-MPI with the mirror and leader-based baselines).
+pub fn run_with_builder(spec: &WorkloadSpec, builder: JobBuilder) -> sim_mpi::JobReport<f64> {
+    let app = Arc::clone(&spec.app);
+    builder.run(move |p| (app)(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nas::{run_kernel, NasConfig, NasKernel};
+
+    #[test]
+    fn comparison_row_for_cg_is_sane() {
+        let cfg = NasConfig::test_size();
+        let spec = WorkloadSpec::new("CG", 4, move |p| run_kernel(NasKernel::Cg, p, &cfg));
+        let row = compare_protocols(&spec, ReplicationConfig::dual());
+        assert!(row.results_match, "native and replicated checksums must agree");
+        assert!(row.native_secs > 0.0);
+        assert!(row.replicated_secs > 0.0);
+        assert_eq!(row.replicated_app_msgs, row.native_app_msgs * 2);
+        assert!(row.replicated_ack_msgs > 0);
+        assert!(
+            row.overhead_pct > -2.0 && row.overhead_pct < 50.0,
+            "unexpected overhead {}% for a small test problem",
+            row.overhead_pct
+        );
+    }
+
+    #[test]
+    fn class_d_like_cg_overhead_below_five_percent() {
+        // The Table 1 claim, at reduced scale: with class-D-like compute
+        // density the SDR-MPI overhead stays below 5%.
+        let cfg = NasConfig::class_d_like();
+        let spec = WorkloadSpec::new("CG", 8, move |p| run_kernel(NasKernel::Cg, p, &cfg));
+        let row = compare_protocols(&spec, ReplicationConfig::dual());
+        assert!(row.results_match);
+        assert!(
+            row.overhead_pct < 5.0,
+            "CG overhead {}% exceeds the paper's 5% bound",
+            row.overhead_pct
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate for the SDR-MPI reproduction.
+//!
+//! This crate only re-exports the workspace members so that the repository's
+//! top-level `examples/` and `tests/` can use a single dependency. See the
+//! README for the layout and `DESIGN.md` for the architecture.
+
+pub use repl_baselines;
+pub use sdr_core;
+pub use sim_mpi;
+pub use sim_net;
+pub use workloads;

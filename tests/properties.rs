@@ -1,0 +1,137 @@
+//! Property-based tests (proptest) over the core data structures and protocol
+//! invariants.
+
+use proptest::prelude::*;
+use sdr_core::SeqTracker;
+use sim_mpi::comm::derive_comm_id;
+use sim_mpi::matching::{IncomingMsg, MatchingEngine, PmlReqId, PostedRecv};
+use sim_mpi::{CommId, Group, TagSel};
+use sim_net::{EndpointId, SimTime};
+
+proptest! {
+    /// A SeqTracker accepts every sequence number exactly once, in any order.
+    #[test]
+    fn seq_tracker_accepts_each_seq_exactly_once(mut seqs in proptest::collection::vec(0u64..64, 1..80)) {
+        let mut tracker = SeqTracker::default();
+        let mut first_seen = std::collections::HashSet::new();
+        for &s in &seqs {
+            let fresh = tracker.record(s);
+            prop_assert_eq!(fresh, first_seen.insert(s));
+        }
+        // Afterwards, everything delivered is flagged as seen.
+        seqs.sort();
+        for s in seqs {
+            prop_assert!(tracker.seen(s));
+        }
+    }
+
+    /// SimTime addition/subtraction never wraps and max/min are consistent.
+    #[test]
+    fn simtime_arithmetic_is_sane(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let ta = SimTime::from_nanos(a);
+        let tb = SimTime::from_nanos(b);
+        prop_assert_eq!((ta + tb).as_nanos(), a + b);
+        prop_assert_eq!((ta - tb).as_nanos(), a.saturating_sub(b));
+        prop_assert_eq!(ta.max(tb).as_nanos(), a.max(b));
+        prop_assert_eq!(ta.min(tb).as_nanos(), a.min(b));
+    }
+
+    /// Group incl/excl partition the group; rank translation round-trips.
+    #[test]
+    fn group_incl_excl_partition(n in 1usize..24, picks in proptest::collection::btree_set(0usize..24, 0..12)) {
+        let picks: Vec<usize> = picks.into_iter().filter(|&p| p < n).collect();
+        let world = Group::world(n);
+        let incl = world.incl(&picks);
+        let excl = world.excl(&picks);
+        prop_assert_eq!(incl.size() + excl.size(), n);
+        for (i, &p) in picks.iter().enumerate() {
+            prop_assert_eq!(incl.world_rank(i), p);
+            prop_assert!(!excl.contains(p));
+        }
+        // union of the two parts gives back all world ranks.
+        let union = incl.union(&excl);
+        prop_assert_eq!(union.size(), n);
+        for r in 0..n {
+            prop_assert!(union.contains(r));
+        }
+    }
+
+    /// Communicator context derivation: same inputs agree, and the reserved
+    /// ids are never produced.
+    #[test]
+    fn derived_comm_ids_consistent_and_never_reserved(parent in 0u64..1_000, idx in 0u64..1_000, color in -4i64..16) {
+        let a = derive_comm_id(CommId(parent), idx, color);
+        let b = derive_comm_id(CommId(parent), idx, color);
+        prop_assert_eq!(a, b);
+        prop_assert_ne!(a, CommId::WORLD);
+        prop_assert_ne!(a, CommId::INTERNAL);
+    }
+
+    /// The matching engine delivers every message exactly once when enough
+    /// wildcard receives are posted, regardless of arrival/post interleaving.
+    #[test]
+    fn matching_engine_delivers_each_message_once(
+        order in proptest::collection::vec(any::<bool>(), 1..60),
+    ) {
+        let mut engine = MatchingEngine::new();
+        let mut next_msg = 0u64;
+        let mut next_req = 0u64;
+        let mut delivered = Vec::new();
+        for post_first in order {
+            if post_first {
+                let maybe = engine.post_recv(PostedRecv {
+                    req: PmlReqId(next_req),
+                    src: None,
+                    comm: CommId::WORLD,
+                    tag: TagSel::Any,
+                });
+                next_req += 1;
+                if let Some(d) = maybe {
+                    delivered.push(d.msg.seq);
+                }
+            } else {
+                let maybe = engine.incoming(IncomingMsg {
+                    src: EndpointId((next_msg % 3) as usize),
+                    comm: CommId::WORLD,
+                    tag: 1,
+                    seq: next_msg,
+                    aux: 0,
+                    payload: bytes::Bytes::new(),
+                    arrival: SimTime::from_nanos(next_msg),
+                });
+                next_msg += 1;
+                if let Some((_, m)) = maybe {
+                    delivered.push(m.seq);
+                }
+            }
+        }
+        // Flush: post enough wildcard receives to drain the unexpected queue.
+        while engine.unexpected_len() > 0 {
+            if let Some(d) = engine.post_recv(PostedRecv {
+                req: PmlReqId(next_req),
+                src: None,
+                comm: CommId::WORLD,
+                tag: TagSel::Any,
+            }) {
+                delivered.push(d.msg.seq);
+            }
+            next_req += 1;
+        }
+        delivered.sort();
+        delivered.dedup();
+        prop_assert_eq!(delivered.len() as u64, next_msg, "each message delivered exactly once");
+    }
+
+    /// Replica layout: endpoint/locate round-trip for arbitrary shapes.
+    #[test]
+    fn replica_layout_roundtrip(ranks in 1usize..64, degree in 1usize..5) {
+        let layout = sdr_core::ReplicaLayout::new(ranks, degree);
+        for rank in 0..ranks {
+            for rep in 0..degree {
+                let e = layout.endpoint(rank, rep);
+                prop_assert_eq!(layout.locate(e), (rank, rep));
+            }
+        }
+        prop_assert_eq!(layout.physical_processes(), ranks * degree);
+    }
+}

@@ -1,0 +1,128 @@
+//! Scripted reproduction of Figure 4: recovery of the failed replica p¹₁
+//! under dual replication.
+//!
+//! The script drives the PML and SDR-MPI protocol instances of the four
+//! physical processes directly (single-threaded), which makes the message
+//! interleaving around the fork/notification explicit — exactly the scenario
+//! drawn in the paper:
+//!
+//! 1. p¹₁ fails; p⁰₁ becomes its substitute.
+//! 2. Rank 0 keeps sending to rank 1. Message seq 0 is received and
+//!    acknowledged by the substitute *before* the fork, so it is part of the
+//!    forked state; message seq 1 is still unacknowledged at fork time.
+//! 3. The substitute forks the new p¹₁ from its state and broadcasts the
+//!    recovery notification.
+//! 4. Relying on FIFO channels, p¹₀ re-sends exactly the messages not yet
+//!    acknowledged by the substitute (seq 1) to the new replica, and
+//!    acknowledgements toward p¹₁ resume for messages received afterwards.
+
+use bytes::Bytes;
+use sdr_core::{RecoveryCoordinator, ReplicaLayout, ReplicationConfig, SdrProtocol};
+use sim_mpi::pml::Pml;
+use sim_mpi::{CommId, Protocol, TagSel};
+use sim_net::{Cluster, EndpointId, Fabric, LogGpModel, Placement, SimTime};
+
+fn pump(pml: &mut Pml, proto: &mut SdrProtocol) {
+    loop {
+        let events = pml.progress();
+        if events.is_empty() {
+            return;
+        }
+        for ev in events {
+            proto.handle_event(pml, ev);
+        }
+    }
+}
+
+#[test]
+fn figure4_recovery_of_p11() {
+    let ranks = 2;
+    let cfg = ReplicationConfig::dual();
+    let layout = ReplicaLayout::new(ranks, cfg.degree);
+    let fabric = Fabric::new(
+        4,
+        LogGpModel::fast_test_model(),
+        Cluster::new(4, 1),
+        Placement::ReplicaSets { ranks, degree: 2 },
+    );
+    // Physical ids: 0 = p⁰₀, 1 = p⁰₁, 2 = p¹₀, 3 = p¹₁ (failed, recovered later).
+    let mut pml0 = Pml::new(fabric.endpoint(EndpointId(0)));
+    let mut pml1 = Pml::new(fabric.endpoint(EndpointId(1)));
+    let mut pml2 = Pml::new(fabric.endpoint(EndpointId(2)));
+    let mut p00 = SdrProtocol::new(EndpointId(0), ranks, cfg);
+    let mut p01 = SdrProtocol::new(EndpointId(1), ranks, cfg);
+    let mut p10 = SdrProtocol::new(EndpointId(2), ranks, cfg);
+
+    // --- step 1: p¹₁ fails, everyone learns about it -----------------------
+    fabric.failure().record_failure(EndpointId(3), SimTime::ZERO);
+    pump(&mut pml0, &mut p00);
+    pump(&mut pml1, &mut p01);
+    pump(&mut pml2, &mut p10);
+
+    let payload = |seq: u8| Bytes::from(vec![seq; 16]);
+
+    // --- step 2: rank 0 sends seq 0 (acked before the fork) ----------------
+    let r01_0 = p01.irecv(&mut pml1, Some(0), CommId::WORLD, TagSel::Tag(5));
+    let s00_0 = p00.isend(&mut pml0, 1, CommId::WORLD, 5, payload(0));
+    let s10_0 = p10.isend(&mut pml2, 1, CommId::WORLD, 5, payload(0));
+    pump(&mut pml1, &mut p01); // substitute receives seq 0 and acks p¹₀
+    assert!(p01.recv_complete(&mut pml1, r01_0));
+    pump(&mut pml2, &mut p10); // p¹₀ collects the ack
+    assert!(p10.send_complete(&mut pml2, s10_0));
+    pump(&mut pml0, &mut p00);
+    assert!(p00.send_complete(&mut pml0, s00_0));
+
+    // --- step 3: rank 0 sends seq 1, NOT yet received by the substitute ----
+    let s00_1 = p00.isend(&mut pml0, 1, CommId::WORLD, 5, payload(1));
+    let s10_1 = p10.isend(&mut pml2, 1, CommId::WORLD, 5, payload(1));
+    assert!(!p10.send_complete(&mut pml2, s10_1), "no ack yet: substitute has not received seq 1");
+
+    // --- step 4: the substitute forks the new replica and notifies ---------
+    let coordinator = RecoveryCoordinator::new(layout);
+    let snapshot = coordinator.fork_snapshot(&p01);
+    assert_eq!(snapshot.rank, 1);
+    let outcome = coordinator.broadcast_notification(&mut pml1, &p01, EndpointId(3));
+    assert_eq!(outcome.notified, 2, "p⁰₀ and p¹₀ are notified");
+    let mut pml3 = Pml::new(fabric.endpoint(EndpointId(3)));
+    let mut p11 = coordinator.restore(EndpointId(3), &snapshot, cfg);
+    // The forked state already contains seq 0 from rank 0, but not seq 1.
+    assert!(p11.has_delivered(0, 0));
+    assert!(!p11.has_delivered(0, 1));
+
+    // --- step 5: notification handling --------------------------------------
+    pump(&mut pml0, &mut p00); // liveness update only
+    let resends_before = p10.counters().resends;
+    pump(&mut pml2, &mut p10); // p¹₀ replays seq 1 to the new replica
+    assert_eq!(p10.counters().resends, resends_before + 1, "exactly the unacknowledged message is replayed");
+
+    // --- step 6: the recovered replica receives the replayed message -------
+    let r11_1 = p11.irecv(&mut pml3, Some(0), CommId::WORLD, TagSel::Tag(5));
+    pump(&mut pml3, &mut p11);
+    assert!(p11.recv_complete(&mut pml3, r11_1));
+    let (status, data) = p11.take_recv(&mut pml3, r11_1).unwrap();
+    assert_eq!(status.source, 0);
+    assert_eq!(&data[..], &payload(1)[..], "the recovered replica gets seq 1, not a duplicate of seq 0");
+
+    // The substitute eventually receives its own copy of seq 1 and acks p¹₀.
+    let r01_1 = p01.irecv(&mut pml1, Some(0), CommId::WORLD, TagSel::Tag(5));
+    pump(&mut pml1, &mut p01);
+    assert!(p01.recv_complete(&mut pml1, r01_1));
+    pump(&mut pml2, &mut p10);
+    assert!(p10.send_complete(&mut pml2, s10_1));
+    pump(&mut pml0, &mut p00);
+    assert!(p00.send_complete(&mut pml0, s00_1));
+
+    // --- step 7: normal parallel operation resumes, acks flow to p¹₁ -------
+    let s00_2 = p00.isend(&mut pml0, 1, CommId::WORLD, 5, payload(2));
+    let s10_2 = p10.isend(&mut pml2, 1, CommId::WORLD, 5, payload(2));
+    let r11_2 = p11.irecv(&mut pml3, Some(0), CommId::WORLD, TagSel::Tag(5));
+    let r01_2 = p01.irecv(&mut pml1, Some(0), CommId::WORLD, TagSel::Tag(5));
+    pump(&mut pml3, &mut p11); // p¹₁ receives from p¹₀ again and acks p⁰₀
+    pump(&mut pml1, &mut p01); // p⁰₁ receives from p⁰₀ and acks p¹₀
+    assert!(p11.recv_complete(&mut pml3, r11_2));
+    assert!(p01.recv_complete(&mut pml1, r01_2));
+    pump(&mut pml0, &mut p00);
+    pump(&mut pml2, &mut p10);
+    assert!(p00.send_complete(&mut pml0, s00_2), "ack from the recovered replica completes p⁰₀'s send");
+    assert!(p10.send_complete(&mut pml2, s10_2));
+}

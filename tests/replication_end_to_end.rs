@@ -1,0 +1,109 @@
+//! Cross-crate integration tests: the full stack (sim-net fabric, sim-mpi
+//! runtime, SDR-MPI protocol, workloads) exercised end to end.
+
+use sdr_core::{native_job, replicated_job, ReplicationConfig};
+use sim_mpi::{Process, ReduceOp, ANY_SOURCE};
+use sim_net::{CrashSchedule, EndpointId, LogGpModel, SimTime};
+use workloads::apps::{run_hpccg, AppConfig};
+use workloads::nas::{run_kernel, NasConfig, NasKernel};
+
+fn fast() -> LogGpModel {
+    LogGpModel::fast_test_model()
+}
+
+#[test]
+fn all_nas_kernels_match_native_under_replication() {
+    let cfg = NasConfig::test_size();
+    for kernel in NasKernel::all() {
+        let app = move |p: &mut Process| run_kernel(kernel, p, &cfg);
+        let native = native_job(4).network(fast()).run(app);
+        let repl = replicated_job(4, ReplicationConfig::dual()).network(fast()).run(app);
+        assert!(native.all_finished() && repl.all_finished(), "{kernel:?}");
+        assert_eq!(
+            native.primary_results(),
+            repl.primary_results(),
+            "{kernel:?} diverged under replication"
+        );
+    }
+}
+
+#[test]
+fn collectives_and_any_source_under_degree_three() {
+    let cfg = ReplicationConfig::with_degree(3);
+    let report = replicated_job(4, cfg).network(fast()).run(|p| {
+        let world = p.world();
+        if p.rank() == 0 {
+            let mut total = 0.0;
+            for _ in 0..3 {
+                let (_, v) = p.recv_f64s(world, ANY_SOURCE, 9);
+                total += v[0];
+            }
+            p.allreduce_f64(world, ReduceOp::Sum, total)
+        } else {
+            p.send_f64s(world, 0, 9, &[p.rank() as f64]);
+            p.allreduce_f64(world, ReduceOp::Sum, 0.0)
+        }
+    });
+    assert!(report.all_finished());
+    for proc in &report.processes {
+        assert_eq!(proc.outcome.result(), Some(&6.0));
+    }
+}
+
+#[test]
+fn overheads_stay_small_for_compute_bound_hpccg() {
+    let cfg = AppConfig::hpccg_paper_like();
+    let app = move |p: &mut Process| run_hpccg(p, &cfg);
+    let native = native_job(8).network(LogGpModel::infiniband_20g()).run(app);
+    let repl = replicated_job(8, ReplicationConfig::dual())
+        .network(LogGpModel::infiniband_20g())
+        .run(app);
+    assert!(native.all_finished() && repl.all_finished());
+    assert_eq!(native.primary_results(), repl.primary_results());
+    let overhead = (repl.elapsed.as_secs_f64() - native.elapsed.as_secs_f64())
+        / native.elapsed.as_secs_f64();
+    assert!(
+        overhead < 0.05,
+        "HPCCG replication overhead {:.2}% exceeds the paper's 5% bound",
+        overhead * 100.0
+    );
+}
+
+#[test]
+fn crash_during_collective_heavy_run_is_survived() {
+    let report = replicated_job(4, ReplicationConfig::dual())
+        .network(fast())
+        .crash(EndpointId(5), CrashSchedule::AfterSend { nth: 10 })
+        .run(|p| {
+            let world = p.world();
+            let mut acc = 0.0;
+            for i in 0..8 {
+                p.compute(SimTime::from_micros(20));
+                acc += p.allreduce_f64(world, ReduceOp::Sum, (p.rank() + i) as f64);
+            }
+            acc
+        });
+    assert_eq!(report.crashed(), vec![EndpointId(5)]);
+    // Every primary-replica process finishes with the correct result.
+    let expected: f64 = (0..8).map(|i| (0 + i) + (1 + i) + (2 + i) + (3 + i)).sum::<usize>() as f64;
+    for proc in report.processes.iter().filter(|p| p.primary) {
+        assert!(proc.outcome.is_finished());
+        assert_eq!(proc.outcome.result(), Some(&expected));
+    }
+}
+
+#[test]
+fn wall_clock_doubles_resources_not_time() {
+    // The paper's headline: dual replication uses twice the resources but the
+    // wall-clock time stays close to native.
+    let cfg = NasConfig::class_d_like();
+    let app = move |p: &mut Process| run_kernel(NasKernel::Mg, p, &cfg);
+    let native = native_job(8).network(LogGpModel::infiniband_20g()).run(app);
+    let repl = replicated_job(8, ReplicationConfig::dual())
+        .network(LogGpModel::infiniband_20g())
+        .run(app);
+    assert_eq!(repl.processes.len(), 2 * native.processes.len());
+    let overhead = (repl.elapsed.as_secs_f64() - native.elapsed.as_secs_f64())
+        / native.elapsed.as_secs_f64();
+    assert!(overhead < 0.05, "MG overhead {:.2}%", overhead * 100.0);
+}
