@@ -19,7 +19,9 @@ fn allreduce_job(replicated: bool) -> f64 {
             .network(LogGpModel::fast_test_model())
             .run(app)
     } else {
-        native_job(8).network(LogGpModel::fast_test_model()).run(app)
+        native_job(8)
+            .network(LogGpModel::fast_test_model())
+            .run(app)
     };
     *report.primary_results()[0]
 }
@@ -27,7 +29,9 @@ fn allreduce_job(replicated: bool) -> f64 {
 fn bench_collectives(c: &mut Criterion) {
     let mut group = c.benchmark_group("collectives");
     group.sample_size(10);
-    group.bench_function("allreduce_8ranks_native", |b| b.iter(|| allreduce_job(false)));
+    group.bench_function("allreduce_8ranks_native", |b| {
+        b.iter(|| allreduce_job(false))
+    });
     group.bench_function("allreduce_8ranks_sdr", |b| b.iter(|| allreduce_job(true)));
     group.finish();
 }

@@ -13,7 +13,9 @@ fn run(kernel: NasKernel, replicated: bool) -> f64 {
             .network(LogGpModel::fast_test_model())
             .run(app)
     } else {
-        native_job(4).network(LogGpModel::fast_test_model()).run(app)
+        native_job(4)
+            .network(LogGpModel::fast_test_model())
+            .run(app)
     };
     *report.primary_results()[0]
 }

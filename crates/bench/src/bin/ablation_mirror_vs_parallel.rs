@@ -4,8 +4,17 @@ fn main() {
     for degree in [2usize, 3] {
         let row = sdr_bench::mirror_vs_parallel(8, degree, 20);
         println!("replication degree {degree}:");
-        println!("  native application messages      : {}", row.native_app_msgs);
-        println!("  parallel protocol (SDR-MPI)      : {} app msgs + {} acks, {:.6} s", row.parallel_app_msgs, row.parallel_ack_msgs, row.parallel_secs);
-        println!("  mirror protocol (MR-MPI style)   : {} app msgs, {:.6} s", row.mirror_app_msgs, row.mirror_secs);
+        println!(
+            "  native application messages      : {}",
+            row.native_app_msgs
+        );
+        println!(
+            "  parallel protocol (SDR-MPI)      : {} app msgs + {} acks, {:.6} s",
+            row.parallel_app_msgs, row.parallel_ack_msgs, row.parallel_secs
+        );
+        println!(
+            "  mirror protocol (MR-MPI style)   : {} app msgs, {:.6} s",
+            row.mirror_app_msgs, row.mirror_secs
+        );
     }
 }

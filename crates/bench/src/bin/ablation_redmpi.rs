@@ -7,6 +7,9 @@ fn main() {
         println!("  hash messages   : {}", row.hash_msgs);
         println!("  comparisons     : {}", row.comparisons);
         println!("  detections      : {}", row.detections);
-        println!("  redMPI elapsed  : {:.6} s   (SDR-MPI same workload: {:.6} s)", row.redmpi_secs, row.sdr_secs);
+        println!(
+            "  redMPI elapsed  : {:.6} s   (SDR-MPI same workload: {:.6} s)",
+            row.redmpi_secs, row.sdr_secs
+        );
     }
 }

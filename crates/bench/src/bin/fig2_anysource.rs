@@ -2,8 +2,20 @@
 //! leader-based protocol vs by SDR-MPI (send-determinism, no leader).
 fn main() {
     let row = sdr_bench::fig2_comparison(200);
-    println!("Figure 2: anonymous reception request/reply loop ({} rounds)", row.rounds);
-    println!("  leader-based parallel protocol : {:>10.6} s ({} decision messages)", row.leader_secs, row.decision_msgs);
-    println!("  SDR-MPI (send-deterministic)   : {:>10.6} s (0 decision messages)", row.sdr_secs);
-    println!("  improvement from send-determinism: {:.1}%", row.improvement_pct);
+    println!(
+        "Figure 2: anonymous reception request/reply loop ({} rounds)",
+        row.rounds
+    );
+    println!(
+        "  leader-based parallel protocol : {:>10.6} s ({} decision messages)",
+        row.leader_secs, row.decision_msgs
+    );
+    println!(
+        "  SDR-MPI (send-deterministic)   : {:>10.6} s (0 decision messages)",
+        row.sdr_secs
+    );
+    println!(
+        "  improvement from send-determinism: {:.1}%",
+        row.improvement_pct
+    );
 }

@@ -1,7 +1,10 @@
 //! Regenerates Table 1: NAS-like kernels (BT, CG, FT, MG, SP), native vs SDR-MPI.
 use workloads::nas::NasConfig;
 fn main() {
-    let ranks = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let ranks = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
     let rows = sdr_bench::table1_rows(ranks, NasConfig::class_d_like());
     print!(
         "{}",

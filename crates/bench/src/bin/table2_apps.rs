@@ -1,6 +1,9 @@
 //! Regenerates Table 2: HPCCG and CM1 (applications with MPI_ANY_SOURCE).
 fn main() {
-    let ranks = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let ranks = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
     let rows = sdr_bench::table2_rows(ranks);
     print!(
         "{}",

@@ -52,8 +52,7 @@ pub fn fig7_series(sizes: &[usize], reps: usize) -> Vec<Fig7Row> {
                 reps,
             );
             let sdr = netpipe::measure(
-                replicated_job(2, ReplicationConfig::dual())
-                    .network(LogGpModel::infiniband_20g()),
+                replicated_job(2, ReplicationConfig::dual()).network(LogGpModel::infiniband_20g()),
                 size,
                 reps,
             );
@@ -82,9 +81,8 @@ pub fn table1_rows(ranks: usize, cfg: NasConfig) -> Vec<ComparisonRow> {
     NasKernel::all()
         .iter()
         .map(|&kernel| {
-            let spec = WorkloadSpec::new(kernel.name(), ranks, move |p| {
-                run_kernel(kernel, p, &cfg)
-            });
+            let spec =
+                WorkloadSpec::new(kernel.name(), ranks, move |p| run_kernel(kernel, p, &cfg));
             compare_protocols(&spec, ReplicationConfig::dual())
         })
         .collect()
@@ -123,7 +121,9 @@ pub struct Fig2Row {
     pub improvement_pct: f64,
 }
 
-fn anon_reception_app(rounds: usize) -> impl Fn(&mut sim_mpi::Process) -> f64 + Send + Sync + Clone {
+fn anon_reception_app(
+    rounds: usize,
+) -> impl Fn(&mut sim_mpi::Process) -> f64 + Send + Sync + Clone {
     move |p: &mut sim_mpi::Process| {
         let world = p.world();
         if p.rank() == 0 {
@@ -151,7 +151,10 @@ pub fn fig2_comparison(rounds: usize) -> Fig2Row {
         .network(LogGpModel::infiniband_20g())
         .protocol(Arc::new(LeaderFactory::new(cfg)))
         .cluster(Cluster::new(4, 1))
-        .placement(Placement::ReplicaSets { ranks: 2, degree: 2 })
+        .placement(Placement::ReplicaSets {
+            ranks: 2,
+            degree: 2,
+        })
         .run(app.clone());
     let sdr = replicated_job(2, cfg)
         .network(LogGpModel::infiniband_20g())
@@ -206,7 +209,9 @@ pub fn mirror_vs_parallel(ranks: usize, degree: usize, iterations: usize) -> Mir
         }
         p.now().as_secs_f64()
     };
-    let native = native_job(ranks).network(LogGpModel::infiniband_20g()).run(app);
+    let native = native_job(ranks)
+        .network(LogGpModel::infiniband_20g())
+        .run(app);
     let parallel = replicated_job(ranks, ReplicationConfig::with_degree(degree))
         .network(LogGpModel::infiniband_20g())
         .run(app);
@@ -309,7 +314,11 @@ pub fn format_comparison_table(title: &str, rows: &[ComparisonRow]) -> String {
             row.native_secs,
             row.replicated_secs,
             row.overhead_pct,
-            if row.results_match { "match" } else { "MISMATCH" }
+            if row.results_match {
+                "match"
+            } else {
+                "MISMATCH"
+            }
         ));
     }
     out
@@ -321,7 +330,13 @@ pub fn format_fig7(rows: &[Fig7Row]) -> String {
     out.push_str("Figure 7: NetPipe latency / throughput, Open MPI (native) vs SDR-MPI\n");
     out.push_str(&format!(
         "{:>10} {:>15} {:>13} {:>9} {:>16} {:>13} {:>9}\n",
-        "size(B)", "lat native(us)", "lat SDR(us)", "decr(%)", "bw native(Mb/s)", "bw SDR(Mb/s)", "decr(%)"
+        "size(B)",
+        "lat native(us)",
+        "lat SDR(us)",
+        "decr(%)",
+        "bw native(Mb/s)",
+        "bw SDR(Mb/s)",
+        "decr(%)"
     ));
     for r in rows {
         out.push_str(&format!(

@@ -134,7 +134,15 @@ mod tests {
                 let world = p.world();
                 p.barrier(world);
                 let sum = p.allreduce_f64(world, ReduceOp::Sum, (p.rank() + 1) as f64);
-                let bcast = p.bcast_f64s(world, 1, if p.rank() == 1 { Some(&[2.5][..]) } else { None });
+                let bcast = p.bcast_f64s(
+                    world,
+                    1,
+                    if p.rank() == 1 {
+                        Some(&[2.5][..])
+                    } else {
+                        None
+                    },
+                );
                 let gathered = p.gather_bytes(world, 0, Bytes::from(vec![p.rank() as u8]));
                 let gathered_ok = match gathered {
                     Some(blocks) => blocks.iter().enumerate().all(|(i, b)| b[0] as usize == i),

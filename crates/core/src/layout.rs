@@ -62,7 +62,9 @@ impl ReplicaLayout {
 
     /// All physical processes playing `rank`, in replica-id order.
     pub fn replicas_of_rank(&self, rank: Rank) -> Vec<EndpointId> {
-        (0..self.degree).map(|rep| self.endpoint(rank, rep)).collect()
+        (0..self.degree)
+            .map(|rep| self.endpoint(rank, rep))
+            .collect()
     }
 
     /// All physical processes in replica set `replica`, in rank order.
@@ -100,10 +102,7 @@ mod tests {
             l.replica_set(1),
             vec![EndpointId(3), EndpointId(4), EndpointId(5)]
         );
-        assert_eq!(
-            l.replicas_of_rank(1),
-            vec![EndpointId(1), EndpointId(4)]
-        );
+        assert_eq!(l.replicas_of_rank(1), vec![EndpointId(1), EndpointId(4)]);
     }
 
     #[test]

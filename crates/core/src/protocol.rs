@@ -22,9 +22,7 @@ use crate::config::{AckOn, ReplicationConfig};
 use crate::layout::ReplicaLayout;
 use bytes::Bytes;
 use sim_mpi::pml::{MsgMeta, Pml, PmlEvent};
-use sim_mpi::{
-    CommId, PmlReqId, Protocol, ProtoRecvReq, ProtoSendReq, Rank, Status, Tag, TagSel,
-};
+use sim_mpi::{CommId, PmlReqId, ProtoRecvReq, ProtoSendReq, Protocol, Rank, Status, Tag, TagSel};
 use sim_net::stats::class;
 use sim_net::{EndpointId, FailureEvent, SimTime};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -326,9 +324,7 @@ impl SdrProtocol {
             self.pml_to_recv.remove(&pml_req);
             let (new_pml_req, _) = {
                 let entry = self.recvs.get(&proto_id).expect("recv entry exists");
-                let src = entry
-                    .src_rank
-                    .map(|r| self.physical_src[r]);
+                let src = entry.src_rank.map(|r| self.physical_src[r]);
                 (pml.irecv(src, entry.comm, entry.tag), ())
             };
             let entry = self.recvs.get_mut(&proto_id).expect("recv entry exists");
@@ -564,7 +560,10 @@ impl Protocol for SdrProtocol {
         tag: Tag,
         payload: Bytes,
     ) -> ProtoSendReq {
-        assert!(dst < self.layout.ranks, "destination rank {dst} out of range");
+        assert!(
+            dst < self.layout.ranks,
+            "destination rank {dst} out of range"
+        );
         let seq = self.send_seq[dst];
         self.send_seq[dst] += 1;
 
@@ -667,7 +666,9 @@ impl Protocol for SdrProtocol {
         self.pml_to_recv.remove(&entry.pml_req);
         let (meta, payload) = pml.take_recv(entry.pml_req)?;
         if !entry.post_arrival_cost.is_zero() {
-            pml.endpoint_mut().clock_mut().charge_comm(entry.post_arrival_cost);
+            pml.endpoint_mut()
+                .clock_mut()
+                .charge_comm(entry.post_arrival_cost);
         }
         if let Some((src_rank, src_replica, seq, arrival)) = entry.deferred_ack {
             // AppWait ablation: acknowledge only now that the application has
@@ -689,7 +690,9 @@ impl Protocol for SdrProtocol {
         if let Some(entry) = self.sends.remove(&req.0) {
             // The application-level send completion (return from MPI_Wait)
             // happens no earlier than the last acknowledgement it waited for.
-            pml.endpoint_mut().clock_mut().sync_to(entry.completion_floor);
+            pml.endpoint_mut()
+                .clock_mut()
+                .sync_to(entry.completion_floor);
             for r in entry.pml_reqs {
                 pml.free(r);
             }
@@ -699,7 +702,13 @@ impl Protocol for SdrProtocol {
     fn handle_event(&mut self, pml: &mut Pml, ev: PmlEvent) {
         match ev {
             PmlEvent::RecvCompleted { req, meta } => self.handle_recv_complete(pml, req, meta),
-            PmlEvent::Control { src, class: cls, header, arrival, .. } => {
+            PmlEvent::Control {
+                src,
+                class: cls,
+                header,
+                arrival,
+                ..
+            } => {
                 if cls == class::ACK && header[0] == ctl::ACK {
                     let sender_rank = header[1] as usize;
                     debug_assert_eq!(sender_rank, self.my_rank, "ack routed to the wrong rank");
@@ -717,11 +726,7 @@ impl Protocol for SdrProtocol {
     }
 
     fn describe_pending(&self) -> String {
-        let waiting_acks: usize = self
-            .sends
-            .values()
-            .filter(|e| !e.fully_acked())
-            .count();
+        let waiting_acks: usize = self.sends.values().filter(|e| !e.fully_acked()).count();
         format!(
             "SDR-MPI rank {} replica {}: {} sends awaiting acks, {} receives outstanding",
             self.my_rank,

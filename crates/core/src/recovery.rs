@@ -143,7 +143,10 @@ impl RecoveryCoordinator {
         // The fabric-level failure service forgets the failure so the
         // recovered identity can act again.
         pml.endpoint().fabric().failure().mark_recovered(recovered);
-        RecoveryOutcome { recovered, notified }
+        RecoveryOutcome {
+            recovered,
+            notified,
+        }
     }
 
     /// The replica layout.
@@ -207,11 +210,8 @@ mod tests {
         let layout = ReplicaLayout::new(4, 2);
         let coord = RecoveryCoordinator::new(layout);
         for rank in 0..4 {
-            let substitute = SdrProtocol::new(
-                layout.endpoint(rank, 0),
-                4,
-                ReplicationConfig::dual(),
-            );
+            let substitute =
+                SdrProtocol::new(layout.endpoint(rank, 0), 4, ReplicationConfig::dual());
             let snap = coord.fork_snapshot(&substitute);
             assert_eq!(snap.rank, app_rank_of(&substitute));
         }

@@ -24,7 +24,9 @@
 use bytes::Bytes;
 use sdr_core::{ReplicationConfig, SdrProtocol};
 use sim_mpi::pml::{Pml, PmlEvent};
-use sim_mpi::{CommId, Protocol, ProtocolFactory, ProtoRecvReq, ProtoSendReq, Rank, Status, Tag, TagSel};
+use sim_mpi::{
+    CommId, ProtoRecvReq, ProtoSendReq, Protocol, ProtocolFactory, Rank, Status, Tag, TagSel,
+};
 use sim_net::stats::class;
 use sim_net::{EndpointId, SimTime};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -151,7 +153,10 @@ impl Protocol for LeaderParallelProtocol {
                 self.next_req += 1;
                 let state = if self.is_leader() {
                     let inner = self.inner.irecv(pml, None, comm, tag);
-                    AnonState::LeaderPosted { inner, decided: false }
+                    AnonState::LeaderPosted {
+                        inner,
+                        decided: false,
+                    }
                 } else if let Some((src_rank, floor)) = self.early_decisions.remove(&seq) {
                     let inner = self.inner.irecv(pml, Some(src_rank), comm, tag);
                     AnonState::Posted { inner, floor }
@@ -218,7 +223,13 @@ impl Protocol for LeaderParallelProtocol {
     }
 
     fn handle_event(&mut self, pml: &mut Pml, ev: PmlEvent) {
-        if let PmlEvent::Control { class: cls, header, arrival, .. } = &ev {
+        if let PmlEvent::Control {
+            class: cls,
+            header,
+            arrival,
+            ..
+        } = &ev
+        {
             if *cls == class::CONTROL && header[0] == DECISION_KIND {
                 let seq = header[1] as u64;
                 let src_rank = header[2] as usize;
@@ -233,7 +244,13 @@ impl Protocol for LeaderParallelProtocol {
                     posted = Some(inner);
                 }
                 if let Some(inner) = posted {
-                    self.anon.insert(seq, AnonState::Posted { inner, floor: arrival });
+                    self.anon.insert(
+                        seq,
+                        AnonState::Posted {
+                            inner,
+                            floor: arrival,
+                        },
+                    );
                 } else if !self.anon.contains_key(&seq) {
                     self.early_decisions.insert(seq, (src_rank, arrival));
                 }
@@ -265,7 +282,9 @@ pub struct LeaderFactory {
 impl LeaderFactory {
     /// Dual replication, leader-based non-determinism handling.
     pub fn dual() -> Self {
-        LeaderFactory { cfg: ReplicationConfig::dual() }
+        LeaderFactory {
+            cfg: ReplicationConfig::dual(),
+        }
     }
 
     /// Explicit configuration.
@@ -318,7 +337,11 @@ mod tests {
         });
         assert!(report.all_finished());
         assert_eq!(report.primary_results(), vec![&0, &42]);
-        assert_eq!(report.stats.control_msgs(), 0, "no decisions for named sources");
+        assert_eq!(
+            report.stats.control_msgs(),
+            0,
+            "no decisions for named sources"
+        );
     }
 
     #[test]
@@ -347,7 +370,10 @@ mod tests {
             .filter_map(|p| p.outcome.result())
             .collect();
         assert_eq!(orders.len(), 2);
-        assert_eq!(orders[0], orders[1], "replicas must agree on the decided order");
+        assert_eq!(
+            orders[0], orders[1],
+            "replicas must agree on the decided order"
+        );
         // One decision message per anonymous reception, leader → follower.
         assert_eq!(report.stats.control_msgs(), 2);
     }
@@ -381,7 +407,10 @@ mod tests {
             .network(LogGpModel::infiniband_20g())
             .protocol(Arc::new(LeaderFactory::new(cfg)))
             .cluster(Cluster::new(4, 1))
-            .placement(Placement::ReplicaSets { ranks: 2, degree: 2 })
+            .placement(Placement::ReplicaSets {
+                ranks: 2,
+                degree: 2,
+            })
             .run(app);
         let sdr = sdr_core::replicated_job(2, cfg)
             .network(LogGpModel::infiniband_20g())

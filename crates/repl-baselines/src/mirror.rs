@@ -18,7 +18,9 @@
 use bytes::Bytes;
 use sdr_core::{AckOn, ReplicationConfig, SdrProtocol};
 use sim_mpi::pml::{Pml, PmlEvent};
-use sim_mpi::{CommId, Protocol, ProtocolFactory, ProtoRecvReq, ProtoSendReq, Rank, Status, Tag, TagSel};
+use sim_mpi::{
+    CommId, ProtoRecvReq, ProtoSendReq, Protocol, ProtocolFactory, Rank, Status, Tag, TagSel,
+};
 use sim_net::EndpointId;
 
 /// The mirror replication protocol.
@@ -212,14 +214,20 @@ mod tests {
             }
             total
         };
-        let native = sdr_core::native_job(4).network(LogGpModel::fast_test_model()).run(app);
+        let native = sdr_core::native_job(4)
+            .network(LogGpModel::fast_test_model())
+            .run(app);
         let mirror = mirror_job(4, 2).run(app);
         assert!(native.all_finished() && mirror.all_finished());
         assert_eq!(native.primary_results(), mirror.primary_results());
         // Mirror: r copies of each replica's message → r * r times the native
         // application message count (q·r²).
         assert_eq!(mirror.stats.app_msgs(), native.stats.app_msgs() * 4);
-        assert_eq!(mirror.stats.ack_msgs(), 0, "mirror needs no acknowledgements");
+        assert_eq!(
+            mirror.stats.ack_msgs(),
+            0,
+            "mirror needs no acknowledgements"
+        );
     }
 
     #[test]

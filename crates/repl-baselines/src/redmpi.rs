@@ -17,7 +17,9 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use sdr_core::{AckOn, ReplicationConfig, SdrProtocol};
 use sim_mpi::pml::{Pml, PmlEvent};
-use sim_mpi::{CommId, Protocol, ProtocolFactory, ProtoRecvReq, ProtoSendReq, Rank, Status, Tag, TagSel};
+use sim_mpi::{
+    CommId, ProtoRecvReq, ProtoSendReq, Protocol, ProtocolFactory, Rank, Status, Tag, TagSel,
+};
 use sim_net::stats::class;
 use sim_net::trace::digest;
 use sim_net::EndpointId;
@@ -245,7 +247,10 @@ impl Protocol for RedMpiProtocol {
     }
 
     fn handle_event(&mut self, pml: &mut Pml, ev: PmlEvent) {
-        if let PmlEvent::Control { class: cls, header, .. } = &ev {
+        if let PmlEvent::Control {
+            class: cls, header, ..
+        } = &ev
+        {
             if *cls == class::HASH && header[0] == HASH_KIND {
                 let src_rank = header[1] as usize;
                 let seq = header[2] as u64;

@@ -53,14 +53,22 @@ impl ReduceOp {
     }
 
     fn combine_f64s(&self, acc: &mut [f64], other: &[f64]) {
-        assert_eq!(acc.len(), other.len(), "reduction operands must have equal length");
+        assert_eq!(
+            acc.len(),
+            other.len(),
+            "reduction operands must have equal length"
+        );
         for (a, b) in acc.iter_mut().zip(other.iter()) {
             *a = self.apply_f64(*a, *b);
         }
     }
 
     fn combine_u64s(&self, acc: &mut [u64], other: &[u64]) {
-        assert_eq!(acc.len(), other.len(), "reduction operands must have equal length");
+        assert_eq!(
+            acc.len(),
+            other.len(),
+            "reduction operands must have equal length"
+        );
         for (a, b) in acc.iter_mut().zip(other.iter()) {
             *a = self.apply_u64(*a, *b);
         }
@@ -253,7 +261,12 @@ impl Process {
 
     /// `MPI_Gather` of raw byte blocks to `root`. Returns `Some(blocks)` in
     /// communicator-rank order on the root, `None` elsewhere.
-    pub fn gather_bytes(&mut self, comm: Comm, root: Rank, contribution: Bytes) -> Option<Vec<Bytes>> {
+    pub fn gather_bytes(
+        &mut self,
+        comm: Comm,
+        root: Rank,
+        contribution: Bytes,
+    ) -> Option<Vec<Bytes>> {
         let size = self.comm_size(comm);
         let rank = self.comm_rank(comm);
         let tag = self.next_coll_tag(comm, op_code::GATHER);
@@ -298,11 +311,16 @@ impl Process {
         for step in 0..size - 1 {
             let send_idx = (rank + size - step) % size;
             let recv_idx = (rank + size - step - 1) % size;
-            let payload = blocks[send_idx].clone().expect("block to forward is present");
+            let payload = blocks[send_idx]
+                .clone()
+                .expect("block to forward is present");
             let (_, received) = self.sendrecv_bytes(comm, right, tag, payload, left as i64, tag);
             blocks[recv_idx] = Some(received);
         }
-        blocks.into_iter().map(|b| b.expect("ring completed")).collect()
+        blocks
+            .into_iter()
+            .map(|b| b.expect("ring completed"))
+            .collect()
     }
 
     /// `MPI_Scatter` of per-rank byte blocks from `root`. The root passes

@@ -234,7 +234,10 @@ mod tests {
     fn translate_ranks_between_groups() {
         let a = Group::from_members(vec![0, 1, 2, 3]);
         let b = Group::from_members(vec![3, 1]);
-        assert_eq!(a.translate_ranks(&[0, 1, 3], &b), vec![None, Some(1), Some(0)]);
+        assert_eq!(
+            a.translate_ranks(&[0, 1, 3], &b),
+            vec![None, Some(1), Some(0)]
+        );
     }
 
     #[test]
@@ -259,8 +262,16 @@ mod tests {
         let a = derive_comm_id(CommId::WORLD, 0, 0);
         let b = derive_comm_id(CommId::WORLD, 0, 0);
         assert_eq!(a, b, "same derivation must agree across processes");
-        assert_ne!(derive_comm_id(CommId::WORLD, 1, 0), a, "different index differs");
-        assert_ne!(derive_comm_id(CommId::WORLD, 0, 1), a, "different color differs");
+        assert_ne!(
+            derive_comm_id(CommId::WORLD, 1, 0),
+            a,
+            "different index differs"
+        );
+        assert_ne!(
+            derive_comm_id(CommId::WORLD, 0, 1),
+            a,
+            "different color differs"
+        );
         assert_ne!(a, CommId::WORLD);
         assert_ne!(a, CommId::INTERNAL);
     }

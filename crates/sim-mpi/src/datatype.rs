@@ -21,7 +21,11 @@ pub fn f64s_to_bytes(values: &[f64]) -> Bytes {
 ///
 /// Panics if the payload length is not a multiple of 8.
 pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
-    assert!(bytes.len() % 8 == 0, "payload length {} not a multiple of 8", bytes.len());
+    assert!(
+        bytes.len() % 8 == 0,
+        "payload length {} not a multiple of 8",
+        bytes.len()
+    );
     bytes
         .chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
@@ -39,7 +43,11 @@ pub fn i64s_to_bytes(values: &[i64]) -> Bytes {
 
 /// Decode a payload produced by [`i64s_to_bytes`].
 pub fn bytes_to_i64s(bytes: &[u8]) -> Vec<i64> {
-    assert!(bytes.len() % 8 == 0, "payload length {} not a multiple of 8", bytes.len());
+    assert!(
+        bytes.len() % 8 == 0,
+        "payload length {} not a multiple of 8",
+        bytes.len()
+    );
     bytes
         .chunks_exact(8)
         .map(|c| i64::from_le_bytes(c.try_into().expect("chunk of 8")))
@@ -57,7 +65,11 @@ pub fn u64s_to_bytes(values: &[u64]) -> Bytes {
 
 /// Decode a payload produced by [`u64s_to_bytes`].
 pub fn bytes_to_u64s(bytes: &[u8]) -> Vec<u64> {
-    assert!(bytes.len() % 8 == 0, "payload length {} not a multiple of 8", bytes.len());
+    assert!(
+        bytes.len() % 8 == 0,
+        "payload length {} not a multiple of 8",
+        bytes.len()
+    );
     bytes
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))

@@ -48,6 +48,10 @@ pub use comm::{CommInfo, Group};
 pub use matching::PmlReqId;
 pub use pml::{MsgMeta, Pml, PmlConfig, PmlEvent};
 pub use process::{Comm, Process, Request};
-pub use protocol::{NativeFactory, NativeProtocol, Protocol, ProtocolFactory, ProtoRecvReq, ProtoSendReq};
+pub use protocol::{
+    NativeFactory, NativeProtocol, ProtoRecvReq, ProtoSendReq, Protocol, ProtocolFactory,
+};
 pub use runtime::{JobBuilder, JobReport, ProcessOutcome, ProcessReport};
-pub use types::{CommId, MpiError, MpiResult, Rank, Source, Status, Tag, TagSel, ANY_SOURCE, ANY_TAG};
+pub use types::{
+    CommId, MpiError, MpiResult, Rank, Source, Status, Tag, TagSel, ANY_SOURCE, ANY_TAG,
+};

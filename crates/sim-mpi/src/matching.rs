@@ -93,7 +93,10 @@ impl MatchingEngine {
     pub fn post_recv(&mut self, posting: PostedRecv) -> Option<UnexpectedDelivery> {
         if let Some(pos) = self.unexpected.iter().position(|m| posting.matches(m)) {
             let msg = self.unexpected.remove(pos).expect("position valid");
-            return Some(UnexpectedDelivery { msg, extra_copy: true });
+            return Some(UnexpectedDelivery {
+                msg,
+                extra_copy: true,
+            });
         }
         self.posted.push_back(posting);
         None
@@ -140,14 +143,22 @@ impl MatchingEngine {
         if let Some(upos) = self.unexpected.iter().position(|m| posting.matches(m)) {
             let msg = self.unexpected.remove(upos).expect("position valid");
             self.posted.remove(pos);
-            return Some(UnexpectedDelivery { msg, extra_copy: true });
+            return Some(UnexpectedDelivery {
+                msg,
+                extra_copy: true,
+            });
         }
         None
     }
 
     /// Is there an unexpected message matching (comm, src, tag)? Used by
     /// `MPI_Iprobe`-style calls.
-    pub fn probe(&self, comm: CommId, src: Option<EndpointId>, tag: TagSel) -> Option<&IncomingMsg> {
+    pub fn probe(
+        &self,
+        comm: CommId,
+        src: Option<EndpointId>,
+        tag: TagSel,
+    ) -> Option<&IncomingMsg> {
         self.unexpected.iter().find(|m| {
             m.comm == comm && tag.matches(m.tag) && src.map(|s| s == m.src).unwrap_or(true)
         })
@@ -218,7 +229,9 @@ mod tests {
     #[test]
     fn exact_match_on_posted_recv() {
         let mut eng = MatchingEngine::new();
-        assert!(eng.post_recv(posting(1, Some(0), 1, TagSel::Tag(5))).is_none());
+        assert!(eng
+            .post_recv(posting(1, Some(0), 1, TagSel::Tag(5)))
+            .is_none());
         let matched = eng.incoming(msg(0, 1, 5, 0));
         assert_eq!(matched.map(|(r, _)| r), Some(PmlReqId(1)));
         assert_eq!(eng.posted_len(), 0);
@@ -245,7 +258,10 @@ mod tests {
         let mut eng = MatchingEngine::new();
         eng.post_recv(posting(1, None, 1, TagSel::Tag(5)));
         let matched = eng.incoming(msg(17, 1, 5, 0));
-        assert_eq!(matched.map(|(r, m)| (r, m.src)), Some((PmlReqId(1), EndpointId(17))));
+        assert_eq!(
+            matched.map(|(r, m)| (r, m.src)),
+            Some((PmlReqId(1), EndpointId(17)))
+        );
     }
 
     #[test]
@@ -284,8 +300,12 @@ mod tests {
         let mut eng = MatchingEngine::new();
         eng.incoming(msg(0, 1, 5, 0));
         eng.incoming(msg(0, 1, 5, 1));
-        let d1 = eng.post_recv(posting(1, Some(0), 1, TagSel::Tag(5))).unwrap();
-        let d2 = eng.post_recv(posting(2, Some(0), 1, TagSel::Tag(5))).unwrap();
+        let d1 = eng
+            .post_recv(posting(1, Some(0), 1, TagSel::Tag(5)))
+            .unwrap();
+        let d2 = eng
+            .post_recv(posting(2, Some(0), 1, TagSel::Tag(5)))
+            .unwrap();
         assert_eq!(d1.msg.seq, 0, "earliest unexpected message first");
         assert_eq!(d2.msg.seq, 1);
     }
@@ -307,7 +327,10 @@ mod tests {
         eng.post_recv(posting(1, Some(0), 1, TagSel::Tag(5)));
         assert!(eng.cancel(PmlReqId(1)));
         assert!(!eng.cancel(PmlReqId(1)), "cancel is not idempotent-true");
-        assert!(eng.incoming(msg(0, 1, 5, 0)).is_none(), "cancelled posting no longer matches");
+        assert!(
+            eng.incoming(msg(0, 1, 5, 0)).is_none(),
+            "cancelled posting no longer matches"
+        );
     }
 
     #[test]
@@ -319,7 +342,9 @@ mod tests {
         assert_eq!(eng.unexpected_len(), 1);
         // Failure handling redirects the posting to endpoint 9 (the substitute):
         // the queued message is delivered immediately.
-        let d = eng.redirect(PmlReqId(1), Some(EndpointId(9))).expect("delivered");
+        let d = eng
+            .redirect(PmlReqId(1), Some(EndpointId(9)))
+            .expect("delivered");
         assert_eq!(d.msg.src, EndpointId(9));
         assert_eq!(eng.posted_len(), 0);
     }
@@ -339,8 +364,12 @@ mod tests {
         let mut eng = MatchingEngine::new();
         eng.incoming(msg(2, 1, 7, 0));
         assert!(eng.probe(CommId(1), None, TagSel::Any).is_some());
-        assert!(eng.probe(CommId(1), Some(EndpointId(2)), TagSel::Tag(7)).is_some());
-        assert!(eng.probe(CommId(1), Some(EndpointId(3)), TagSel::Tag(7)).is_none());
+        assert!(eng
+            .probe(CommId(1), Some(EndpointId(2)), TagSel::Tag(7))
+            .is_some());
+        assert!(eng
+            .probe(CommId(1), Some(EndpointId(3)), TagSel::Tag(7))
+            .is_none());
         assert!(eng.probe(CommId(2), None, TagSel::Any).is_none());
         assert_eq!(eng.unexpected_len(), 1, "probe must not consume");
     }

@@ -226,13 +226,7 @@ impl Pml {
     /// Fire-and-forget protocol message (ack, decision, notification, hash).
     /// Not subject to MPI matching: delivered to the peer's protocol as a
     /// [`PmlEvent::Control`] event.
-    pub fn send_control(
-        &mut self,
-        dst: EndpointId,
-        cls: u8,
-        header: [i64; 8],
-        payload: Bytes,
-    ) {
+    pub fn send_control(&mut self, dst: EndpointId, cls: u8, header: [i64; 8], payload: Bytes) {
         self.send_control_at(dst, cls, header, payload, SimTime::ZERO);
     }
 
@@ -249,15 +243,25 @@ impl Pml {
         payload: Bytes,
         not_before: SimTime,
     ) {
-        assert_ne!(cls, class::APP, "control messages must not use the APP class");
-        self.ep.send_with_floor(dst, cls, header, payload, not_before);
+        assert_ne!(
+            cls,
+            class::APP,
+            "control messages must not use the APP class"
+        );
+        self.ep
+            .send_with_floor(dst, cls, header, payload, not_before);
     }
 
     /// Post a receive for a message on `comm` with tag filter `tag`, from
     /// physical process `src` (`None` = `MPI_ANY_SOURCE`).
     pub fn irecv(&mut self, src: Option<EndpointId>, comm: CommId, tag: TagSel) -> PmlReqId {
         let req = self.alloc_req(ReqState::RecvPending);
-        let posting = PostedRecv { req, src, comm, tag };
+        let posting = PostedRecv {
+            req,
+            src,
+            comm,
+            tag,
+        };
         if let Some(delivery) = self.engine.post_recv(posting) {
             self.charge_unexpected_copy(delivery.msg.payload.len());
             self.complete_recv(req, delivery.msg);
@@ -290,7 +294,8 @@ impl Pml {
                 payload: msg.payload,
             },
         );
-        self.pending_events.push(PmlEvent::RecvCompleted { req, meta });
+        self.pending_events
+            .push(PmlEvent::RecvCompleted { req, meta });
     }
 
     /// Cancel a request (Algorithm 1 lines 32–33). Pending receives are
@@ -322,7 +327,9 @@ impl Pml {
     /// cancelled)?
     pub fn is_complete(&self, req: PmlReqId) -> bool {
         match self.requests.get(&req) {
-            Some(ReqState::SendDone) | Some(ReqState::RecvDone { .. }) | Some(ReqState::Cancelled) => true,
+            Some(ReqState::SendDone)
+            | Some(ReqState::RecvDone { .. })
+            | Some(ReqState::Cancelled) => true,
             Some(ReqState::RecvPending) => false,
             None => true, // already freed
         }
@@ -425,7 +432,11 @@ impl Pml {
     }
 
     fn poll_failures(&mut self) {
-        let new = self.ep.fabric().failure().failures_since(self.failures_seen);
+        let new = self
+            .ep
+            .fabric()
+            .failure()
+            .failures_since(self.failures_seen);
         for ev in new {
             self.failures_seen = self.failures_seen.max(ev.seq + 1);
             // A process does not get notified of its own failure.
@@ -502,7 +513,13 @@ mod tests {
     fn send_request_completes_immediately() {
         let f = fabric(2);
         let mut p0 = Pml::new(f.endpoint(EndpointId(0)));
-        let req = p0.isend(EndpointId(1), CommId::WORLD, 7, 0, Bytes::from_static(b"hi"));
+        let req = p0.isend(
+            EndpointId(1),
+            CommId::WORLD,
+            7,
+            0,
+            Bytes::from_static(b"hi"),
+        );
         assert!(p0.is_complete(req));
     }
 
@@ -511,7 +528,13 @@ mod tests {
         let f = fabric(2);
         let mut p0 = Pml::new(f.endpoint(EndpointId(0)));
         let mut p1 = Pml::new(f.endpoint(EndpointId(1)));
-        p0.isend(EndpointId(1), CommId::WORLD, 7, 42, Bytes::from_static(b"hello"));
+        p0.isend(
+            EndpointId(1),
+            CommId::WORLD,
+            7,
+            42,
+            Bytes::from_static(b"hello"),
+        );
         let req = p1.irecv(Some(EndpointId(0)), CommId::WORLD, TagSel::Tag(7));
         assert!(!p1.is_complete(req));
         let events = p1.progress_blocking("test recv").unwrap();
@@ -536,7 +559,13 @@ mod tests {
         let f = fabric(2);
         let mut p0 = Pml::new(f.endpoint(EndpointId(0)));
         let mut p1 = Pml::new(f.endpoint(EndpointId(1)));
-        p0.isend(EndpointId(1), CommId::WORLD, 3, 0, Bytes::from_static(b"early"));
+        p0.isend(
+            EndpointId(1),
+            CommId::WORLD,
+            3,
+            0,
+            Bytes::from_static(b"early"),
+        );
         // Progress with no posted recv: message becomes unexpected, no event.
         // (Block so the clock advances past the arrival time.)
         std::thread::sleep(std::time::Duration::from_millis(5));
@@ -563,7 +592,12 @@ mod tests {
         p0.send_control(EndpointId(1), class::ACK, hdr, Bytes::new());
         let events = p1.progress_blocking("ack").unwrap();
         match &events[0] {
-            PmlEvent::Control { src, class: c, header, .. } => {
+            PmlEvent::Control {
+                src,
+                class: c,
+                header,
+                ..
+            } => {
                 assert_eq!(*src, EndpointId(0));
                 assert_eq!(*c, class::ACK);
                 assert_eq!(header[0], 99);
@@ -585,7 +619,8 @@ mod tests {
     fn failure_notification_delivered_as_event() {
         let f = fabric(3);
         let mut p0 = Pml::new(f.endpoint(EndpointId(0)));
-        f.failure().record_failure(EndpointId(2), SimTime::from_nanos(5));
+        f.failure()
+            .record_failure(EndpointId(2), SimTime::from_nanos(5));
         let events = p0.progress();
         assert!(matches!(
             events[0],
@@ -639,7 +674,13 @@ mod tests {
         // p0 never sends; recv is redirected to p2 which does send.
         let req = p1.irecv(Some(EndpointId(0)), CommId::WORLD, TagSel::Tag(1));
         p1.redirect_recv(req, Some(EndpointId(2)));
-        p2.isend(EndpointId(1), CommId::WORLD, 1, 0, Bytes::from_static(b"sub"));
+        p2.isend(
+            EndpointId(1),
+            CommId::WORLD,
+            1,
+            0,
+            Bytes::from_static(b"sub"),
+        );
         p1.progress_blocking("redirected recv").unwrap();
         assert!(p1.is_complete(req));
         let (meta, payload) = p1.take_recv(req).unwrap();
@@ -673,7 +714,9 @@ mod tests {
         f.set_recv_timeout(std::time::Duration::from_millis(50));
         let mut p0 = Pml::new(f.endpoint(EndpointId(0)));
         let _req = p0.irecv(Some(EndpointId(1)), CommId::WORLD, TagSel::Tag(0));
-        let err = p0.progress_blocking("message that never comes").unwrap_err();
+        let err = p0
+            .progress_blocking("message that never comes")
+            .unwrap_err();
         assert!(matches!(err, MpiError::Deadlock { .. }));
     }
 

@@ -11,7 +11,7 @@
 use crate::comm::{derive_comm_id, CommInfo, Group};
 use crate::datatype;
 use crate::pml::Pml;
-use crate::protocol::{Protocol, ProtoRecvReq, ProtoSendReq};
+use crate::protocol::{ProtoRecvReq, ProtoSendReq, Protocol};
 use crate::types::{MpiError, Rank, Status, Tag, TagSel, ANY_SOURCE, ANY_TAG};
 use bytes::Bytes;
 use sim_net::trace::{digest, EventKind, EventTrace, TraceEvent};
@@ -216,7 +216,11 @@ impl Process {
     /// not in the group receive `None`.
     pub fn comm_create(&mut self, comm: Comm, group_ranks: &[Rank]) -> Option<Comm> {
         let my_rank = self.comm_rank(comm);
-        let color = if group_ranks.contains(&my_rank) { 0 } else { -1 };
+        let color = if group_ranks.contains(&my_rank) {
+            0
+        } else {
+            -1
+        };
         let key = group_ranks
             .iter()
             .position(|&r| r == my_rank)
@@ -252,7 +256,9 @@ impl Process {
                 at: self.pml.now(),
             });
         }
-        let req = self.protocol.isend(&mut self.pml, world_dst, comm_id, tag, payload);
+        let req = self
+            .protocol
+            .isend(&mut self.pml, world_dst, comm_id, tag, payload);
         Request::Send(req)
     }
 
@@ -267,9 +273,15 @@ impl Process {
             self.check_rank(comm, src as usize);
             Some(self.comm_info(comm).world_rank(src as usize))
         };
-        let tag_sel = if tag == ANY_TAG { TagSel::Any } else { TagSel::Tag(tag) };
+        let tag_sel = if tag == ANY_TAG {
+            TagSel::Any
+        } else {
+            TagSel::Tag(tag)
+        };
         let comm_id = info.id;
-        let req = self.protocol.irecv(&mut self.pml, world_src, comm_id, tag_sel);
+        let req = self
+            .protocol
+            .irecv(&mut self.pml, world_src, comm_id, tag_sel);
         Request::Recv(req)
     }
 
@@ -320,7 +332,14 @@ impl Process {
         match req {
             Request::Send(s) => {
                 self.protocol.free_send(&mut self.pml, s);
-                (Status { source: self.comm_rank(comm), tag: 0, len: 0 }, None)
+                (
+                    Status {
+                        source: self.comm_rank(comm),
+                        tag: 0,
+                        len: 0,
+                    },
+                    None,
+                )
             }
             Request::Recv(r) => {
                 let (status, payload) = self
@@ -343,7 +362,11 @@ impl Process {
                     });
                 }
                 (
-                    Status { source: comm_src, tag: status.tag, len: status.len },
+                    Status {
+                        source: comm_src,
+                        tag: status.tag,
+                        len: status.len,
+                    },
                     Some(payload),
                 )
             }

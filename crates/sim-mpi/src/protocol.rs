@@ -240,7 +240,10 @@ mod tests {
             Cluster::new(2, 1),
             Placement::Packed,
         );
-        (Pml::new(f.endpoint(EndpointId(0))), Pml::new(f.endpoint(EndpointId(1))))
+        (
+            Pml::new(f.endpoint(EndpointId(0))),
+            Pml::new(f.endpoint(EndpointId(1))),
+        )
     }
 
     #[test]

@@ -305,7 +305,10 @@ impl JobBuilder {
         }
         let mut processes: Vec<ProcessReport<R>> = handles
             .into_iter()
-            .map(|h| h.join().expect("simulated process thread must not die unexpectedly"))
+            .map(|h| {
+                h.join()
+                    .expect("simulated process thread must not die unexpectedly")
+            })
             .collect();
         processes.sort_by_key(|p| p.endpoint);
         let elapsed = processes
@@ -423,7 +426,11 @@ mod tests {
         let report = JobBuilder::new(4).network(fast()).run(|p| {
             let world = p.world();
             p.barrier(world);
-            let root_data = if p.rank() == 2 { Some(vec![1.5, 2.5]) } else { None };
+            let root_data = if p.rank() == 2 {
+                Some(vec![1.5, 2.5])
+            } else {
+                None
+            };
             let bcast = p.bcast_f64s(world, 2, root_data.as_deref());
             assert_eq!(bcast, vec![1.5, 2.5]);
 
@@ -463,7 +470,9 @@ mod tests {
             );
             assert_eq!(scattered[0] as usize, p.rank() + 100);
 
-            let blocks: Vec<Bytes> = (0..4).map(|d| Bytes::from(vec![(p.rank() * 10 + d) as u8])).collect();
+            let blocks: Vec<Bytes> = (0..4)
+                .map(|d| Bytes::from(vec![(p.rank() * 10 + d) as u8]))
+                .collect();
             let a2a = p.alltoall_bytes(world, blocks);
             for (src, b) in a2a.iter().enumerate() {
                 assert_eq!(b[0] as usize, src * 10 + p.rank());
@@ -584,7 +593,8 @@ mod tests {
             let world = p.world();
             // simple exchange
             let peer = 1 - p.rank();
-            let (_, _data) = p.sendrecv_bytes(world, peer, 0, Bytes::from(vec![0u8; 64]), peer as i64, 0);
+            let (_, _data) =
+                p.sendrecv_bytes(world, peer, 0, Bytes::from(vec![0u8; 64]), peer as i64, 0);
         });
         assert!(report.all_finished());
         for proc in &report.processes {
@@ -593,7 +603,12 @@ mod tests {
         }
         assert!(report.elapsed >= SimTime::from_millis(5));
         // Elapsed is maximum over processes.
-        let max_finish = report.processes.iter().map(|p| p.finish_time).max().unwrap();
+        let max_finish = report
+            .processes
+            .iter()
+            .map(|p| p.finish_time)
+            .max()
+            .unwrap();
         assert_eq!(report.elapsed, max_finish);
     }
 

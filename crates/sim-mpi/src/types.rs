@@ -127,12 +127,22 @@ pub enum MpiError {
 impl fmt::Display for MpiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MpiError::Deadlock { endpoint, waiting_for } => {
-                write!(f, "deadlock detected on process {}: waiting for {waiting_for}", endpoint.0)
+            MpiError::Deadlock {
+                endpoint,
+                waiting_for,
+            } => {
+                write!(
+                    f,
+                    "deadlock detected on process {}: waiting for {waiting_for}",
+                    endpoint.0
+                )
             }
             MpiError::InvalidRequest => write!(f, "invalid request handle"),
             MpiError::InvalidRank { rank, size } => {
-                write!(f, "rank {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
             }
             MpiError::PeerFailed { endpoint } => {
                 write!(f, "peer process {} failed", endpoint.0)

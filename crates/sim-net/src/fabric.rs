@@ -344,13 +344,7 @@ impl Endpoint {
     /// overhead, stamps the arrival time and hands the message to the
     /// destination queue. Application-class sends also drive the crash
     /// schedule (`BeforeSend`/`AfterSend`).
-    pub fn send(
-        &mut self,
-        dst: EndpointId,
-        cls: u8,
-        header: [i64; HEADER_WORDS],
-        payload: Bytes,
-    ) {
+    pub fn send(&mut self, dst: EndpointId, cls: u8, header: [i64; HEADER_WORDS], payload: Bytes) {
         self.send_with_floor(dst, cls, header, payload, SimTime::ZERO);
     }
 
@@ -375,7 +369,8 @@ impl Endpoint {
         }
         let intra = self.fabric.same_node(self.id, dst);
         let model = Arc::clone(&self.fabric.model);
-        self.clock.charge_comm(model.send_overhead(payload.len(), intra));
+        self.clock
+            .charge_comm(model.send_overhead(payload.len(), intra));
         let injected_at = self.clock.now().max(not_before);
         let arrival = injected_at + model.wire_time(payload.len(), intra);
         let msg = RawMessage {
@@ -448,7 +443,8 @@ impl Endpoint {
         }
         let intra = self.fabric.same_node(msg.src, self.id);
         let model = Arc::clone(&self.fabric.model);
-        self.clock.charge_comm(model.recv_overhead(msg.len(), intra));
+        self.clock
+            .charge_comm(model.recv_overhead(msg.len(), intra));
     }
 
     /// Is there any message queued (whether or not it has virtually arrived)?
@@ -513,7 +509,12 @@ mod tests {
     fn send_charges_sender_and_stamps_arrival() {
         let (mut a, mut b, fabric) = two_endpoint_fabric();
         let before = a.now();
-        a.send(EndpointId(1), class::APP, hdr(7), Bytes::from_static(b"hello"));
+        a.send(
+            EndpointId(1),
+            class::APP,
+            hdr(7),
+            Bytes::from_static(b"hello"),
+        );
         assert!(a.now() > before, "send overhead must be charged");
         let msg = b.recv_blocking().expect("message delivered");
         assert_eq!(msg.header[0], 7);
@@ -531,7 +532,9 @@ mod tests {
         a.send(EndpointId(1), class::APP, hdr(1), Bytes::from_static(b"x"));
         // Give the channel time to deliver in real time.
         std::thread::sleep(Duration::from_millis(5));
-        let msg = b.try_recv().expect("physically delivered message is returned");
+        let msg = b
+            .try_recv()
+            .expect("physically delivered message is returned");
         assert_eq!(msg.header[0], 1);
         // The arrival stamp carries the virtual delivery time; the receiver's
         // clock is only charged the receive overhead, not jumped to the
@@ -546,7 +549,10 @@ mod tests {
         let floor = SimTime::from_millis(3);
         a.send_with_floor(EndpointId(1), class::ACK, hdr(9), Bytes::new(), floor);
         let msg = b.recv_blocking().expect("delivered");
-        assert!(msg.injected_at >= floor, "injection stamped no earlier than the floor");
+        assert!(
+            msg.injected_at >= floor,
+            "injection stamped no earlier than the floor"
+        );
         assert!(msg.arrival > floor);
         // The sender's own clock is not forced forward by the floor.
         assert!(a.now() < floor);
@@ -601,7 +607,12 @@ mod tests {
         let mut s = fabric.endpoint(EndpointId(0));
         let mut r = fabric.endpoint(EndpointId(1));
         s.send(EndpointId(1), class::APP, hdr(0), Bytes::from(vec![0u8; 1]));
-        s.send(EndpointId(1), class::APP, hdr(1), Bytes::from(vec![0u8; 1 << 20]));
+        s.send(
+            EndpointId(1),
+            class::APP,
+            hdr(1),
+            Bytes::from(vec![0u8; 1 << 20]),
+        );
         let m1 = r.recv_blocking().unwrap();
         let m2 = r.recv_blocking().unwrap();
         assert!(m2.arrival - m2.injected_at > m1.arrival - m1.injected_at);
@@ -665,8 +676,18 @@ mod tests {
         let mut p0 = fabric.endpoint(EndpointId(0));
         let mut p1 = fabric.endpoint(EndpointId(1));
         let mut p2 = fabric.endpoint(EndpointId(2));
-        p0.send(EndpointId(1), class::APP, hdr(0), Bytes::from(vec![0u8; 1024]));
-        p0.send(EndpointId(2), class::APP, hdr(0), Bytes::from(vec![0u8; 1024]));
+        p0.send(
+            EndpointId(1),
+            class::APP,
+            hdr(0),
+            Bytes::from(vec![0u8; 1024]),
+        );
+        p0.send(
+            EndpointId(2),
+            class::APP,
+            hdr(0),
+            Bytes::from(vec![0u8; 1024]),
+        );
         let local = p1.recv_blocking().unwrap();
         let remote = p2.recv_blocking().unwrap();
         assert!(
@@ -683,7 +704,12 @@ mod tests {
             let _b = fabric.endpoint(EndpointId(1));
             // b dropped here: receiver end disappears.
         }
-        a.send(EndpointId(1), class::APP, hdr(0), Bytes::from_static(b"lost"));
+        a.send(
+            EndpointId(1),
+            class::APP,
+            hdr(0),
+            Bytes::from_static(b"lost"),
+        );
         // No panic; stats still count the attempt.
         assert_eq!(fabric.stats().snapshot().app_msgs(), 1);
     }

@@ -223,7 +223,12 @@ mod tests {
     #[test]
     fn at_time_schedule_fires_at_threshold() {
         let svc = FailureService::new(2);
-        svc.schedule(ep(1), CrashSchedule::AtTime { at: SimTime::from_micros(10) });
+        svc.schedule(
+            ep(1),
+            CrashSchedule::AtTime {
+                at: SimTime::from_micros(10),
+            },
+        );
         assert!(!svc.should_crash(ep(1), SimTime::from_micros(9), 0, false));
         assert!(svc.should_crash(ep(1), SimTime::from_micros(10), 0, false));
         assert!(!svc.should_crash(ep(0), SimTime::from_micros(10), 0, false));

@@ -204,7 +204,10 @@ mod tests {
         let one_way = m.one_way(1, false);
         // Paper: native Open MPI one-byte latency is 1.67 µs. Allow ±10%.
         let us = one_way.as_micros_f64();
-        assert!(us > 1.5 && us < 1.85, "one-way latency {us} µs out of range");
+        assert!(
+            us > 1.5 && us < 1.85,
+            "one-way latency {us} µs out of range"
+        );
     }
 
     #[test]
@@ -215,7 +218,10 @@ mod tests {
         let gbps = (size as f64 * 8.0) / t / 1e9;
         // The paper's Figure 7b tops out a bit above 10 Gb/s effective;
         // accept anything between 10 and 20 Gb/s for the model itself.
-        assert!(gbps > 10.0 && gbps <= 20.0, "bandwidth {gbps} Gb/s out of range");
+        assert!(
+            gbps > 10.0 && gbps <= 20.0,
+            "bandwidth {gbps} Gb/s out of range"
+        );
     }
 
     #[test]

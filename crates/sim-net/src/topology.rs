@@ -73,7 +73,10 @@ impl Placement {
     ///
     /// Panics if the placement cannot host `total` processes.
     pub fn node_of(&self, proc: usize, total: usize, cluster: &Cluster) -> NodeId {
-        assert!(proc < total, "process index {proc} out of range (total {total})");
+        assert!(
+            proc < total,
+            "process index {proc} out of range (total {total})"
+        );
         assert!(
             total <= cluster.capacity(),
             "cluster capacity {} cannot host {} processes",
@@ -147,7 +150,10 @@ mod tests {
     fn replica_sets_separate_replicas() {
         // 8 ranks, degree 2, on 4 nodes x 4 cores.
         let c = Cluster::new(4, 4);
-        let p = Placement::ReplicaSets { ranks: 8, degree: 2 };
+        let p = Placement::ReplicaSets {
+            ranks: 8,
+            degree: 2,
+        };
         for rank in 0..8 {
             let a = p.node_of(rank, 16, &c);
             let b = p.node_of(8 + rank, 16, &c);
@@ -160,7 +166,10 @@ mod tests {
         // The paper: "the first set of 256 replicas run on the first half of
         // the nodes, and the second set on the other half."
         let c = Cluster::grid5000_nancy();
-        let p = Placement::ReplicaSets { ranks: 256, degree: 2 };
+        let p = Placement::ReplicaSets {
+            ranks: 256,
+            degree: 2,
+        };
         for rank in 0..256 {
             assert!(p.node_of(rank, 512, &c).0 < 32);
             assert!(p.node_of(256 + rank, 512, &c).0 >= 32);

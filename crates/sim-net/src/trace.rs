@@ -121,7 +121,10 @@ impl EventTrace {
 
     /// The per-process sequence of send events, reduced to their determinism
     /// keys — the object compared by Definition 1.
-    pub fn send_sequence(&self, process: EndpointId) -> Vec<(EventKind, Option<usize>, Option<i64>, u64, usize)> {
+    pub fn send_sequence(
+        &self,
+        process: EndpointId,
+    ) -> Vec<(EventKind, Option<usize>, Option<i64>, u64, usize)> {
         self.events_of(process)
             .into_iter()
             .filter(|e| e.kind == EventKind::Send)

@@ -76,13 +76,19 @@ pub fn run_hpccg(p: &mut Process, cfg: &AppConfig) -> f64 {
     let rank = p.rank();
     let size = p.size();
     let n = cfg.plane_points;
-    let mut x: Vec<f64> = (0..n).map(|i| ((rank * n + i) as f64 * 0.21).sin()).collect();
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| ((rank * n + i) as f64 * 0.21).sin())
+        .collect();
     let mut residual = 0.0;
     for it in 0..cfg.iterations {
         // Boundary-plane exchange with up/down neighbours, received
         // anonymously (HPCCG posts wildcard receives for its neighbour
         // planes and sorts them out by inspecting the status).
-        let up = if rank + 1 < size { Some(rank + 1) } else { None };
+        let up = if rank + 1 < size {
+            Some(rank + 1)
+        } else {
+            None
+        };
         let down = if rank > 0 { Some(rank - 1) } else { None };
         let expected = up.is_some() as usize + down.is_some() as usize;
         let mut reqs = Vec::new();
@@ -136,7 +142,9 @@ pub fn run_cm1(p: &mut Process, cfg: &AppConfig) -> f64 {
     let py = size / px;
     let (ix, iy) = (rank % px, rank / px);
     let n = cfg.plane_points;
-    let mut field: Vec<f64> = (0..n).map(|i| ((rank * 7 + i) as f64 * 0.05).cos()).collect();
+    let mut field: Vec<f64> = (0..n)
+        .map(|i| ((rank * 7 + i) as f64 * 0.05).cos())
+        .collect();
     let neighbour = |dx: i64, dy: i64| -> Option<usize> {
         let nx = ix as i64 + dx;
         let ny = iy as i64 + dy;
@@ -201,7 +209,9 @@ mod tests {
     fn hpccg_native_equals_replicated() {
         let cfg = AppConfig::test_size();
         let app = move |p: &mut Process| run_hpccg(p, &cfg);
-        let native = native_job(4).network(LogGpModel::fast_test_model()).run(app);
+        let native = native_job(4)
+            .network(LogGpModel::fast_test_model())
+            .run(app);
         let repl = replicated_job(4, ReplicationConfig::dual())
             .network(LogGpModel::fast_test_model())
             .run(app);
@@ -215,7 +225,9 @@ mod tests {
     fn cm1_native_equals_replicated() {
         let cfg = AppConfig::test_size();
         let app = move |p: &mut Process| run_cm1(p, &cfg);
-        let native = native_job(4).network(LogGpModel::fast_test_model()).run(app);
+        let native = native_job(4)
+            .network(LogGpModel::fast_test_model())
+            .run(app);
         let repl = replicated_job(4, ReplicationConfig::dual())
             .network(LogGpModel::fast_test_model())
             .run(app);

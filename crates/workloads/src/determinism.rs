@@ -169,13 +169,12 @@ mod tests {
 
     #[test]
     fn cg_kernel_is_send_deterministic() {
-        let cfg = NasConfig { local_size: 64, iterations: 3, compute_ns_per_point: 1 };
-        let report = check_send_determinism(
-            4,
-            3,
-            || native_job(4),
-            move |p| run_cg(p, &cfg),
-        );
+        let cfg = NasConfig {
+            local_size: 64,
+            iterations: 3,
+            compute_ns_per_point: 1,
+        };
+        let report = check_send_determinism(4, 3, || native_job(4), move |p| run_cg(p, &cfg));
         assert!(report.is_send_deterministic(), "{report:?}");
     }
 

@@ -41,7 +41,13 @@ pub enum NasKernel {
 impl NasKernel {
     /// All five kernels, in the order of the paper's Table 1.
     pub fn all() -> [NasKernel; 5] {
-        [NasKernel::Bt, NasKernel::Cg, NasKernel::Ft, NasKernel::Mg, NasKernel::Sp]
+        [
+            NasKernel::Bt,
+            NasKernel::Cg,
+            NasKernel::Ft,
+            NasKernel::Mg,
+            NasKernel::Sp,
+        ]
     }
 
     /// The name used in the paper's table.
@@ -208,7 +214,10 @@ fn halo_exchange_1d(p: &mut Process, field: &[f64], tag_base: i64) -> (f64, f64)
     let mut right = 0.0;
     let mut reqs = Vec::new();
     if rank > 0 {
-        reqs.push((0usize, p.irecv_bytes(world, (rank - 1) as i64, tag_base + 1)));
+        reqs.push((
+            0usize,
+            p.irecv_bytes(world, (rank - 1) as i64, tag_base + 1),
+        ));
     }
     if rank + 1 < size {
         reqs.push((1usize, p.irecv_bytes(world, (rank + 1) as i64, tag_base)));
@@ -218,7 +227,12 @@ fn halo_exchange_1d(p: &mut Process, field: &[f64], tag_base: i64) -> (f64, f64)
         p.wait(world, req);
     }
     if rank + 1 < size {
-        let req = p.isend_bytes(world, rank + 1, tag_base + 1, f64s_to_bytes(&[field[n - 1]]));
+        let req = p.isend_bytes(
+            world,
+            rank + 1,
+            tag_base + 1,
+            f64s_to_bytes(&[field[n - 1]]),
+        );
         p.wait(world, req);
     }
     for (side, req) in reqs {
@@ -250,7 +264,9 @@ pub fn run_mg(p: &mut Process, cfg: &NasConfig) -> f64 {
     let levels = 4usize;
     let n = cfg.local_size.next_power_of_two().max(1 << levels);
     let rank = p.rank();
-    let f: Vec<f64> = (0..n).map(|i| ((rank * n + i) as f64 * 0.11).cos()).collect();
+    let f: Vec<f64> = (0..n)
+        .map(|i| ((rank * n + i) as f64 * 0.11).cos())
+        .collect();
     let mut u = vec![0.0; n];
     for _cycle in 0..cfg.iterations {
         // Descend: smooth and restrict.
@@ -347,7 +363,11 @@ pub fn run_ft(p: &mut Process, cfg: &NasConfig) -> f64 {
     let cols = (rows_per_rank * size).next_power_of_two();
     let rows = rows_per_rank;
     let mut re: Vec<Vec<f64>> = (0..rows)
-        .map(|r| (0..cols).map(|c| (((rank * rows + r) * cols + c) as f64 * 0.017).sin()).collect())
+        .map(|r| {
+            (0..cols)
+                .map(|c| (((rank * rows + r) * cols + c) as f64 * 0.017).sin())
+                .collect()
+        })
         .collect();
     let mut im: Vec<Vec<f64>> = vec![vec![0.0; cols]; rows];
     let mut checksum = 0.0;
@@ -460,7 +480,9 @@ fn run_adi(p: &mut Process, cfg: &NasConfig, flavor: AdiFlavor) -> f64 {
         let mut halo_sum = 0.0;
         for req in reqs {
             let (_, payload) = p.wait(world, req);
-            halo_sum += bytes_to_f64s(&payload.expect("face halo")).iter().sum::<f64>();
+            halo_sum += bytes_to_f64s(&payload.expect("face halo"))
+                .iter()
+                .sum::<f64>();
         }
         // Local relaxation sweep.
         cfg.charge_compute(p, edge * edge * vars, weight);
@@ -512,7 +534,9 @@ mod tests {
     fn run_native_and_replicated(kernel: NasKernel) -> (Vec<f64>, Vec<f64>) {
         let cfg = NasConfig::test_size();
         let app = move |p: &mut Process| run_kernel(kernel, p, &cfg);
-        let native = native_job(4).network(LogGpModel::fast_test_model()).run(app);
+        let native = native_job(4)
+            .network(LogGpModel::fast_test_model())
+            .run(app);
         let repl = replicated_job(4, ReplicationConfig::dual())
             .network(LogGpModel::fast_test_model())
             .run(app);
@@ -582,8 +606,16 @@ mod tests {
     #[test]
     fn cg_converges_on_laplacian() {
         // With enough iterations the residual shrinks substantially.
-        let cfg_short = NasConfig { local_size: 64, iterations: 2, compute_ns_per_point: 1 };
-        let cfg_long = NasConfig { local_size: 64, iterations: 30, compute_ns_per_point: 1 };
+        let cfg_short = NasConfig {
+            local_size: 64,
+            iterations: 2,
+            compute_ns_per_point: 1,
+        };
+        let cfg_long = NasConfig {
+            local_size: 64,
+            iterations: 30,
+            compute_ns_per_point: 1,
+        };
         let short = native_job(2)
             .network(LogGpModel::fast_test_model())
             .run(move |p| run_cg(p, &cfg_short));
@@ -592,7 +624,10 @@ mod tests {
             .run(move |p| run_cg(p, &cfg_long));
         let r_short = *short.primary_results()[0];
         let r_long = *long.primary_results()[0];
-        assert!(r_long < r_short, "CG residual should decrease ({r_long} vs {r_short})");
+        assert!(
+            r_long < r_short,
+            "CG residual should decrease ({r_long} vs {r_short})"
+        );
     }
 
     #[test]

@@ -104,11 +104,7 @@ mod tests {
 
     #[test]
     fn native_one_byte_latency_matches_calibration() {
-        let point = measure(
-            native_job(2).network(LogGpModel::infiniband_20g()),
-            1,
-            20,
-        );
+        let point = measure(native_job(2).network(LogGpModel::infiniband_20g()), 1, 20);
         // Paper: native Open MPI one-byte latency ≈ 1.67 µs.
         assert!(
             point.latency_us > 1.4 && point.latency_us < 2.0,

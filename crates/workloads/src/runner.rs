@@ -118,7 +118,10 @@ mod tests {
         let cfg = NasConfig::test_size();
         let spec = WorkloadSpec::new("CG", 4, move |p| run_kernel(NasKernel::Cg, p, &cfg));
         let row = compare_protocols(&spec, ReplicationConfig::dual());
-        assert!(row.results_match, "native and replicated checksums must agree");
+        assert!(
+            row.results_match,
+            "native and replicated checksums must agree"
+        );
         assert!(row.native_secs > 0.0);
         assert!(row.replicated_secs > 0.0);
         assert_eq!(row.replicated_app_msgs, row.native_app_msgs * 2);

@@ -44,8 +44,16 @@ fn main() {
         .placement(Placement::ReplicaSets { ranks, degree: 2 })
         .run(app);
 
-    println!("SDR-MPI       : {:>12}, control messages: {}", format!("{}", sdr.elapsed), sdr.stats.control_msgs());
-    println!("leader-based  : {:>12}, control messages: {}", format!("{}", leader.elapsed), leader.stats.control_msgs());
+    println!(
+        "SDR-MPI       : {:>12}, control messages: {}",
+        format!("{}", sdr.elapsed),
+        sdr.stats.control_msgs()
+    );
+    println!(
+        "leader-based  : {:>12}, control messages: {}",
+        format!("{}", leader.elapsed),
+        leader.stats.control_msgs()
+    );
     println!("send-determinism removes the leader round-trip from every anonymous reception");
     assert_eq!(sdr.stats.control_msgs(), 0);
     assert!(leader.stats.control_msgs() > 0);

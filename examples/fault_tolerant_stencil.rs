@@ -25,12 +25,24 @@ fn main() {
         .crash(crashed_endpoint, CrashSchedule::AfterSend { nth: 8 })
         .run(move |p| run_cm1(p, &cfg));
 
-    println!("native checksum          : {:.9}", native.primary_results()[0]);
-    println!("replicated checksum      : {:.9}", replicated.primary_results()[0]);
+    println!(
+        "native checksum          : {:.9}",
+        native.primary_results()[0]
+    );
+    println!(
+        "replicated checksum      : {:.9}",
+        replicated.primary_results()[0]
+    );
     println!("crashed physical process : {:?}", replicated.crashed());
-    println!("processes finished       : {}/{}",
-        replicated.processes.iter().filter(|p| p.outcome.is_finished()).count(),
-        replicated.processes.len());
+    println!(
+        "processes finished       : {}/{}",
+        replicated
+            .processes
+            .iter()
+            .filter(|p| p.outcome.is_finished())
+            .count(),
+        replicated.processes.len()
+    );
     assert_eq!(native.primary_results(), replicated.primary_results());
     assert_eq!(replicated.crashed(), vec![crashed_endpoint]);
     println!("the application survived the replica crash with identical results");

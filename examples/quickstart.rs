@@ -41,13 +41,22 @@ fn main() {
         .network(LogGpModel::infiniband_20g())
         .run(app);
 
-    println!("native     : {:>12}  result {:.6}  ({} app msgs)",
-        format!("{}", native.elapsed), native.primary_results()[0], native.stats.app_msgs());
-    println!("SDR-MPI x2 : {:>12}  result {:.6}  ({} app msgs, {} acks)",
-        format!("{}", replicated.elapsed), replicated.primary_results()[0],
-        replicated.stats.app_msgs(), replicated.stats.ack_msgs());
+    println!(
+        "native     : {:>12}  result {:.6}  ({} app msgs)",
+        format!("{}", native.elapsed),
+        native.primary_results()[0],
+        native.stats.app_msgs()
+    );
+    println!(
+        "SDR-MPI x2 : {:>12}  result {:.6}  ({} app msgs, {} acks)",
+        format!("{}", replicated.elapsed),
+        replicated.primary_results()[0],
+        replicated.stats.app_msgs(),
+        replicated.stats.ack_msgs()
+    );
     let overhead = (replicated.elapsed.as_secs_f64() - native.elapsed.as_secs_f64())
-        / native.elapsed.as_secs_f64() * 100.0;
+        / native.elapsed.as_secs_f64()
+        * 100.0;
     println!("overhead   : {overhead:.2}% wall-clock for full dual redundancy");
     assert_eq!(native.primary_results(), replicated.primary_results());
 }

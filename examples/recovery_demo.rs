@@ -38,13 +38,21 @@ fn main() {
     // (rank 1, replica 1 = physical process 3).
     let recovered = coordinator.restore(EndpointId(3), &snapshot, ReplicationConfig::dual());
 
-    println!("snapshot of rank {} taken from the substitute", snapshot.rank);
+    println!(
+        "snapshot of rank {} taken from the substitute",
+        snapshot.rank
+    );
     println!("  send sequence numbers : {:?}", snapshot.send_seq);
     println!("recovered process:");
     println!("  physical identity     : endpoint 3 (rank 1, replica 1)");
-    println!("  resumes send seq      : {:?}", recovered.send_sequence_numbers());
-    println!("  duplicate filter knows about seq 0..=2 from rank 0: {}",
-        recovered.has_delivered(0, 2));
+    println!(
+        "  resumes send seq      : {:?}",
+        recovered.send_sequence_numbers()
+    );
+    println!(
+        "  duplicate filter knows about seq 0..=2 from rank 0: {}",
+        recovered.has_delivered(0, 2)
+    );
     assert_eq!(recovered.send_sequence_numbers(), vec![17, 0]);
     assert!(recovered.has_delivered(0, 2));
     assert!(!recovered.has_delivered(0, 3));

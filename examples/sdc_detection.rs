@@ -39,11 +39,17 @@ fn main() {
         .network(LogGpModel::infiniband_20g())
         .protocol(Arc::new(factory))
         .cluster(Cluster::new(4, 1))
-        .placement(Placement::ReplicaSets { ranks: 2, degree: 2 })
+        .placement(Placement::ReplicaSets {
+            ranks: 2,
+            degree: 2,
+        })
         .run(app);
     println!("job finished: {}", job.all_finished());
     println!("hash messages exchanged : {}", job.stats.hash_msgs());
     println!("hash comparisons        : {}", report.comparisons());
     println!("corruptions detected    : {}", report.mismatches());
-    assert!(report.mismatches() >= 1, "the injected bit flip must be detected");
+    assert!(
+        report.mismatches() >= 1,
+        "the injected bit flip must be detected"
+    );
 }

@@ -46,7 +46,10 @@ fn figure3_crash_of_p11_after_first_send() {
             continue;
         }
         let (received, sum) = proc.outcome.result().copied().unwrap_or_else(|| {
-            panic!("process {:?} did not finish: {:?}", proc.endpoint, proc.outcome)
+            panic!(
+                "process {:?} did not finish: {:?}",
+                proc.endpoint, proc.outcome
+            )
         });
         assert_eq!(received, rounds);
         if proc.app_rank == 0 {
@@ -100,7 +103,10 @@ fn double_crash_in_different_ranks_is_survived() {
             continue;
         }
         let (received, _) = proc.outcome.result().copied().unwrap_or_else(|| {
-            panic!("survivor {:?} did not finish: {:?}", proc.endpoint, proc.outcome)
+            panic!(
+                "survivor {:?} did not finish: {:?}",
+                proc.endpoint, proc.outcome
+            )
         });
         assert_eq!(received, rounds);
     }

@@ -54,7 +54,9 @@ fn figure4_recovery_of_p11() {
     let mut p10 = SdrProtocol::new(EndpointId(2), ranks, cfg);
 
     // --- step 1: p¹₁ fails, everyone learns about it -----------------------
-    fabric.failure().record_failure(EndpointId(3), SimTime::ZERO);
+    fabric
+        .failure()
+        .record_failure(EndpointId(3), SimTime::ZERO);
     pump(&mut pml0, &mut p00);
     pump(&mut pml1, &mut p01);
     pump(&mut pml2, &mut p10);
@@ -75,7 +77,10 @@ fn figure4_recovery_of_p11() {
     // --- step 3: rank 0 sends seq 1, NOT yet received by the substitute ----
     let s00_1 = p00.isend(&mut pml0, 1, CommId::WORLD, 5, payload(1));
     let s10_1 = p10.isend(&mut pml2, 1, CommId::WORLD, 5, payload(1));
-    assert!(!p10.send_complete(&mut pml2, s10_1), "no ack yet: substitute has not received seq 1");
+    assert!(
+        !p10.send_complete(&mut pml2, s10_1),
+        "no ack yet: substitute has not received seq 1"
+    );
 
     // --- step 4: the substitute forks the new replica and notifies ---------
     let coordinator = RecoveryCoordinator::new(layout);
@@ -93,7 +98,11 @@ fn figure4_recovery_of_p11() {
     pump(&mut pml0, &mut p00); // liveness update only
     let resends_before = p10.counters().resends;
     pump(&mut pml2, &mut p10); // p¹₀ replays seq 1 to the new replica
-    assert_eq!(p10.counters().resends, resends_before + 1, "exactly the unacknowledged message is replayed");
+    assert_eq!(
+        p10.counters().resends,
+        resends_before + 1,
+        "exactly the unacknowledged message is replayed"
+    );
 
     // --- step 6: the recovered replica receives the replayed message -------
     let r11_1 = p11.irecv(&mut pml3, Some(0), CommId::WORLD, TagSel::Tag(5));
@@ -101,7 +110,11 @@ fn figure4_recovery_of_p11() {
     assert!(p11.recv_complete(&mut pml3, r11_1));
     let (status, data) = p11.take_recv(&mut pml3, r11_1).unwrap();
     assert_eq!(status.source, 0);
-    assert_eq!(&data[..], &payload(1)[..], "the recovered replica gets seq 1, not a duplicate of seq 0");
+    assert_eq!(
+        &data[..],
+        &payload(1)[..],
+        "the recovered replica gets seq 1, not a duplicate of seq 0"
+    );
 
     // The substitute eventually receives its own copy of seq 1 and acks p¹₀.
     let r01_1 = p01.irecv(&mut pml1, Some(0), CommId::WORLD, TagSel::Tag(5));
@@ -123,6 +136,9 @@ fn figure4_recovery_of_p11() {
     assert!(p01.recv_complete(&mut pml1, r01_2));
     pump(&mut pml0, &mut p00);
     pump(&mut pml2, &mut p10);
-    assert!(p00.send_complete(&mut pml0, s00_2), "ack from the recovered replica completes p⁰₀'s send");
+    assert!(
+        p00.send_complete(&mut pml0, s00_2),
+        "ack from the recovered replica completes p⁰₀'s send"
+    );
     assert!(p10.send_complete(&mut pml2, s10_2));
 }

@@ -17,7 +17,9 @@ fn all_nas_kernels_match_native_under_replication() {
     for kernel in NasKernel::all() {
         let app = move |p: &mut Process| run_kernel(kernel, p, &cfg);
         let native = native_job(4).network(fast()).run(app);
-        let repl = replicated_job(4, ReplicationConfig::dual()).network(fast()).run(app);
+        let repl = replicated_job(4, ReplicationConfig::dual())
+            .network(fast())
+            .run(app);
         assert!(native.all_finished() && repl.all_finished(), "{kernel:?}");
         assert_eq!(
             native.primary_results(),
@@ -60,8 +62,8 @@ fn overheads_stay_small_for_compute_bound_hpccg() {
         .run(app);
     assert!(native.all_finished() && repl.all_finished());
     assert_eq!(native.primary_results(), repl.primary_results());
-    let overhead = (repl.elapsed.as_secs_f64() - native.elapsed.as_secs_f64())
-        / native.elapsed.as_secs_f64();
+    let overhead =
+        (repl.elapsed.as_secs_f64() - native.elapsed.as_secs_f64()) / native.elapsed.as_secs_f64();
     assert!(
         overhead < 0.05,
         "HPCCG replication overhead {:.2}% exceeds the paper's 5% bound",
@@ -85,7 +87,9 @@ fn crash_during_collective_heavy_run_is_survived() {
         });
     assert_eq!(report.crashed(), vec![EndpointId(5)]);
     // Every primary-replica process finishes with the correct result.
-    let expected: f64 = (0..8).map(|i| (0 + i) + (1 + i) + (2 + i) + (3 + i)).sum::<usize>() as f64;
+    let expected: f64 = (0..8)
+        .map(|i| (0 + i) + (1 + i) + (2 + i) + (3 + i))
+        .sum::<usize>() as f64;
     for proc in report.processes.iter().filter(|p| p.primary) {
         assert!(proc.outcome.is_finished());
         assert_eq!(proc.outcome.result(), Some(&expected));
@@ -103,7 +107,7 @@ fn wall_clock_doubles_resources_not_time() {
         .network(LogGpModel::infiniband_20g())
         .run(app);
     assert_eq!(repl.processes.len(), 2 * native.processes.len());
-    let overhead = (repl.elapsed.as_secs_f64() - native.elapsed.as_secs_f64())
-        / native.elapsed.as_secs_f64();
+    let overhead =
+        (repl.elapsed.as_secs_f64() - native.elapsed.as_secs_f64()) / native.elapsed.as_secs_f64();
     assert!(overhead < 0.05, "MG overhead {:.2}%", overhead * 100.0);
 }

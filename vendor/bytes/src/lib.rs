@@ -1,0 +1,130 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! Provides the subset of [`Bytes`] used by this workspace: an immutable,
+//! cheaply cloneable byte buffer backed by an `Arc<[u8]>`. Clones share the
+//! allocation; all read access goes through `Deref<Target = [u8]>`.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable, reference-counted byte buffer.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// Creates an empty buffer (no allocation is shared, but empty slices are cheap).
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Creates a buffer from a static slice (copied once into shared storage).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    /// Creates a buffer by copying the given slice.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    /// Length of the buffer in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns a new `Bytes` holding a copy of the given subrange.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Self {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.0.len(),
+        };
+        Bytes(Arc::from(&self.0[start..end]))
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(v: &'static str) -> Self {
+        Bytes(Arc::from(v.as_bytes()))
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.0.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(&a[..], &b[..]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn slice_copies_subrange() {
+        let a = Bytes::from_static(b"hello world");
+        assert_eq!(&a.slice(0..5)[..], b"hello");
+        assert_eq!(&a.slice(6..)[..], b"world");
+    }
+}

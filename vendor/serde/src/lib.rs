@@ -1,0 +1,8 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and network-model
+//! types purely as forward-compatible annotations — nothing is serialized at
+//! runtime yet. This facade re-exports no-op derive macros so those
+//! annotations compile without the real serde dependency.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,16 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline serde
+//! stand-in. The workspace only uses serde derives as forward-compatible
+//! annotations on config/model types; nothing serializes at runtime yet, so
+//! the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
