@@ -1,7 +1,9 @@
-//! Criterion micro-bench of SDR-MPI's duplicate-filter (SeqTracker), the hot
-//! per-message data structure of the replication layer.
+//! Criterion micro-bench of SDR-MPI's ack-path bookkeeping: the
+//! duplicate-filter (SeqTracker) and the ack-driven garbage collection of the
+//! send log, the two hot per-message data structures of the replication layer.
 use criterion::{criterion_group, criterion_main, Criterion};
-use sdr_core::SeqTracker;
+use sdr_core::{replicated_job, ReplicationConfig, SeqTracker};
+use sim_net::LogGpModel;
 
 fn bench_seq_tracker(c: &mut Criterion) {
     let mut group = c.benchmark_group("ack_bookkeeping");
@@ -28,5 +30,48 @@ fn bench_seq_tracker(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_seq_tracker);
+/// The send log must not grow with message count: every entry is reclaimed by
+/// the ack-driven GC (or at `MPI_Wait`, whichever is later). Runs a
+/// 128-round replicated exchange and asserts `send_log_len()` stays bounded
+/// by the number of *outstanding* requests, not total traffic.
+fn bench_send_log_gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ack_bookkeeping");
+    group.bench_function("send_log_bounded_128_rounds_dual", |b| {
+        b.iter(|| {
+            let rounds = 128u64;
+            let report = replicated_job(2, ReplicationConfig::dual())
+                .network(LogGpModel::fast_test_model())
+                .run(move |p| {
+                    let world = p.world();
+                    let peer = 1 - p.rank();
+                    for i in 0..rounds {
+                        let (_, v) = p.sendrecv_bytes(
+                            world,
+                            peer,
+                            0,
+                            bytes::Bytes::from(vec![(i % 256) as u8; 256]),
+                            peer as i64,
+                            0,
+                        );
+                        assert_eq!(v.len(), 256);
+                        let log = p.protocol().send_log_len();
+                        assert!(
+                            log <= 2,
+                            "send log grew to {log} entries after {i} rounds: GC failed"
+                        );
+                    }
+                    p.protocol().send_log_len()
+                });
+            assert!(report.all_finished());
+            for proc in &report.processes {
+                let final_log = proc.outcome.result().copied().unwrap();
+                assert!(final_log <= 1, "send log not drained: {final_log} entries");
+            }
+            report.elapsed
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq_tracker, bench_send_log_gc);
 criterion_main!(benches);

@@ -54,6 +54,49 @@ fn bench_matching(c: &mut Criterion) {
             eng
         })
     });
+    // The scaling case the (comm, src, tag) index exists for: with 1k posted
+    // receives and arrivals in *reverse* posting order, a linear scan walks
+    // nearly the whole queue per message (O(n²) total); the bucket index
+    // stays O(1) per message.
+    group.bench_function("post_1k_match_reverse_order", |b| {
+        b.iter(|| {
+            let mut eng = MatchingEngine::new();
+            for i in 0..1_000u64 {
+                eng.post_recv(PostedRecv {
+                    req: PmlReqId(i),
+                    src: Some(EndpointId(0)),
+                    comm: CommId::WORLD,
+                    tag: TagSel::Tag(i as i64),
+                });
+            }
+            for i in (0..1_000u64).rev() {
+                let matched = eng.incoming(msg(0, i as i64, i));
+                assert!(matched.is_some());
+            }
+            eng
+        })
+    });
+    // A 512-process gather at the root: one posted receive per source, the
+    // messages land in the opposite order. This is the per-collective pattern
+    // of the 256-rank Table 1 runs.
+    group.bench_function("root_gather_512_distinct_sources", |b| {
+        b.iter(|| {
+            let mut eng = MatchingEngine::new();
+            for i in 0..512u64 {
+                eng.post_recv(PostedRecv {
+                    req: PmlReqId(i),
+                    src: Some(EndpointId(i as usize)),
+                    comm: CommId::WORLD,
+                    tag: TagSel::Tag(7),
+                });
+            }
+            for i in (0..512u64).rev() {
+                let matched = eng.incoming(msg(i as usize, 7, i));
+                assert!(matched.is_some());
+            }
+            eng
+        })
+    });
     group.finish();
 }
 

@@ -1,11 +1,15 @@
 //! Regenerates Table 1: NAS-like kernels (BT, CG, FT, MG, SP), native vs SDR-MPI.
-use workloads::nas::NasConfig;
+//!
+//! Usage: `table1_nas [--ranks N] [--class s|test|d] [--workers W]`
+//!
+//! The paper evaluates at 256 ranks; `--ranks 64|128|256` reproduces that
+//! scaling axis (pair large rank counts with `--class s`, the smallest NAS
+//! class). The scheduler multiplexes all simulated processes — 512 of them at
+//! `--ranks 256` under dual replication — over a worker pool bounded by the
+//! host core count (override with `--workers`).
 fn main() {
-    let ranks = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16);
-    let rows = sdr_bench::table1_rows(ranks, NasConfig::class_d_like());
+    let (ranks, cfg, tuning) = sdr_bench::parse_harness_args(std::env::args().skip(1), 16);
+    let rows = sdr_bench::table1_rows_tuned(ranks, cfg, tuning);
     print!(
         "{}",
         sdr_bench::format_comparison_table(

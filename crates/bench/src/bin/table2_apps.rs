@@ -1,10 +1,11 @@
 //! Regenerates Table 2: HPCCG and CM1 (applications with MPI_ANY_SOURCE).
+//!
+//! Usage: `table2_apps [--ranks N] [--workers W]` (`--class` is accepted for
+//! symmetry with `table1_nas` but ignored: Table 2's applications carry their
+//! own problem configuration).
 fn main() {
-    let ranks = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16);
-    let rows = sdr_bench::table2_rows(ranks);
+    let (ranks, _cfg, tuning) = sdr_bench::parse_harness_args(std::env::args().skip(1), 16);
+    let rows = sdr_bench::table2_rows_tuned(ranks, tuning);
     print!(
         "{}",
         sdr_bench::format_comparison_table(

@@ -23,7 +23,7 @@ use std::sync::Arc;
 use workloads::apps::{run_cm1, run_hpccg, AppConfig};
 use workloads::nas::{run_kernel, NasConfig, NasKernel};
 use workloads::netpipe::{self, NetpipePoint};
-use workloads::runner::{compare_protocols, ComparisonRow, WorkloadSpec};
+use workloads::runner::{compare_protocols_tuned, ComparisonRow, RunTuning, WorkloadSpec};
 
 /// One row of the Figure 7 sweep: native and replicated measurements for a
 /// message size, plus the relative performance decrease.
@@ -78,12 +78,19 @@ pub fn fig7_default_sizes() -> Vec<usize> {
 
 /// Table 1: the five NAS-like kernels, native vs dual replication.
 pub fn table1_rows(ranks: usize, cfg: NasConfig) -> Vec<ComparisonRow> {
+    table1_rows_tuned(ranks, cfg, RunTuning::default())
+}
+
+/// [`table1_rows`] with explicit execution-layer tuning — the entry point of
+/// the `--ranks`/`--workers` scaling axis (64/128/256-rank configurations run
+/// through the same bounded scheduler pool as the 16-rank default).
+pub fn table1_rows_tuned(ranks: usize, cfg: NasConfig, tuning: RunTuning) -> Vec<ComparisonRow> {
     NasKernel::all()
         .iter()
         .map(|&kernel| {
             let spec =
                 WorkloadSpec::new(kernel.name(), ranks, move |p| run_kernel(kernel, p, &cfg));
-            compare_protocols(&spec, ReplicationConfig::dual())
+            compare_protocols_tuned(&spec, ReplicationConfig::dual(), tuning)
         })
         .collect()
 }
@@ -91,18 +98,79 @@ pub fn table1_rows(ranks: usize, cfg: NasConfig) -> Vec<ComparisonRow> {
 /// Table 2: HPCCG and CM1 (both with anonymous receptions), native vs dual
 /// replication.
 pub fn table2_rows(ranks: usize) -> Vec<ComparisonRow> {
+    table2_rows_tuned(ranks, RunTuning::default())
+}
+
+/// [`table2_rows`] with explicit execution-layer tuning (see
+/// [`table1_rows_tuned`]).
+pub fn table2_rows_tuned(ranks: usize, tuning: RunTuning) -> Vec<ComparisonRow> {
     let hpccg_cfg = AppConfig::hpccg_paper_like();
     let cm1_cfg = AppConfig::cm1_paper_like();
     vec![
-        compare_protocols(
+        compare_protocols_tuned(
             &WorkloadSpec::new("HPCCG", ranks, move |p| run_hpccg(p, &hpccg_cfg)),
             ReplicationConfig::dual(),
+            tuning,
         ),
-        compare_protocols(
+        compare_protocols_tuned(
             &WorkloadSpec::new("CM1", ranks, move |p| run_cm1(p, &cm1_cfg)),
             ReplicationConfig::dual(),
+            tuning,
         ),
     ]
+}
+
+/// Shared CLI parsing for the table harnesses: `--ranks N`, `--class
+/// s|test|d`, `--workers N`, plus a bare positional rank count for backwards
+/// compatibility. Returns `(ranks, nas config, tuning)`.
+pub fn parse_harness_args<I: Iterator<Item = String>>(
+    args: I,
+    default_ranks: usize,
+) -> (usize, NasConfig, RunTuning) {
+    let mut ranks = default_ranks;
+    let mut cfg = NasConfig::class_d_like();
+    let mut tuning = RunTuning::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ranks" => {
+                ranks = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--ranks needs a positive integer");
+            }
+            "--class" => {
+                let name = args.next().expect("--class needs a class name");
+                cfg = NasConfig::from_class_name(&name)
+                    .unwrap_or_else(|| panic!("unknown NAS class {name:?} (use s, test or d)"));
+            }
+            "--workers" => {
+                let w: usize = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--workers needs a positive integer");
+                assert!(w > 0, "--workers needs a positive integer");
+                if w < sim_net::sched::MIN_WORKERS {
+                    eprintln!(
+                        "note: the scheduler enforces a minimum pool of {} workers \
+                         (requested {w}); the run will use {}",
+                        sim_net::sched::MIN_WORKERS,
+                        sim_net::sched::MIN_WORKERS
+                    );
+                }
+                tuning.workers = Some(w);
+            }
+            other => {
+                if let Ok(n) = other.parse() {
+                    ranks = n;
+                } else {
+                    panic!("unrecognised argument {other:?}");
+                }
+            }
+        }
+    }
+    assert!(ranks > 0, "rank count must be positive");
+    (ranks, cfg, tuning)
 }
 
 /// Result of the Figure 2 comparison: wall-clock time of an anonymous

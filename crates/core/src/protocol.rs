@@ -22,7 +22,9 @@ use crate::config::{AckOn, ReplicationConfig};
 use crate::layout::ReplicaLayout;
 use bytes::Bytes;
 use sim_mpi::pml::{MsgMeta, Pml, PmlEvent};
-use sim_mpi::{CommId, PmlReqId, ProtoRecvReq, ProtoSendReq, Protocol, Rank, Status, Tag, TagSel};
+use sim_mpi::{
+    CommId, MpiError, PmlReqId, ProtoRecvReq, ProtoSendReq, Protocol, Rank, Status, Tag, TagSel,
+};
 use sim_net::stats::class;
 use sim_net::{EndpointId, FailureEvent, SimTime};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -89,6 +91,10 @@ pub(crate) struct SendEntry {
     /// application-level send completion (return from `MPI_Wait`) is
     /// time-stamped no earlier than this.
     pub(crate) completion_floor: SimTime,
+    /// The application has released its request handle. Once this entry is
+    /// also fully acked it is garbage — the ack-driven GC removes it the
+    /// moment the last acknowledgement arrives, keeping the send log bounded.
+    pub(crate) app_freed: bool,
 }
 
 impl SendEntry {
@@ -292,10 +298,19 @@ impl SdrProtocol {
         let matching = self
             .sends
             .iter_mut()
-            .find(|(_, e)| e.dst_rank == dst_rank && e.seq == seq);
-        if let Some((_, entry)) = matching {
-            entry.acks_received.insert(from);
-            entry.completion_floor = entry.completion_floor.max(arrival);
+            .find(|(_, e)| e.dst_rank == dst_rank && e.seq == seq)
+            .map(|(id, entry)| {
+                entry.acks_received.insert(from);
+                entry.completion_floor = entry.completion_floor.max(arrival);
+                (*id, entry.app_freed && entry.fully_acked())
+            });
+        if let Some((id, garbage)) = matching {
+            if garbage {
+                // Ack-driven GC: the application already released the request
+                // and this was the last missing acknowledgement — the payload
+                // can never be needed for a re-send again.
+                self.sends.remove(&id);
+            }
         } else if seq >= self.send_seq[dst_rank] {
             // The ack raced ahead of the local send (replicas may skew):
             // remember it until the send is posted.
@@ -424,7 +439,10 @@ impl SdrProtocol {
                 }
             }
             for (comm, tag, seq, payload) in replays {
-                pml.isend(recovered, comm, tag, seq as i64, payload);
+                let req = pml.isend(recovered, comm, tag, seq as i64, payload);
+                // PML sends complete immediately; free the handle right away
+                // so replays do not leak request-table entries.
+                pml.free(req);
                 self.counters.resends += 1;
             }
         }
@@ -445,8 +463,13 @@ impl SdrProtocol {
         let (failed_rank, failed_rep) = self.layout.locate(ev.endpoint);
         let Some(sub) = self.elect_substitute(failed_rank) else {
             // Every replica of the rank is gone; nothing the protocol can do
-            // (the paper would fall back to checkpoint/restart here).
-            return;
+            // (the paper would fall back to checkpoint/restart here). Abort
+            // this process with a clear error instead of letting the job hang
+            // on receives that can never be satisfied.
+            std::panic::panic_any(MpiError::RankLost {
+                rank: failed_rank,
+                degree: self.cfg.degree,
+            });
         };
 
         if failed_rank == self.my_rank {
@@ -532,6 +555,16 @@ impl SdrProtocol {
                 pml.redirect_recv(pml_req, Some(new_src));
             }
         }
+        self.collect_send_log_garbage();
+    }
+
+    /// Drop send-log entries whose request the application has released and
+    /// whose acknowledgements are all in. Called after every state change
+    /// that can complete an entry's ack set without going through
+    /// [`SdrProtocol::register_ack`] (the failure handler force-completes
+    /// acks of dead replicas).
+    fn collect_send_log_garbage(&mut self) {
+        self.sends.retain(|_, e| !(e.app_freed && e.fully_acked()));
     }
 }
 
@@ -577,6 +610,7 @@ impl Protocol for SdrProtocol {
             acks_expected: BTreeSet::new(),
             acks_received: BTreeSet::new(),
             completion_floor: SimTime::ZERO,
+            app_freed: false,
         };
         // Algorithm 1, MPI_Isend (lines 4-9): send directly to every replica in
         // physicalDests, expect an ack from every other alive replica.
@@ -687,16 +721,27 @@ impl Protocol for SdrProtocol {
     }
 
     fn free_send(&mut self, pml: &mut Pml, req: ProtoSendReq) {
-        if let Some(entry) = self.sends.remove(&req.0) {
+        let fully_acked = {
+            let Some(entry) = self.sends.get_mut(&req.0) else {
+                return;
+            };
             // The application-level send completion (return from MPI_Wait)
             // happens no earlier than the last acknowledgement it waited for.
             pml.endpoint_mut()
                 .clock_mut()
                 .sync_to(entry.completion_floor);
-            for r in entry.pml_reqs {
+            for r in std::mem::take(&mut entry.pml_reqs) {
                 pml.free(r);
             }
+            entry.app_freed = true;
+            entry.fully_acked()
+        };
+        if fully_acked {
+            self.sends.remove(&req.0);
         }
+        // Not fully acked: the entry stays in the send log so a substitute
+        // can still re-send the payload; the ack-driven GC reclaims it when
+        // the last acknowledgement arrives.
     }
 
     fn handle_event(&mut self, pml: &mut Pml, ev: PmlEvent) {
@@ -734,6 +779,10 @@ impl Protocol for SdrProtocol {
             waiting_acks,
             self.recvs.len()
         )
+    }
+
+    fn send_log_len(&self) -> usize {
+        self.sends.len()
     }
 }
 
@@ -820,5 +869,108 @@ mod tests {
     fn counters_start_at_zero() {
         let proto = SdrProtocol::new(EndpointId(0), 2, ReplicationConfig::dual());
         assert_eq!(proto.counters(), SdrCounters::default());
+    }
+
+    fn pml_for(endpoint: usize, n: usize) -> Pml {
+        use sim_net::{Cluster, Fabric, LogGpModel, Placement};
+        let f = Fabric::new(
+            n,
+            LogGpModel::fast_test_model(),
+            Cluster::new(n, 1),
+            Placement::Packed,
+        );
+        Pml::new(f.endpoint(EndpointId(endpoint)))
+    }
+
+    #[test]
+    fn ack_driven_gc_prunes_entry_freed_before_last_ack() {
+        // Rank 0 replica 0 (endpoint 0) sends to rank 1; the ack expected
+        // from rank 1's replica 1 (endpoint 3) has not arrived when the
+        // application releases the request. The entry must stay in the send
+        // log (a substitute may still need the payload) and be reclaimed the
+        // moment the ack lands.
+        let mut pml = pml_for(0, 4);
+        let mut proto = SdrProtocol::new(EndpointId(0), 2, ReplicationConfig::dual());
+        let req = proto.isend(&mut pml, 1, CommId::WORLD, 7, Bytes::from_static(b"log me"));
+        assert_eq!(proto.send_log_len(), 1);
+        proto.free_send(&mut pml, req);
+        assert_eq!(
+            proto.send_log_len(),
+            1,
+            "entry retained while an ack is outstanding"
+        );
+        proto.handle_event(
+            &mut pml,
+            sim_mpi::PmlEvent::Control {
+                src: EndpointId(3),
+                class: class::ACK,
+                header: SdrProtocol::ack_header(0, 1, 0),
+                payload: Bytes::new(),
+                arrival: SimTime::from_nanos(50),
+            },
+        );
+        assert_eq!(
+            proto.send_log_len(),
+            0,
+            "last ack garbage-collects the entry"
+        );
+        assert_eq!(proto.counters().acks_received, 1);
+    }
+
+    #[test]
+    fn fully_acked_entry_freed_immediately_on_app_free() {
+        let mut pml = pml_for(0, 4);
+        let mut proto = SdrProtocol::new(EndpointId(0), 2, ReplicationConfig::dual());
+        let req = proto.isend(&mut pml, 1, CommId::WORLD, 7, Bytes::from_static(b"x"));
+        proto.handle_event(
+            &mut pml,
+            sim_mpi::PmlEvent::Control {
+                src: EndpointId(3),
+                class: class::ACK,
+                header: SdrProtocol::ack_header(0, 1, 0),
+                payload: Bytes::new(),
+                arrival: SimTime::from_nanos(50),
+            },
+        );
+        assert_eq!(proto.send_log_len(), 1, "retained until the app frees it");
+        assert!(proto.send_complete(&mut pml, req));
+        proto.free_send(&mut pml, req);
+        assert_eq!(proto.send_log_len(), 0);
+    }
+
+    #[test]
+    fn losing_every_replica_of_a_rank_aborts_with_clear_error() {
+        let mut pml = pml_for(0, 4);
+        let mut proto = SdrProtocol::new(EndpointId(0), 2, ReplicationConfig::dual());
+        // First failure of rank 1 elects the other replica as substitute.
+        proto.handle_event(
+            &mut pml,
+            sim_mpi::PmlEvent::ProcessFailed(sim_net::FailureEvent {
+                endpoint: EndpointId(1),
+                at: SimTime::ZERO,
+                seq: 0,
+            }),
+        );
+        // Second failure leaves rank 1 with no replica: clear abort.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            proto.handle_event(
+                &mut pml,
+                sim_mpi::PmlEvent::ProcessFailed(sim_net::FailureEvent {
+                    endpoint: EndpointId(3),
+                    at: SimTime::ZERO,
+                    seq: 1,
+                }),
+            );
+        }));
+        let err = result.expect_err("losing every replica must abort");
+        let mpi_err = err
+            .downcast_ref::<MpiError>()
+            .expect("panic payload is an MpiError");
+        assert_eq!(
+            *mpi_err,
+            MpiError::RankLost { rank: 1, degree: 2 },
+            "error names the lost rank"
+        );
+        assert!(mpi_err.to_string().contains("rank 1"));
     }
 }

@@ -13,8 +13,10 @@
 //! * a protocol interception layer equivalent to Open MPI's vProtocol
 //!   framework, through which SDR-MPI and the baseline replication protocols
 //!   are implemented without touching the rest of the library — [`protocol`];
-//! * a job launcher that runs each simulated MPI process on its own OS thread
-//!   over the `sim-net` virtual-time fabric — [`runtime`].
+//! * a job launcher that runs each simulated MPI process as a schedulable
+//!   process over the `sim-net` virtual-time fabric — bounded worker pool,
+//!   park/unpark blocking, quiescence-based deadlock detection — so one host
+//!   can launch hundreds of simulated processes — [`runtime`].
 //!
 //! ## Quick example
 //!

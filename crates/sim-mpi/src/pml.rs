@@ -448,18 +448,33 @@ impl Pml {
 
     /// Non-blocking progress: drain virtually-arrived messages, poll the
     /// failure detector, and return all events generated since the last call.
+    ///
+    /// An empty poll feeds the endpoint's idle counter: scheduler-managed
+    /// processes that busy-poll (`MPI_Test` loops) cooperatively yield their
+    /// run permit after enough fruitless calls, so a poller can never starve
+    /// the bounded worker pool.
     pub fn progress(&mut self) -> Vec<PmlEvent> {
         self.poll_failures();
+        let mut drained_any = false;
         while let Some(raw) = self.ep.try_recv() {
+            drained_any = true;
             self.process_raw(raw);
         }
-        std::mem::take(&mut self.pending_events)
+        let events = std::mem::take(&mut self.pending_events);
+        if drained_any || !events.is_empty() {
+            self.ep.busy_poll();
+        } else {
+            self.ep.idle_poll();
+        }
+        events
     }
 
     /// Blocking progress: like [`Pml::progress`], but if no event is pending
-    /// the call blocks (in real time) for the next message, advancing the
-    /// virtual clock to its arrival. Returns [`MpiError::Deadlock`] if nothing
-    /// arrives within the fabric's timeout.
+    /// the call waits for the next message — by parking on the scheduler
+    /// (managed processes) or with the legacy real-time timeout (endpoints
+    /// driven manually). Returns [`MpiError::Deadlock`] when the scheduler's
+    /// quiescence check proves the job stuck, when the real-time timeout
+    /// elapses, or when the transport is torn down.
     ///
     /// `waiting_for` describes what the caller is blocked on, for diagnostics.
     pub fn progress_blocking(&mut self, waiting_for: &str) -> MpiResult<Vec<PmlEvent>> {
@@ -468,7 +483,7 @@ impl Pml {
             return Ok(events);
         }
         match self.ep.recv_blocking() {
-            Some(raw) => {
+            Ok(raw) => {
                 self.process_raw(raw);
                 // Drain anything else that became visible.
                 while let Some(raw) = self.ep.try_recv() {
@@ -477,15 +492,15 @@ impl Pml {
                 self.poll_failures();
                 Ok(std::mem::take(&mut self.pending_events))
             }
-            None => {
-                // recv_blocking returns None on timeout; check failures one
-                // more time (a failure notification may be what unblocks us).
+            Err(err) => {
+                // Check failures one more time (a failure notification may be
+                // what unblocks us) before declaring the deadlock.
                 self.poll_failures();
                 let events = std::mem::take(&mut self.pending_events);
                 if events.is_empty() {
                     Err(MpiError::Deadlock {
                         endpoint: self.ep.id(),
-                        waiting_for: waiting_for.to_string(),
+                        waiting_for: format!("{waiting_for} [{err}]"),
                     })
                 } else {
                     Ok(events)

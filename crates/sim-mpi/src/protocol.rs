@@ -99,6 +99,14 @@ pub trait Protocol: Send {
     fn describe_pending(&self) -> String {
         String::new()
     }
+
+    /// Number of send-log entries the protocol currently retains (payloads
+    /// kept for post-failure re-sends). Protocols without a send log report 0.
+    /// Exposed so experiments can assert the log stays bounded under
+    /// ack-driven garbage collection.
+    fn send_log_len(&self) -> usize {
+        0
+    }
 }
 
 /// Builds one [`Protocol`] instance per physical process. The factory also

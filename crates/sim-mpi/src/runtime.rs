@@ -1,11 +1,22 @@
-//! The job launcher: spawns one OS thread per physical process, wires each to
-//! the fabric and the selected protocol, runs the application closure, and
-//! collects a [`JobReport`].
+//! The job launcher: runs every physical process as a *schedulable process*
+//! over the `sim-net` [`sim_net::Scheduler`], wires each to the fabric and the
+//! selected protocol, runs the application closure, and collects a
+//! [`JobReport`].
+//!
+//! Each simulated process owns a carrier thread (the stack its application
+//! closure lives on), but carriers only execute while holding one of the
+//! scheduler's bounded run permits — `workers` of them, defaulting to the host
+//! core count. Blocked processes park on the scheduler instead of pinning an
+//! OS thread in a timed channel wait, which is what lets a single job launch
+//! the paper's 256-rank (512 physical processes at dual replication)
+//! configurations on a laptop: concurrency never exceeds the worker pool, and
+//! parked carriers cost nothing but their (small) stacks.
 //!
 //! Crashed processes (scheduled via [`sim_net::CrashSchedule`]) unwind with a
 //! `CrashSignal` panic that the launcher converts into a
-//! [`ProcessOutcome::Crashed`] record rather than a test failure; deadlocks
-//! (no progress within the fabric's real-time timeout) become
+//! [`ProcessOutcome::Crashed`] record rather than a test failure; deadlocks —
+//! detected exactly, by the scheduler's quiescence check (run queue empty, no
+//! message in flight, unfinished processes parked) — become
 //! [`ProcessOutcome::Deadlocked`]. The job's *elapsed* virtual time — the
 //! quantity reported in the paper's tables — is the maximum finish time over
 //! the processes that completed the application.
@@ -104,6 +115,11 @@ pub struct JobReport<R> {
     pub protocol: String,
     /// The shared event trace (empty unless tracing was enabled).
     pub trace: EventTrace,
+    /// Size of the scheduler's worker pool the job ran with.
+    pub workers: usize,
+    /// Highest number of simultaneously executing simulated processes the
+    /// scheduler observed — always `<= workers` outside deadlock teardown.
+    pub peak_concurrency: usize,
 }
 
 impl<R> JobReport<R> {
@@ -154,7 +170,14 @@ pub struct JobBuilder {
     pml_config: PmlConfig,
     trace: bool,
     recv_timeout: Duration,
+    workers: Option<usize>,
+    proc_stack_bytes: usize,
 }
+
+/// Default carrier-thread stack size. Simulated processes keep their data on
+/// the heap (payloads are `Bytes`, workloads use `Vec`s), so a modest stack
+/// keeps a 512-process job cheap.
+const DEFAULT_PROC_STACK: usize = 1 << 20;
 
 impl JobBuilder {
     /// A job of `app_ranks` application ranks, run natively (no replication)
@@ -171,6 +194,8 @@ impl JobBuilder {
             pml_config: PmlConfig::default(),
             trace: false,
             recv_timeout: Duration::from_secs(20),
+            workers: None,
+            proc_stack_bytes: DEFAULT_PROC_STACK,
         }
     }
 
@@ -224,9 +249,26 @@ impl JobBuilder {
         self
     }
 
-    /// Real-time deadlock-detection timeout.
+    /// Real-time deadlock-detection timeout. Only a fallback for endpoints
+    /// driven outside the scheduler: processes launched by this builder detect
+    /// deadlocks through the scheduler's quiescence check instead.
     pub fn recv_timeout(mut self, timeout: Duration) -> Self {
         self.recv_timeout = timeout;
+        self
+    }
+
+    /// Size of the scheduler's worker pool: how many simulated processes may
+    /// execute concurrently. Defaults to `min(host cores, physical processes)`
+    /// and is clamped to at least [`sim_net::sched::MIN_WORKERS`].
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Stack size for each simulated process's carrier thread (default 1 MiB;
+    /// raise it for applications with deep recursion).
+    pub fn proc_stack_size(mut self, bytes: usize) -> Self {
+        self.proc_stack_bytes = bytes;
         self
     }
 
@@ -258,6 +300,15 @@ impl JobBuilder {
         } else {
             EventTrace::disabled()
         };
+        let workers = self
+            .workers
+            .unwrap_or_else(|| sim_net::sched::default_workers(physical));
+        fabric.scheduler().set_workers(workers);
+        // Register every process with the scheduler *before* any carrier
+        // starts, so the quiescence check can never misfire during launch.
+        for p in 0..physical {
+            fabric.scheduler().register(EndpointId(p));
+        }
         let app = Arc::new(app);
         let mut handles = Vec::with_capacity(physical);
         for p in 0..physical {
@@ -269,7 +320,17 @@ impl JobBuilder {
             let app_ranks = self.app_ranks;
             let handle = std::thread::Builder::new()
                 .name(format!("simproc-{p}"))
+                .stack_size(self.proc_stack_bytes)
                 .spawn(move || {
+                    // Mark the slot finished on every exit path (including
+                    // unexpected panics), so peers never wait on a ghost.
+                    let _finish = FinishGuard {
+                        fabric: Arc::clone(&fabric),
+                        endpoint: EndpointId(p),
+                    };
+                    // Block until the scheduler grants this process one of the
+                    // pool's run permits.
+                    fabric.scheduler().start(EndpointId(p));
                     let endpoint = fabric.endpoint(EndpointId(p));
                     let pml = Pml::with_config(endpoint, pml_config);
                     let protocol = factory.build(EndpointId(p), app_ranks);
@@ -323,7 +384,22 @@ impl JobBuilder {
             elapsed,
             protocol: self.factory.name().to_string(),
             trace,
+            workers: fabric.scheduler().workers(),
+            peak_concurrency: fabric.scheduler().peak_running(),
         }
+    }
+}
+
+/// Drop guard marking a simulated process finished with the scheduler on
+/// every carrier exit path.
+struct FinishGuard {
+    fabric: Arc<Fabric>,
+    endpoint: EndpointId,
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        self.fabric.scheduler().finish(self.endpoint);
     }
 }
 
@@ -584,6 +660,79 @@ mod tests {
         assert_eq!(report.crashed(), vec![EndpointId(1)]);
         assert_eq!(report.deadlocked(), vec![EndpointId(0)]);
         assert!(!report.all_finished());
+    }
+
+    #[test]
+    fn worker_pool_bounds_concurrency() {
+        // 12 physical processes over 2 run permits: the scheduler must never
+        // let more than 2 execute at once, and the job still completes.
+        let report = JobBuilder::new(12).network(fast()).workers(2).run(|p| {
+            let world = p.world();
+            let peer = (p.rank() + 1) % p.size();
+            let from = (p.rank() + p.size() - 1) % p.size();
+            for _ in 0..3 {
+                p.compute(SimTime::from_micros(5));
+                p.sendrecv_bytes(world, peer, 0, Bytes::from(vec![1u8; 64]), from as i64, 0);
+            }
+            p.rank()
+        });
+        assert!(report.all_finished());
+        assert_eq!(report.workers, 2);
+        assert!(
+            report.peak_concurrency <= 2,
+            "peak concurrency {} exceeded the 2-worker pool",
+            report.peak_concurrency
+        );
+    }
+
+    #[test]
+    fn many_processes_multiplex_over_few_workers() {
+        // 64 simulated processes on a 4-permit pool: well past the old
+        // "everything runs at once" regime.
+        let report = JobBuilder::new(64).network(fast()).workers(4).run(|p| {
+            let world = p.world();
+            let peer = (p.rank() + 1) % p.size();
+            let from = (p.rank() + p.size() - 1) % p.size();
+            let (_, data) = p.sendrecv_bytes(
+                world,
+                peer,
+                0,
+                Bytes::from(vec![p.rank() as u8; 8]),
+                from as i64,
+                0,
+            );
+            data[0] as usize
+        });
+        assert!(report.all_finished());
+        assert!(report.peak_concurrency <= 4);
+        for proc in &report.processes {
+            let from = (proc.app_rank + 64 - 1) % 64;
+            assert_eq!(proc.outcome.result(), Some(&from));
+        }
+    }
+
+    #[test]
+    fn deadlock_detected_by_quiescence_not_timeout() {
+        // The real-time timeout is deliberately enormous; only the scheduler's
+        // quiescence check can report this deadlock quickly.
+        let started = std::time::Instant::now();
+        let report = JobBuilder::new(2)
+            .network(fast())
+            .recv_timeout(Duration::from_secs(600))
+            .run(|p| {
+                let world = p.world();
+                if p.rank() == 0 {
+                    // Nobody ever sends tag 99.
+                    let (_, _) = p.recv_bytes(world, 1, 99);
+                }
+                p.rank()
+            });
+        assert_eq!(report.deadlocked(), vec![EndpointId(0)]);
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "quiescence verdict took {:?}: the real-time timeout was burnt instead",
+            started.elapsed()
+        );
     }
 
     #[test]

@@ -122,6 +122,16 @@ pub enum MpiError {
         /// The failed physical process.
         endpoint: EndpointId,
     },
+    /// Every replica of an application rank has failed: no substitute can be
+    /// elected and the job cannot make progress (the paper would fall back to
+    /// checkpoint/restart here). Surfaced as a clear job failure instead of a
+    /// hang.
+    RankLost {
+        /// The application rank whose replicas are all gone.
+        rank: usize,
+        /// The job's replication degree.
+        degree: usize,
+    },
 }
 
 impl fmt::Display for MpiError {
@@ -146,6 +156,13 @@ impl fmt::Display for MpiError {
             }
             MpiError::PeerFailed { endpoint } => {
                 write!(f, "peer process {} failed", endpoint.0)
+            }
+            MpiError::RankLost { rank, degree } => {
+                write!(
+                    f,
+                    "rank {rank} lost all {degree} replicas; no substitute available \
+                     (the job cannot continue without checkpoint/restart)"
+                )
             }
         }
     }

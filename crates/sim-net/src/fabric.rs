@@ -18,6 +18,7 @@
 use crate::clock::VirtualClock;
 use crate::failure::{CrashSignal, FailureService};
 use crate::model::NetworkModel;
+use crate::sched::{Park, Scheduler};
 use crate::stats::{class, NetStats};
 use crate::time::SimTime;
 use crate::topology::{Cluster, NodeId, Placement};
@@ -27,7 +28,7 @@ use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Identifier of a physical process / its fabric endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -70,6 +71,37 @@ impl RawMessage {
     }
 }
 
+/// Why a blocking receive returned without a message. Distinguishing these
+/// matters: a timeout *may* be a deadlock (the legacy real-time heuristic), a
+/// disconnect means the transport itself was torn down (fail fast instead of
+/// burning the timeout), and quiescence is the scheduler's exact deadlock
+/// verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No traffic arrived within the fabric's real-time timeout (only
+    /// possible for endpoints driven outside the scheduler).
+    Timeout,
+    /// The incoming channel was disconnected: the fabric side of this
+    /// endpoint's queue no longer exists.
+    Disconnected,
+    /// The scheduler's quiescence check fired: every unfinished process is
+    /// parked and no message is in flight — the job is deadlocked.
+    Quiescent,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Timeout => write!(f, "no traffic within the real-time timeout"),
+            RecvError::Disconnected => write!(f, "incoming channel disconnected"),
+            RecvError::Quiescent => write!(
+                f,
+                "scheduler quiescence: every unfinished process is blocked with no messages in flight"
+            ),
+        }
+    }
+}
+
 struct PendingMsg(Reverse<(SimTime, u64)>, RawMessage);
 
 impl PartialEq for PendingMsg {
@@ -104,6 +136,7 @@ pub struct Fabric {
     taken: Mutex<Vec<bool>>,
     stats: Arc<NetStats>,
     failure: FailureService,
+    sched: Scheduler,
     recv_timeout_ms: std::sync::atomic::AtomicU64,
 }
 
@@ -155,6 +188,7 @@ impl Fabric {
             taken: Mutex::new(vec![false; n]),
             stats: Arc::new(NetStats::new()),
             failure: FailureService::new(n),
+            sched: Scheduler::new(n),
             recv_timeout_ms: std::sync::atomic::AtomicU64::new(20_000),
         })
     }
@@ -178,6 +212,25 @@ impl Fabric {
     /// The failure injection/detection service.
     pub fn failure(&self) -> &FailureService {
         &self.failure
+    }
+
+    /// The process scheduler. Endpoints registered with it park on the
+    /// scheduler instead of doing timed channel waits; the job launcher in
+    /// `sim-mpi` registers every process it spawns.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.sched
+    }
+
+    /// Hand a message to its destination queue and wake the destination's
+    /// scheduler slot. Every delivery — application traffic, protocol
+    /// control messages and crash wake-ups — must go through here so that no
+    /// parked process can miss a message.
+    fn deliver(&self, msg: RawMessage) {
+        let dst = msg.dst;
+        // Sending to a torn-down queue may fail; the message is then simply
+        // lost, which is fine because nobody will ever wait on it.
+        let _ = self.senders[dst.0].send(msg);
+        self.sched.wake(dst);
     }
 
     /// The node hosting endpoint `e`.
@@ -224,12 +277,14 @@ impl Fabric {
         }
         Endpoint {
             id,
+            managed: self.sched.is_managed(id),
             fabric: Arc::clone(self),
             rx: self.receivers[id.0].clone(),
             clock: VirtualClock::new(),
             pending: BinaryHeap::new(),
             pending_seq: 0,
             app_sends: 0,
+            idle_polls: 0,
         }
     }
 
@@ -248,12 +303,17 @@ impl Fabric {
 /// clock and its incoming message queue.
 pub struct Endpoint {
     id: EndpointId,
+    /// Was this endpoint registered with the fabric's scheduler when taken?
+    /// Managed endpoints park on the scheduler instead of doing timed waits.
+    managed: bool,
     fabric: Arc<Fabric>,
     rx: Receiver<RawMessage>,
     clock: VirtualClock,
     pending: BinaryHeap<PendingMsg>,
     pending_seq: u64,
     app_sends: u64,
+    /// Consecutive empty progress polls; drives the cooperative yield.
+    idle_polls: u32,
 }
 
 impl std::fmt::Debug for Endpoint {
@@ -318,7 +378,7 @@ impl Endpoint {
         let svc = self.fabric.failure();
         if svc.should_crash(self.id, self.clock.now(), self.app_sends, pre_send) {
             let ev = svc.record_failure(self.id, self.clock.now());
-            for (i, tx) in self.fabric.senders.iter().enumerate() {
+            for i in 0..self.fabric.n {
                 if i == self.id.0 {
                     continue;
                 }
@@ -331,7 +391,7 @@ impl Endpoint {
                     injected_at: ev.at,
                     arrival: ev.at,
                 };
-                let _ = tx.send(wakeup);
+                self.fabric.deliver(wakeup);
             }
             std::panic::panic_any(CrashSignal {
                 endpoint: self.id,
@@ -383,10 +443,7 @@ impl Endpoint {
             arrival,
         };
         self.fabric.stats.record_send(cls, msg.len());
-        // Sending to a crashed process (or to ourselves after crash) may fail
-        // if the receiver end is gone; the message is then simply lost, which
-        // is fine because nobody will ever wait on the dead process.
-        let _ = self.fabric.senders[dst.0].send(msg);
+        self.fabric.deliver(msg);
         if is_app {
             self.app_sends += 1;
             self.maybe_crash(false);
@@ -453,36 +510,94 @@ impl Endpoint {
         !self.pending.is_empty()
     }
 
-    /// Blocking receive: waits (in real time) until at least one message is
-    /// queued, then returns the one with the earliest virtual arrival. Returns
-    /// `None` after the fabric's deadlock timeout elapses with no traffic —
-    /// the caller treats this as a simulated deadlock.
+    /// Blocking receive: waits until at least one message is queued, then
+    /// returns the one with the earliest virtual arrival.
+    ///
+    /// Scheduler-managed endpoints *park* instead of blocking the OS thread on
+    /// the channel: the carrier releases its run permit and is woken on the
+    /// next delivery, and a [`RecvError::Quiescent`] verdict means the
+    /// scheduler proved the job deadlocked. Unmanaged endpoints (driven
+    /// manually, outside a job launcher) keep the legacy real-time timeout,
+    /// now distinguishing [`RecvError::Timeout`] from
+    /// [`RecvError::Disconnected`] and returning early when a new failure is
+    /// recorded so teardown of a crashed peer does not burn the full timeout.
     ///
     /// As with [`Endpoint::try_recv`], the clock is not advanced to the
     /// message's arrival; waiting layers synchronise the clock when the
     /// request they are blocked on completes.
-    pub fn recv_blocking(&mut self) -> Option<RawMessage> {
+    pub fn recv_blocking(&mut self) -> Result<RawMessage, RecvError> {
         self.maybe_crash(false);
-        self.drain_channel();
-        if self.pending.is_empty() {
-            match self.rx.recv_timeout(self.fabric.recv_timeout()) {
+        loop {
+            self.drain_channel();
+            if let Some(p) = self.pending.pop() {
+                let msg = p.1;
+                self.charge_recv_overhead(&msg);
+                self.maybe_crash(false);
+                return Ok(msg);
+            }
+            if self.managed {
+                match self.fabric.sched.park(self.id, self.clock.now()) {
+                    Park::Woken => {
+                        self.maybe_crash(false);
+                        continue;
+                    }
+                    Park::Deadlock => return Err(RecvError::Quiescent),
+                }
+            } else {
+                self.recv_timed()?;
+            }
+        }
+    }
+
+    /// Legacy timed wait for unmanaged endpoints. Waits in short slices so a
+    /// freshly recorded failure surfaces immediately (the caller polls the
+    /// failure detector on [`RecvError::Timeout`]) instead of after the full
+    /// timeout.
+    fn recv_timed(&mut self) -> Result<(), RecvError> {
+        let timeout = self.fabric.recv_timeout();
+        let slice = Duration::from_millis(50).min(timeout);
+        let deadline = Instant::now() + timeout;
+        let failures_at_start = self.fabric.failure.failed_count();
+        loop {
+            match self.rx.recv_timeout(slice) {
                 Ok(m) => {
                     self.fabric.stats.record_delivery(m.class);
                     let seq = self.pending_seq;
                     self.pending_seq += 1;
                     self.pending.push(PendingMsg(Reverse((m.arrival, seq)), m));
-                    // Drain anything else that raced in.
-                    self.drain_channel();
+                    return Ok(());
                 }
-                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
-                    return None;
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.fabric.failure.failed_count() > failures_at_start
+                        || Instant::now() >= deadline
+                    {
+                        return Err(RecvError::Timeout);
+                    }
                 }
+                Err(RecvTimeoutError::Disconnected) => return Err(RecvError::Disconnected),
             }
         }
-        let msg = self.pending.pop().expect("pending non-empty").1;
-        self.charge_recv_overhead(&msg);
-        self.maybe_crash(false);
-        Some(msg)
+    }
+
+    /// Hint from the progress engine that a poll produced nothing. After
+    /// enough consecutive empty polls a managed endpoint cooperatively yields
+    /// its run permit, so busy-poll loops (`MPI_Test` spinning) can never
+    /// monopolise the scheduler's worker pool.
+    pub fn idle_poll(&mut self) {
+        if !self.managed {
+            return;
+        }
+        self.idle_polls += 1;
+        if self.idle_polls >= 64 {
+            self.idle_polls = 0;
+            self.fabric.sched.yield_now(self.id, self.clock.now());
+        }
+    }
+
+    /// Hint from the progress engine that a poll made progress; resets the
+    /// idle counter that drives [`Endpoint::idle_poll`]'s cooperative yield.
+    pub fn busy_poll(&mut self) {
+        self.idle_polls = 0;
     }
 }
 
@@ -650,8 +765,8 @@ mod tests {
         // crash; they remain deliverable.
         assert_eq!(fabric.stats().snapshot().app_msgs(), 2);
         let mut b = fabric.endpoint(EndpointId(1));
-        assert!(b.recv_blocking().is_some());
-        assert!(b.recv_blocking().is_some());
+        assert!(b.recv_blocking().is_ok());
+        assert!(b.recv_blocking().is_ok());
     }
 
     #[test]
@@ -694,6 +809,85 @@ mod tests {
             local.arrival - local.injected_at < remote.arrival - remote.injected_at,
             "intra-node wire time should be smaller"
         );
+    }
+
+    #[test]
+    fn unmanaged_recv_times_out_with_typed_error() {
+        let fabric = Fabric::with_defaults(2, LogGpModel::fast_test_model());
+        fabric.set_recv_timeout(Duration::from_millis(30));
+        let mut a = fabric.endpoint(EndpointId(0));
+        assert_eq!(a.recv_blocking().unwrap_err(), RecvError::Timeout);
+    }
+
+    #[test]
+    fn unmanaged_recv_returns_early_when_a_failure_is_recorded() {
+        // A long 10 s timeout, but a failure is recorded 20 ms in: the timed
+        // wait must return promptly so the caller can poll the detector,
+        // instead of burning the full timeout.
+        let fabric = Fabric::with_defaults(2, LogGpModel::fast_test_model());
+        fabric.set_recv_timeout(Duration::from_secs(10));
+        let mut a = fabric.endpoint(EndpointId(0));
+        let f2 = Arc::clone(&fabric);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            f2.failure().record_failure(EndpointId(1), SimTime::ZERO);
+        });
+        let started = std::time::Instant::now();
+        let err = a.recv_blocking().unwrap_err();
+        assert_eq!(err, RecvError::Timeout);
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "crashed-peer teardown must fail fast, took {:?}",
+            started.elapsed()
+        );
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn managed_recv_parks_and_wakes_on_delivery() {
+        let fabric = Fabric::with_defaults(2, LogGpModel::fast_test_model());
+        fabric.scheduler().register(EndpointId(0));
+        fabric.scheduler().register(EndpointId(1));
+        let f2 = Arc::clone(&fabric);
+        let receiver = std::thread::spawn(move || {
+            f2.scheduler().start(EndpointId(0));
+            let mut a = f2.endpoint(EndpointId(0));
+            let got = a.recv_blocking();
+            f2.scheduler().finish(EndpointId(0));
+            got
+        });
+        let f3 = Arc::clone(&fabric);
+        let sender = std::thread::spawn(move || {
+            f3.scheduler().start(EndpointId(1));
+            let mut b = f3.endpoint(EndpointId(1));
+            std::thread::sleep(Duration::from_millis(10));
+            b.send(EndpointId(0), class::APP, hdr(42), Bytes::new());
+            f3.scheduler().finish(EndpointId(1));
+        });
+        let msg = receiver.join().unwrap().expect("delivered via park/unpark");
+        assert_eq!(msg.header[0], 42);
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn managed_recv_reports_quiescence_without_real_time_timeout() {
+        // One managed process waiting forever: the quiescence check must
+        // declare the deadlock immediately, long before the (deliberately
+        // huge) real-time timeout.
+        let fabric = Fabric::with_defaults(1, LogGpModel::fast_test_model());
+        fabric.set_recv_timeout(Duration::from_secs(1000));
+        fabric.scheduler().register(EndpointId(0));
+        let f2 = Arc::clone(&fabric);
+        let started = std::time::Instant::now();
+        let h = std::thread::spawn(move || {
+            f2.scheduler().start(EndpointId(0));
+            let mut a = f2.endpoint(EndpointId(0));
+            let got = a.recv_blocking();
+            f2.scheduler().finish(EndpointId(0));
+            got
+        });
+        assert_eq!(h.join().unwrap().unwrap_err(), RecvError::Quiescent);
+        assert!(started.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

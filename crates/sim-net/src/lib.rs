@@ -8,9 +8,14 @@
 //!
 //! Design summary (see `DESIGN.md` §5):
 //!
-//! * Every physical process runs on its own OS thread and owns a
-//!   [`clock::VirtualClock`]. Computation advances the clock explicitly;
-//!   communication costs are charged by the [`model::NetworkModel`].
+//! * Every physical process owns a [`clock::VirtualClock`]. Computation
+//!   advances the clock explicitly; communication costs are charged by the
+//!   [`model::NetworkModel`].
+//! * Execution goes through the [`sched::Scheduler`]: each simulated process
+//!   lives on a carrier thread, but only a bounded worker pool of them runs
+//!   at a time, dispatched lowest-virtual-time-first. Blocking waits park on
+//!   the scheduler (park/unpark protocol) and deadlocks are detected exactly,
+//!   by quiescence, instead of by real-time timeouts.
 //! * Transport is a crossbeam channel per destination endpoint. Messages from
 //!   one sender to one receiver are delivered in order (the paper's FIFO
 //!   reliable channel assumption).
@@ -25,15 +30,17 @@ pub mod clock;
 pub mod fabric;
 pub mod failure;
 pub mod model;
+pub mod sched;
 pub mod stats;
 pub mod time;
 pub mod topology;
 pub mod trace;
 
 pub use clock::VirtualClock;
-pub use fabric::{Endpoint, EndpointId, Fabric, RawMessage};
+pub use fabric::{Endpoint, EndpointId, Fabric, RawMessage, RecvError};
 pub use failure::{CrashSchedule, FailureEvent, FailureService};
 pub use model::{HockneyModel, LogGpModel, NetworkModel};
+pub use sched::{Park, Scheduler};
 pub use stats::{NetStats, StatsSnapshot};
 pub use time::SimTime;
 pub use topology::{Cluster, NodeId, Placement};

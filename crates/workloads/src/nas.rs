@@ -98,6 +98,28 @@ impl NasConfig {
         }
     }
 
+    /// Class S, the smallest NAS problem class: tiny per-rank data and few
+    /// iterations. This is the configuration the ≥64-rank scaling runs use —
+    /// the point of those runs is to exercise the communication pattern and
+    /// the scheduler at paper-scale process counts, not to move data.
+    pub fn class_s() -> Self {
+        NasConfig {
+            local_size: 64,
+            iterations: 3,
+            compute_ns_per_point: 120,
+        }
+    }
+
+    /// Parse a class name as accepted by the harness `--class` flag.
+    pub fn from_class_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "s" => Some(NasConfig::class_s()),
+            "d" | "d-like" => Some(NasConfig::class_d_like()),
+            "test" => Some(NasConfig::test_size()),
+            _ => None,
+        }
+    }
+
     fn charge_compute(&self, p: &mut Process, points: usize, weight: f64) {
         let ns = (points as f64 * self.compute_ns_per_point as f64 * weight).round() as u64;
         p.compute(SimTime::from_nanos(ns));

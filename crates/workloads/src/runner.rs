@@ -65,16 +65,39 @@ fn checksums(report: &sim_mpi::JobReport<f64>) -> Vec<f64> {
     report.primary_results().into_iter().copied().collect()
 }
 
+/// Execution-layer tuning for comparison runs, threaded down to the
+/// scheduler: `None` fields keep the [`sim_mpi::JobBuilder`] defaults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunTuning {
+    /// Scheduler worker-pool size (how many simulated processes execute
+    /// concurrently). Defaults to `min(host cores, physical processes)`.
+    pub workers: Option<usize>,
+}
+
 /// Run `spec` natively and replicated (degree from `cfg`) and build the row.
 pub fn compare_protocols(spec: &WorkloadSpec, cfg: ReplicationConfig) -> ComparisonRow {
+    compare_protocols_tuned(spec, cfg, RunTuning::default())
+}
+
+/// Like [`compare_protocols`], with explicit execution-layer tuning. This is
+/// what the ≥64-rank harness configurations go through: the scheduler
+/// multiplexes the job's processes over the bounded worker pool regardless of
+/// rank count.
+pub fn compare_protocols_tuned(
+    spec: &WorkloadSpec,
+    cfg: ReplicationConfig,
+    tuning: RunTuning,
+) -> ComparisonRow {
     let app_native = Arc::clone(&spec.app);
     let app_repl = Arc::clone(&spec.app);
-    let native = native_job(spec.ranks)
-        .network(LogGpModel::infiniband_20g())
-        .run(move |p| (app_native)(p));
-    let replicated = replicated_job(spec.ranks, cfg)
-        .network(LogGpModel::infiniband_20g())
-        .run(move |p| (app_repl)(p));
+    let mut native_builder = native_job(spec.ranks).network(LogGpModel::infiniband_20g());
+    let mut repl_builder = replicated_job(spec.ranks, cfg).network(LogGpModel::infiniband_20g());
+    if let Some(w) = tuning.workers {
+        native_builder = native_builder.workers(w);
+        repl_builder = repl_builder.workers(w);
+    }
+    let native = native_builder.run(move |p| (app_native)(p));
+    let replicated = repl_builder.run(move |p| (app_repl)(p));
     assert!(
         native.all_finished(),
         "{}: native run did not finish",

@@ -4,8 +4,9 @@
 //! process finishes with the correct data.
 
 use sdr_core::{replicated_job, ReplicationConfig};
-use sim_mpi::Process;
+use sim_mpi::{Process, ProcessOutcome};
 use sim_net::{CrashSchedule, EndpointId, LogGpModel};
+use std::time::Duration;
 
 /// Figure 3's communication pattern: rank 1 sends to rank 0, then rank 0
 /// sends to rank 1, repeated.
@@ -82,6 +83,61 @@ fn figure3_crash_before_any_send_still_completes() {
             proc.outcome
         );
     }
+}
+
+#[test]
+fn crash_of_both_replicas_of_one_rank_is_a_clear_job_failure() {
+    // ROADMAP "Missing scenarios" (d): when *every* replica of a rank dies,
+    // no substitute can be elected and the job cannot be saved. That must
+    // surface as a prompt job failure carrying a clear error — never as a
+    // hang waiting for messages that cannot come.
+    let started = std::time::Instant::now();
+    let rounds = 6;
+    let report = replicated_job(2, ReplicationConfig::dual())
+        .network(LogGpModel::fast_test_model())
+        // Endpoints 1 and 3 are replicas 0 and 1 of rank 1.
+        .crash(EndpointId(1), CrashSchedule::AfterSend { nth: 1 })
+        .crash(EndpointId(3), CrashSchedule::AfterSend { nth: 1 })
+        // Deliberately long real-time timeout: only a real failure path (not
+        // a burnt timeout) can finish this test quickly.
+        .recv_timeout(Duration::from_secs(300))
+        .run(move |p| figure3_pattern(p, rounds));
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "both-replica crash took {:?} to surface: the job hung instead of failing",
+        started.elapsed()
+    );
+    let mut crashed = report.crashed();
+    crashed.sort();
+    assert_eq!(crashed, vec![EndpointId(1), EndpointId(3)]);
+    assert!(!report.all_finished());
+    // The surviving processes (rank 0's replicas) must report the lost rank
+    // explicitly, not finish with partial data and not deadlock silently.
+    let mut clear_errors = 0;
+    for proc in &report.processes {
+        if crashed.contains(&proc.endpoint) {
+            continue;
+        }
+        match &proc.outcome {
+            ProcessOutcome::Panicked(msg) => {
+                assert!(
+                    msg.contains("rank 1") && msg.contains("replicas"),
+                    "survivor {:?} error does not name the lost rank: {msg}",
+                    proc.endpoint
+                );
+                clear_errors += 1;
+            }
+            ProcessOutcome::Deadlocked { .. } => {
+                // Acceptable fallback only if another survivor reported the
+                // rank loss; counted below.
+            }
+            other => panic!("survivor {:?} should fail, got {:?}", proc.endpoint, other),
+        }
+    }
+    assert!(
+        clear_errors >= 1,
+        "no surviving process reported the unrecoverable rank"
+    );
 }
 
 #[test]
