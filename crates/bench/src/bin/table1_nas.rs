@@ -1,20 +1,34 @@
 //! Regenerates Table 1: NAS-like kernels (BT, CG, FT, MG, SP), native vs SDR-MPI.
 //!
-//! Usage: `table1_nas [--ranks N] [--class s|test|d] [--workers W]`
+//! Usage: `table1_nas [--ranks N] [--class s|test|d] [--workers W] [--json PATH]`
 //!
 //! The paper evaluates at 256 ranks; `--ranks 64|128|256` reproduces that
-//! scaling axis (pair large rank counts with `--class s`, the smallest NAS
-//! class). The scheduler multiplexes all simulated processes — 512 of them at
-//! `--ranks 256` under dual replication — over a worker pool bounded by the
-//! host core count (override with `--workers`).
+//! scaling axis (pair large rank counts with `--class s` for a fast run, or
+//! `--class d` for the class-D-like compute density — the batched delivery
+//! path keeps even `--ranks 256 --class d` CI-feasible). The scheduler
+//! multiplexes all simulated processes — 512 of them at `--ranks 256` under
+//! dual replication — over a worker pool bounded by the host core count
+//! (override with `--workers`). `--json PATH` writes the machine-readable
+//! report (wall times plus scheduler wake / outbox flush counters) that CI
+//! uploads as the `BENCH_table1.json` artifact.
 fn main() {
-    let (ranks, cfg, tuning) = sdr_bench::parse_harness_args(std::env::args().skip(1), 16);
-    let rows = sdr_bench::table1_rows_tuned(ranks, cfg, tuning);
+    let args = sdr_bench::parse_harness_args(std::env::args().skip(1), 16);
+    let rows = sdr_bench::table1_rows_tuned(args.ranks, args.cfg, args.tuning);
     print!(
         "{}",
         sdr_bench::format_comparison_table(
-            &format!("Table 1: NAS-like kernels (ranks={ranks}, replication degree=2)"),
+            &format!(
+                "Table 1: NAS-like kernels (ranks={}, replication degree=2)",
+                args.ranks
+            ),
             &rows
         )
     );
+    print!("{}", sdr_bench::format_delivery_summary(&rows));
+    if let Some(path) = &args.json_path {
+        let json = sdr_bench::table_report_json("table1_nas", args.ranks, &args.class_name, &rows);
+        std::fs::write(path, json)
+            .unwrap_or_else(|e| panic!("cannot write JSON report to {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
 }

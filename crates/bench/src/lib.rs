@@ -120,29 +120,50 @@ pub fn table2_rows_tuned(ranks: usize, tuning: RunTuning) -> Vec<ComparisonRow> 
     ]
 }
 
+/// Parsed command line of the table harnesses (see [`parse_harness_args`]).
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Application rank count.
+    pub ranks: usize,
+    /// NAS problem-size configuration.
+    pub cfg: NasConfig,
+    /// Canonical name of the selected class (for reports), e.g. `"s"`.
+    pub class_name: String,
+    /// Execution-layer tuning.
+    pub tuning: RunTuning,
+    /// Where to write the machine-readable JSON report, if requested.
+    pub json_path: Option<std::path::PathBuf>,
+}
+
 /// Shared CLI parsing for the table harnesses: `--ranks N`, `--class
-/// s|test|d`, `--workers N`, plus a bare positional rank count for backwards
-/// compatibility. Returns `(ranks, nas config, tuning)`.
+/// s|test|d`, `--workers N`, `--json PATH` (machine-readable report, uploaded
+/// as a CI artifact), plus a bare positional rank count for backwards
+/// compatibility.
 pub fn parse_harness_args<I: Iterator<Item = String>>(
     args: I,
     default_ranks: usize,
-) -> (usize, NasConfig, RunTuning) {
-    let mut ranks = default_ranks;
-    let mut cfg = NasConfig::class_d_like();
-    let mut tuning = RunTuning::default();
+) -> HarnessArgs {
+    let mut parsed = HarnessArgs {
+        ranks: default_ranks,
+        cfg: NasConfig::class_d_like(),
+        class_name: "d".to_string(),
+        tuning: RunTuning::default(),
+        json_path: None,
+    };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--ranks" => {
-                ranks = args
+                parsed.ranks = args
                     .next()
                     .and_then(|s| s.parse().ok())
                     .expect("--ranks needs a positive integer");
             }
             "--class" => {
                 let name = args.next().expect("--class needs a class name");
-                cfg = NasConfig::from_class_name(&name)
+                parsed.cfg = NasConfig::from_class_name(&name)
                     .unwrap_or_else(|| panic!("unknown NAS class {name:?} (use s, test or d)"));
+                parsed.class_name = name.to_ascii_lowercase();
             }
             "--workers" => {
                 let w: usize = args
@@ -158,19 +179,23 @@ pub fn parse_harness_args<I: Iterator<Item = String>>(
                         sim_net::sched::MIN_WORKERS
                     );
                 }
-                tuning.workers = Some(w);
+                parsed.tuning.workers = Some(w);
+            }
+            "--json" => {
+                let path = args.next().expect("--json needs a file path");
+                parsed.json_path = Some(std::path::PathBuf::from(path));
             }
             other => {
                 if let Ok(n) = other.parse() {
-                    ranks = n;
+                    parsed.ranks = n;
                 } else {
                     panic!("unrecognised argument {other:?}");
                 }
             }
         }
     }
-    assert!(ranks > 0, "rank count must be positive");
-    (ranks, cfg, tuning)
+    assert!(parsed.ranks > 0, "rank count must be positive");
+    parsed
 }
 
 /// Result of the Figure 2 comparison: wall-clock time of an anonymous
@@ -389,6 +414,113 @@ pub fn format_comparison_table(title: &str, rows: &[ComparisonRow]) -> String {
             }
         ));
     }
+    out
+}
+
+/// Aggregate delivery counters over a row set (both runs of every row):
+/// `(issued, suppressed, flushes, flushed_msgs, baseline)`, where `baseline`
+/// is the exact wake count the one-wake-per-delivery PR 2 path would have
+/// paid — every recorded wake plus one per extra message in a multi-message
+/// batch (a `k`-message batch records one wake where the baseline issued `k`).
+fn delivery_totals(rows: &[ComparisonRow]) -> (u64, u64, u64, u64, u64) {
+    let mut issued = 0u64;
+    let mut suppressed = 0u64;
+    let mut flushes = 0u64;
+    let mut flushed_msgs = 0u64;
+    for row in rows {
+        for d in [&row.native_delivery, &row.replicated_delivery] {
+            issued += d.wakes_issued;
+            suppressed += d.wakes_suppressed;
+            flushes += d.flushes;
+            flushed_msgs += d.flushed_msgs;
+        }
+    }
+    let baseline = issued + suppressed + (flushed_msgs - flushes);
+    (issued, suppressed, flushes, flushed_msgs, baseline)
+}
+
+/// Format the delivery-layer summary of a row set: scheduler wakes actually
+/// issued vs the one-wake-per-delivery PR 2 baseline, and outbox batching.
+pub fn format_delivery_summary(rows: &[ComparisonRow]) -> String {
+    let (issued, suppressed, flushes, flushed_msgs, baseline) = delivery_totals(rows);
+    let reduction = if issued == 0 {
+        f64::INFINITY
+    } else {
+        baseline as f64 / issued as f64
+    };
+    let mean_batch = if flushes == 0 {
+        0.0
+    } else {
+        flushed_msgs as f64 / flushes as f64
+    };
+    format!(
+        "delivery: {issued} wakes issued, {suppressed} suppressed \
+         ({reduction:.2}x fewer than the {baseline} one-per-delivery baseline); \
+         {flushes} batches, mean batch {mean_batch:.2} msgs\n"
+    )
+}
+
+fn json_delivery(d: &workloads::runner::DeliveryCounters) -> String {
+    format!(
+        "{{\"wakes_issued\": {}, \"wakes_suppressed\": {}, \"flushes\": {}, \
+         \"flushed_msgs\": {}, \"mean_flush_batch\": {:.3}, \"host_secs\": {:.3}}}",
+        d.wakes_issued,
+        d.wakes_suppressed,
+        d.flushes,
+        d.flushed_msgs,
+        d.mean_flush_batch,
+        d.host_secs
+    )
+}
+
+/// Serialise a Table-1/2-style row set as the machine-readable benchmark
+/// report (`BENCH_table1.json` in CI). Hand-rolled JSON: the vendored serde
+/// stand-in has no serializer, and the schema is small and flat.
+pub fn table_report_json(
+    benchmark: &str,
+    ranks: usize,
+    class_name: &str,
+    rows: &[ComparisonRow],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"benchmark\": \"{benchmark}\",\n"));
+    out.push_str(&format!("  \"ranks\": {ranks},\n"));
+    out.push_str(&format!("  \"class\": \"{class_name}\",\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"native_secs\": {:.6}, \"replicated_secs\": {:.6}, \
+             \"overhead_pct\": {:.3}, \"results_match\": {}, \
+             \"native_app_msgs\": {}, \"replicated_app_msgs\": {}, \"replicated_ack_msgs\": {}, \
+             \"native_delivery\": {}, \"replicated_delivery\": {}}}{}\n",
+            row.name,
+            row.native_secs,
+            row.replicated_secs,
+            row.overhead_pct,
+            row.results_match,
+            row.native_app_msgs,
+            row.replicated_app_msgs,
+            row.replicated_ack_msgs,
+            json_delivery(&row.native_delivery),
+            json_delivery(&row.replicated_delivery),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    let (issued, suppressed, _, _, baseline) = delivery_totals(rows);
+    // No wake ever took the slow path: the reduction is unbounded, not a
+    // number — emit null so artifact consumers don't record a bogus value.
+    let reduction = if issued == 0 {
+        "null".to_string()
+    } else {
+        format!("{:.3}", baseline as f64 / issued as f64)
+    };
+    out.push_str(&format!(
+        "  \"totals\": {{\"wakes_issued\": {issued}, \"wakes_suppressed\": {suppressed}, \
+         \"baseline_equivalent_wakes\": {baseline}, \"wake_reduction_factor\": {reduction}}}\n"
+    ));
+    out.push_str("}\n");
     out
 }
 

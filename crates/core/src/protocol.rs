@@ -445,6 +445,9 @@ impl SdrProtocol {
                 pml.free(req);
                 self.counters.resends += 1;
             }
+            // Replays happen outside the normal send→wait flow: push the
+            // staged batch now so the recovered process sees it promptly.
+            pml.flush();
         }
         // Processes that receive from the substitute (my_replica != rrep) only
         // need the liveness update: the ack rule "ack every alive replica of
@@ -555,6 +558,10 @@ impl SdrProtocol {
                 pml.redirect_recv(pml_req, Some(new_src));
             }
         }
+        // Substitute re-sends (above) bypass the send→wait flow; flush them
+        // so the affected peers are woken without waiting for this process's
+        // next blocking boundary.
+        pml.flush();
         self.collect_send_log_garbage();
     }
 
@@ -613,7 +620,11 @@ impl Protocol for SdrProtocol {
             app_freed: false,
         };
         // Algorithm 1, MPI_Isend (lines 4-9): send directly to every replica in
-        // physicalDests, expect an ack from every other alive replica.
+        // physicalDests, expect an ack from every other alive replica. The
+        // payload clones share one allocation (`Bytes` is refcounted) and the
+        // whole fan-out lands in the endpoint's staged outbox, so the
+        // replication degree multiplies neither copies nor channel/wake
+        // operations beyond one per distinct destination.
         for rep in 0..self.cfg.degree {
             let target = self.layout.endpoint(dst, rep);
             if self.physical_dests[dst].contains(&target) {

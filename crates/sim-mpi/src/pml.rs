@@ -22,7 +22,7 @@ use crate::matching::{IncomingMsg, MatchingEngine, PmlReqId, PostedRecv};
 use crate::types::{CommId, MpiError, MpiResult, Tag, TagSel};
 use bytes::Bytes;
 use sim_net::stats::class;
-use sim_net::{Endpoint, EndpointId, FailureEvent, SimTime};
+use sim_net::{Endpoint, EndpointId, FailureEvent, RecvError, SimTime};
 use std::collections::HashMap;
 
 /// Metadata describing a completed receive (or an incoming message), handed
@@ -180,6 +180,15 @@ impl Pml {
     /// The matching engine (read-only; used by statistics and tests).
     pub fn matching(&self) -> &MatchingEngine {
         &self.engine
+    }
+
+    /// Push any staged outbox batches to their destinations now (see
+    /// [`sim_net::Endpoint::flush`]). The endpoint flushes automatically at
+    /// every blocking boundary; protocols call this after emitting traffic
+    /// outside the normal send→wait flow (e.g. post-failure re-sends) so
+    /// peers see it promptly.
+    pub fn flush(&mut self) {
+        self.ep.flush();
     }
 
     fn alloc_req(&mut self, state: ReqState) -> PmlReqId {
@@ -463,8 +472,16 @@ impl Pml {
         let events = std::mem::take(&mut self.pending_events);
         if drained_any || !events.is_empty() {
             self.ep.busy_poll();
-        } else {
-            self.ep.idle_poll();
+        } else if self.ep.idle_poll().is_err() {
+            // The scheduler's no-progress guard parked this busy-poll loop
+            // and the quiescence check then proved every unfinished process
+            // blocked: the job is deadlocked. Surface it exactly like the
+            // blocking path does (the runtime classifies this panic into a
+            // `ProcessOutcome::Deadlocked` record).
+            std::panic::panic_any(MpiError::Deadlock {
+                endpoint: self.ep.id(),
+                waiting_for: format!("busy-poll progress loop [{}]", RecvError::Quiescent),
+            });
         }
         events
     }
@@ -478,11 +495,25 @@ impl Pml {
     ///
     /// `waiting_for` describes what the caller is blocked on, for diagnostics.
     pub fn progress_blocking(&mut self, waiting_for: &str) -> MpiResult<Vec<PmlEvent>> {
+        self.progress_blocking_hinted(waiting_for, false)
+    }
+
+    /// [`Pml::progress_blocking`] with a racy-wait hint (see
+    /// [`sim_net::Endpoint::recv_blocking_hinted`]): pass `racy = true` when
+    /// the caller waits for traffic that is very likely already in flight —
+    /// e.g. protocol acknowledgements for a send whose payload has been
+    /// delivered — so the endpoint yields once (coalescing in-flight wakes
+    /// lock-free) before committing to a park.
+    pub fn progress_blocking_hinted(
+        &mut self,
+        waiting_for: &str,
+        racy: bool,
+    ) -> MpiResult<Vec<PmlEvent>> {
         let events = self.progress();
         if !events.is_empty() {
             return Ok(events);
         }
-        match self.ep.recv_blocking() {
+        match self.ep.recv_blocking_hinted(racy) {
             Ok(raw) => {
                 self.process_raw(raw);
                 // Drain anything else that became visible.

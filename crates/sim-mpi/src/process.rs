@@ -292,8 +292,16 @@ impl Process {
     }
 
     fn block_for_events(&mut self, what: &str) {
+        self.block_for_events_hinted(what, false)
+    }
+
+    /// `racy = true` marks waits whose traffic is very likely already in
+    /// flight (completion acks for a send whose payload is out): the endpoint
+    /// then yields once before parking so those deliveries coalesce into its
+    /// lock-free wake token (see [`sim_net::Endpoint::recv_blocking_hinted`]).
+    fn block_for_events_hinted(&mut self, what: &str, racy: bool) {
         let desc = format!("{what}; protocol: {}", self.protocol.describe_pending());
-        match self.pml.progress_blocking(&desc) {
+        match self.pml.progress_blocking_hinted(&desc, racy) {
             Ok(events) => {
                 for ev in events {
                     self.protocol.handle_event(&mut self.pml, ev);
@@ -322,12 +330,17 @@ impl Process {
     /// Translate a communicator-rank status by passing the same `comm` the
     /// request was created on.
     pub fn wait(&mut self, comm: Comm, req: Request) -> (Status, Option<Bytes>) {
+        // A send request's payload is already out when we wait on it: what is
+        // outstanding is the protocol-level completion (e.g. SDR acks), which
+        // races with this wait — hint the wait engine accordingly. Receive
+        // waits are true waits on a peer that may be far behind.
+        let racy = matches!(req, Request::Send(_));
         loop {
             self.drain_events();
             if self.request_complete(req) {
                 break;
             }
-            self.block_for_events("request completion in MPI_Wait");
+            self.block_for_events_hinted("request completion in MPI_Wait", racy);
         }
         match req {
             Request::Send(s) => {
@@ -447,10 +460,13 @@ impl Process {
         (status, datatype::bytes_to_u64s(&bytes))
     }
 
-    /// Finalize: let the protocol flush its state (e.g. outstanding acks).
+    /// Finalize: let the protocol flush its state (e.g. outstanding acks),
+    /// then push any staged outbox batches so nothing is left for the
+    /// endpoint's drop-time flush.
     pub fn finalize(&mut self) {
         self.drain_events();
         self.protocol.finalize(&mut self.pml);
+        self.pml.flush();
     }
 
     /// Split the process back into its parts (used by the runtime to collect

@@ -736,6 +736,39 @@ mod tests {
     }
 
     #[test]
+    fn busy_poll_spinner_cannot_defeat_deadlock_detection() {
+        // Rank 0 spins on MPI_Test for a message nobody will ever send — the
+        // classic quiescence-defeating pattern: it never parks, so the PR 2
+        // scheduler could never declare the job dead and the test would hang
+        // forever. The yield-streak guard must convert the fruitless spin
+        // into a park and report the deadlock promptly.
+        let started = std::time::Instant::now();
+        let report = JobBuilder::new(2)
+            .network(fast())
+            .recv_timeout(Duration::from_secs(600))
+            .run(|p| {
+                let world = p.world();
+                if p.rank() == 0 {
+                    let req = p.irecv_bytes(world, 1, 99);
+                    while !p.test(req) {
+                        std::hint::spin_loop();
+                    }
+                }
+                p.rank()
+            });
+        assert_eq!(report.deadlocked(), vec![EndpointId(0)]);
+        assert!(
+            report.processes[1].outcome.is_finished(),
+            "rank 1 has nothing to wait for and finishes"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "busy-poll deadlock took {:?} to surface",
+            started.elapsed()
+        );
+    }
+
+    #[test]
     fn compute_time_accounted_and_elapsed_reasonable() {
         let report = JobBuilder::new(2).network(fast()).run(|p| {
             p.compute(SimTime::from_millis(5));

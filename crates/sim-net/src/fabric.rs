@@ -14,6 +14,29 @@
 //! order). Messages to a crashed process are silently dropped, but messages a
 //! process handed to the fabric *before* crashing are still delivered — the
 //! paper's "channels are reliable" assumption.
+//!
+//! # Batched delivery (the outbox)
+//!
+//! Scheduler-managed endpoints do not push every message into its destination
+//! channel the moment it is sent. Sends are *staged* in a per-destination
+//! outbox and pushed — one channel operation and **one scheduler wake per
+//! destination** — when the endpoint reaches a blocking boundary: before it
+//! parks in [`Endpoint::recv_blocking`], before a cooperative yield in
+//! [`Endpoint::idle_poll`], before a scheduled crash unwinds the process, and
+//! when the endpoint is dropped at job exit. Because progress in this
+//! simulator only ever happens inside MPI calls, deferring physical delivery
+//! to the sender's next blocking boundary is invisible in virtual time (the
+//! arrival stamp is computed at send time) and collapses the per-message
+//! channel-lock + run-queue-lock costs that dominated ≥256-rank runs.
+//!
+//! The flush points are chosen so that **no wake can be lost**: an endpoint
+//! always drains its outbox before it can park (and hence before the
+//! scheduler's quiescence check may count it as blocked), before it yields its
+//! run permit, and before its carrier exits for any reason. A staged message
+//! therefore only ever exists while its sender is running — exactly the
+//! condition under which the quiescence check refuses to declare a deadlock.
+//! Self-sends and unmanaged endpoints (driven outside the scheduler, e.g. in
+//! unit tests) bypass the outbox and deliver immediately.
 
 use crate::clock::VirtualClock;
 use crate::failure::{CrashSignal, FailureService};
@@ -69,6 +92,24 @@ impl RawMessage {
     pub fn is_empty(&self) -> bool {
         self.payload.is_empty()
     }
+}
+
+/// What travels through a destination channel: a single message (immediate
+/// deliveries, single-message batches) or a whole multi-message outbox batch
+/// pushed by one flush — one channel operation either way.
+enum Delivery {
+    One(RawMessage),
+    Batch(Vec<RawMessage>),
+}
+
+/// One destination's staged messages in an [`Endpoint`]'s outbox.
+struct OutSlot {
+    dst: EndpointId,
+    /// First staged message, inline: the overwhelmingly common one-message
+    /// batch never touches the heap beyond the slot itself.
+    first: RawMessage,
+    /// Second and later messages staged before the flush.
+    rest: Vec<RawMessage>,
 }
 
 /// Why a blocking receive returned without a message. Distinguishing these
@@ -127,12 +168,12 @@ pub struct Fabric {
     model: Arc<dyn NetworkModel>,
     cluster: Cluster,
     node_of: Vec<NodeId>,
-    senders: Vec<Sender<RawMessage>>,
+    senders: Vec<Sender<Delivery>>,
     // The fabric keeps one receiver per endpoint alive for the whole run so
     // that (a) messages sent to a crashed process are not lost by channel
     // disconnection and (b) recovery can hand out a fresh endpoint handle for
     // the same identity (crossbeam receivers are cloneable).
-    receivers: Vec<Receiver<RawMessage>>,
+    receivers: Vec<Receiver<Delivery>>,
     taken: Mutex<Vec<bool>>,
     stats: Arc<NetStats>,
     failure: FailureService,
@@ -221,16 +262,35 @@ impl Fabric {
         &self.sched
     }
 
-    /// Hand a message to its destination queue and wake the destination's
-    /// scheduler slot. Every delivery — application traffic, protocol
-    /// control messages and crash wake-ups — must go through here so that no
-    /// parked process can miss a message.
+    /// Hand a single message to its destination queue and wake the
+    /// destination's scheduler slot. Every delivery — application traffic,
+    /// protocol control messages and crash wake-ups — must go through here or
+    /// through [`Fabric::deliver_batch`] so that no parked process can miss a
+    /// message.
     fn deliver(&self, msg: RawMessage) {
         let dst = msg.dst;
         // Sending to a torn-down queue may fail; the message is then simply
         // lost, which is fine because nobody will ever wait on it.
-        let _ = self.senders[dst.0].send(msg);
-        self.sched.wake(dst);
+        let _ = self.senders[dst.0].send(Delivery::One(msg));
+        self.stats.record_wake(self.sched.wake(dst));
+    }
+
+    /// Push one endpoint's staged batch for `dst`: a single channel operation
+    /// and a single wake, however many messages the batch carries. The
+    /// common single-message case travels as `Delivery::One` so batching
+    /// never costs an extra allocation over the unbatched path.
+    fn deliver_batch(&self, first: RawMessage, rest: Vec<RawMessage>) {
+        let dst = first.dst;
+        self.stats.record_flush(1 + rest.len() as u64);
+        if rest.is_empty() {
+            let _ = self.senders[dst.0].send(Delivery::One(first));
+        } else {
+            let mut msgs = Vec::with_capacity(1 + rest.len());
+            msgs.push(first);
+            msgs.extend(rest);
+            let _ = self.senders[dst.0].send(Delivery::Batch(msgs));
+        }
+        self.stats.record_wake(self.sched.wake(dst));
     }
 
     /// The node hosting endpoint `e`.
@@ -283,6 +343,8 @@ impl Fabric {
             clock: VirtualClock::new(),
             pending: BinaryHeap::new(),
             pending_seq: 0,
+            outbox: Vec::new(),
+            outbox_index: vec![Endpoint::NOT_STAGED; self.n],
             app_sends: 0,
             idle_polls: 0,
         }
@@ -300,17 +362,29 @@ impl Fabric {
 }
 
 /// A physical process's handle onto the fabric. Owns the process's virtual
-/// clock and its incoming message queue.
+/// clock, its incoming message queue, and its per-destination outbox of
+/// staged (not yet physically pushed) messages.
 pub struct Endpoint {
     id: EndpointId,
     /// Was this endpoint registered with the fabric's scheduler when taken?
-    /// Managed endpoints park on the scheduler instead of doing timed waits.
+    /// Managed endpoints park on the scheduler instead of doing timed waits,
+    /// and batch their sends through the outbox.
     managed: bool,
     fabric: Arc<Fabric>,
-    rx: Receiver<RawMessage>,
+    rx: Receiver<Delivery>,
     clock: VirtualClock,
     pending: BinaryHeap<PendingMsg>,
     pending_seq: u64,
+    /// Per-destination staging area, in first-use order. Each entry is pushed
+    /// as one channel batch (one wake) by [`Endpoint::flush`]. Only managed
+    /// endpoints stage; order within an entry preserves the FIFO send order
+    /// for that (src, dst) pair. The first message per destination is held
+    /// inline so the dominant single-message flush allocates nothing.
+    outbox: Vec<OutSlot>,
+    /// `dst -> position in outbox` (or [`Endpoint::NOT_STAGED`]), so staging
+    /// stays O(1) even for full fan-out patterns (a scatter root staging to
+    /// every other endpoint before its wait).
+    outbox_index: Vec<u32>,
     app_sends: u64,
     /// Consecutive empty progress polls; drives the cooperative yield.
     idle_polls: u32,
@@ -322,6 +396,7 @@ impl std::fmt::Debug for Endpoint {
             .field("id", &self.id)
             .field("now", &self.clock.now())
             .field("app_sends", &self.app_sends)
+            .field("staged", &self.outbox.len())
             .finish()
     }
 }
@@ -370,14 +445,23 @@ impl Endpoint {
     /// failure and unwind with a [`CrashSignal`] panic. `pre_send` selects the
     /// before/after-send semantics of the schedule.
     ///
-    /// Before unwinding, a system-class wake-up message is pushed to every
-    /// other endpoint so that processes blocked on their incoming queue poll
-    /// the failure detector promptly — the paper's "the underlying system
-    /// notifies every process".
+    /// Before unwinding, the outbox is flushed — the paper assumes channels
+    /// are reliable, so everything the process handed to the fabric before
+    /// crashing must still be delivered — and a system-class wake-up message
+    /// is pushed to every other endpoint so that processes blocked on their
+    /// incoming queue poll the failure detector promptly (the paper's "the
+    /// underlying system notifies every process").
     pub fn maybe_crash(&mut self, pre_send: bool) {
-        let svc = self.fabric.failure();
-        if svc.should_crash(self.id, self.clock.now(), self.app_sends, pre_send) {
-            let ev = svc.record_failure(self.id, self.clock.now());
+        if self
+            .fabric
+            .failure()
+            .should_crash(self.id, self.clock.now(), self.app_sends, pre_send)
+        {
+            self.flush();
+            let ev = self
+                .fabric
+                .failure()
+                .record_failure(self.id, self.clock.now());
             for i in 0..self.fabric.n {
                 if i == self.id.0 {
                     continue;
@@ -404,6 +488,11 @@ impl Endpoint {
     /// overhead, stamps the arrival time and hands the message to the
     /// destination queue. Application-class sends also drive the crash
     /// schedule (`BeforeSend`/`AfterSend`).
+    ///
+    /// For scheduler-managed endpoints the message is *staged* in the
+    /// per-destination outbox and physically pushed at the next blocking
+    /// boundary (see the module docs); its virtual injection/arrival stamps
+    /// are fixed here regardless.
     pub fn send(&mut self, dst: EndpointId, cls: u8, header: [i64; HEADER_WORDS], payload: Bytes) {
         self.send_with_floor(dst, cls, header, payload, SimTime::ZERO);
     }
@@ -443,7 +532,14 @@ impl Endpoint {
             arrival,
         };
         self.fabric.stats.record_send(cls, msg.len());
-        self.fabric.deliver(msg);
+        if self.managed && dst != self.id {
+            self.stage(msg);
+        } else {
+            // Unmanaged endpoints (no scheduler, often no further fabric
+            // calls) and self-sends (which must be visible to this process's
+            // own next poll) deliver immediately.
+            self.fabric.deliver(msg);
+        }
         if is_app {
             self.app_sends += 1;
             self.maybe_crash(false);
@@ -457,12 +553,71 @@ impl Endpoint {
         self.send(self.id, cls, header, payload);
     }
 
+    const NOT_STAGED: u32 = u32::MAX;
+
+    fn stage(&mut self, msg: RawMessage) {
+        let dst = msg.dst;
+        let idx = self.outbox_index[dst.0];
+        if idx != Self::NOT_STAGED {
+            self.outbox[idx as usize].rest.push(msg);
+        } else {
+            self.outbox_index[dst.0] = self.outbox.len() as u32;
+            self.outbox.push(OutSlot {
+                dst,
+                first: msg,
+                rest: Vec::new(),
+            });
+        }
+    }
+
+    /// Push every staged batch to its destination: one channel operation and
+    /// one wake per destination, regardless of how many messages were staged.
+    ///
+    /// Called automatically at every blocking boundary (before parking in
+    /// [`Endpoint::recv_blocking`], before yielding in
+    /// [`Endpoint::idle_poll`], before a crash unwinds, and on drop); upper
+    /// layers may also call it explicitly for promptness. A no-op when
+    /// nothing is staged.
+    pub fn flush(&mut self) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        let fabric = Arc::clone(&self.fabric);
+        for slot in self.outbox.drain(..) {
+            self.outbox_index[slot.dst.0] = Self::NOT_STAGED;
+            fabric.deliver_batch(slot.first, slot.rest);
+        }
+    }
+
+    /// Number of messages currently staged in the outbox (diagnostics).
+    pub fn staged_len(&self) -> usize {
+        self.outbox.iter().map(|s| 1 + s.rest.len()).sum()
+    }
+
+    fn enqueue_pending(&mut self, m: RawMessage) {
+        self.fabric.stats.record_delivery(m.class);
+        let seq = self.pending_seq;
+        self.pending_seq += 1;
+        self.pending.push(PendingMsg(Reverse((m.arrival, seq)), m));
+    }
+
+    fn accept(&mut self, d: Delivery) {
+        match d {
+            Delivery::One(m) => self.enqueue_pending(m),
+            Delivery::Batch(ms) => {
+                for m in ms {
+                    self.enqueue_pending(m);
+                }
+            }
+        }
+    }
+
+    /// Drain the whole inbound channel into the pending heap: every batch and
+    /// single delivery that has physically arrived is ingested in one sweep,
+    /// so a wakeup processes all available traffic rather than one message.
     fn drain_channel(&mut self) {
-        while let Ok(m) = self.rx.try_recv() {
-            self.fabric.stats.record_delivery(m.class);
-            let seq = self.pending_seq;
-            self.pending_seq += 1;
-            self.pending.push(PendingMsg(Reverse((m.arrival, seq)), m));
+        while let Ok(d) = self.rx.try_recv() {
+            self.accept(d);
         }
     }
 
@@ -514,19 +669,36 @@ impl Endpoint {
     /// returns the one with the earliest virtual arrival.
     ///
     /// Scheduler-managed endpoints *park* instead of blocking the OS thread on
-    /// the channel: the carrier releases its run permit and is woken on the
-    /// next delivery, and a [`RecvError::Quiescent`] verdict means the
-    /// scheduler proved the job deadlocked. Unmanaged endpoints (driven
-    /// manually, outside a job launcher) keep the legacy real-time timeout,
-    /// now distinguishing [`RecvError::Timeout`] from
-    /// [`RecvError::Disconnected`] and returning early when a new failure is
-    /// recorded so teardown of a crashed peer does not burn the full timeout.
+    /// the channel: the outbox is flushed (a process must never sleep on
+    /// staged messages — see the module docs), the carrier releases its run
+    /// permit, and it is woken on the next delivery. A
+    /// [`RecvError::Quiescent`] verdict means the scheduler proved the job
+    /// deadlocked. Unmanaged endpoints (driven manually, outside a job
+    /// launcher) keep the legacy real-time timeout, distinguishing
+    /// [`RecvError::Timeout`] from [`RecvError::Disconnected`] and returning
+    /// early when a new failure is recorded so teardown of a crashed peer
+    /// does not burn the full timeout.
     ///
     /// As with [`Endpoint::try_recv`], the clock is not advanced to the
     /// message's arrival; waiting layers synchronise the clock when the
     /// request they are blocked on completes.
     pub fn recv_blocking(&mut self) -> Result<RawMessage, RecvError> {
+        self.recv_blocking_hinted(false)
+    }
+
+    /// [`Endpoint::recv_blocking`] with a *racy-wait hint* from the layer
+    /// above. `racy = true` says the caller expects the traffic it waits for
+    /// to already be in flight (e.g. the SDR ack-collection wait that follows
+    /// a data exchange): the first pass then *yields* instead of parking —
+    /// the process goes Ready (still runnable as far as quiescence is
+    /// concerned), rejoins the run queue, and any message delivered meanwhile
+    /// coalesces into its lock-free wake token instead of paying the unpark
+    /// slow path. For true waits (`racy = false`, e.g. data receives in
+    /// compute-dense kernels) the extra yield dispatch cycle is pure latency,
+    /// so the process parks directly.
+    pub fn recv_blocking_hinted(&mut self, racy: bool) -> Result<RawMessage, RecvError> {
         self.maybe_crash(false);
+        let mut tried_yield = !racy;
         loop {
             self.drain_channel();
             if let Some(p) = self.pending.pop() {
@@ -536,7 +708,17 @@ impl Endpoint {
                 return Ok(msg);
             }
             if self.managed {
-                match self.fabric.sched.park(self.id, self.clock.now()) {
+                // Blocking boundary: everything staged must be out before we
+                // block, or a peer (and the quiescence check) could wait on a
+                // message that only exists in our outbox.
+                self.flush();
+                let verdict = if tried_yield {
+                    self.fabric.sched.park(self.id, self.clock.now())
+                } else {
+                    tried_yield = true;
+                    self.fabric.sched.yield_now(self.id, self.clock.now())
+                };
+                match verdict {
                     Park::Woken => {
                         self.maybe_crash(false);
                         continue;
@@ -560,11 +742,11 @@ impl Endpoint {
         let failures_at_start = self.fabric.failure.failed_count();
         loop {
             match self.rx.recv_timeout(slice) {
-                Ok(m) => {
-                    self.fabric.stats.record_delivery(m.class);
-                    let seq = self.pending_seq;
-                    self.pending_seq += 1;
-                    self.pending.push(PendingMsg(Reverse((m.arrival, seq)), m));
+                Ok(d) => {
+                    self.accept(d);
+                    // Whatever else already arrived comes along in the same
+                    // sweep.
+                    self.drain_channel();
                     return Ok(());
                 }
                 Err(RecvTimeoutError::Timeout) => {
@@ -580,24 +762,43 @@ impl Endpoint {
     }
 
     /// Hint from the progress engine that a poll produced nothing. After
-    /// enough consecutive empty polls a managed endpoint cooperatively yields
-    /// its run permit, so busy-poll loops (`MPI_Test` spinning) can never
-    /// monopolise the scheduler's worker pool.
-    pub fn idle_poll(&mut self) {
+    /// enough consecutive empty polls a managed endpoint flushes its outbox
+    /// and cooperatively yields its run permit, so busy-poll loops
+    /// (`MPI_Test` spinning) can never monopolise the scheduler's worker pool
+    /// — or sit on staged messages a peer is waiting for.
+    ///
+    /// Returns `Err(RecvError::Quiescent)` when the scheduler's no-progress
+    /// guard parked this process during the yield and the quiescence check
+    /// then proved the whole job deadlocked (see
+    /// [`crate::sched::YIELD_STREAK_PARK`]).
+    pub fn idle_poll(&mut self) -> Result<(), RecvError> {
         if !self.managed {
-            return;
+            return Ok(());
         }
         self.idle_polls += 1;
         if self.idle_polls >= 64 {
             self.idle_polls = 0;
-            self.fabric.sched.yield_now(self.id, self.clock.now());
+            self.flush();
+            if self.fabric.sched.yield_now(self.id, self.clock.now()) == Park::Deadlock {
+                return Err(RecvError::Quiescent);
+            }
         }
+        Ok(())
     }
 
     /// Hint from the progress engine that a poll made progress; resets the
     /// idle counter that drives [`Endpoint::idle_poll`]'s cooperative yield.
     pub fn busy_poll(&mut self) {
         self.idle_polls = 0;
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        // Job-exit flush: a process's staged messages must survive it (the
+        // paper's reliable channels), and the drop runs before the carrier
+        // marks the slot finished, so the quiescence check never races it.
+        self.flush();
     }
 }
 
@@ -853,6 +1054,7 @@ mod tests {
             f2.scheduler().start(EndpointId(0));
             let mut a = f2.endpoint(EndpointId(0));
             let got = a.recv_blocking();
+            drop(a);
             f2.scheduler().finish(EndpointId(0));
             got
         });
@@ -862,11 +1064,62 @@ mod tests {
             let mut b = f3.endpoint(EndpointId(1));
             std::thread::sleep(Duration::from_millis(10));
             b.send(EndpointId(0), class::APP, hdr(42), Bytes::new());
+            // Managed sends are staged: dropping the endpoint is the job-exit
+            // flush, and must precede finish() so no wake can be lost.
+            drop(b);
             f3.scheduler().finish(EndpointId(1));
         });
         let msg = receiver.join().unwrap().expect("delivered via park/unpark");
         assert_eq!(msg.header[0], 42);
         sender.join().unwrap();
+    }
+
+    #[test]
+    fn managed_send_is_staged_until_a_blocking_boundary() {
+        let fabric = Fabric::with_defaults(2, LogGpModel::fast_test_model());
+        fabric.scheduler().register(EndpointId(0));
+        fabric.scheduler().register(EndpointId(1));
+        fabric.scheduler().start(EndpointId(0));
+        let mut a = fabric.endpoint(EndpointId(0));
+        for i in 0..3 {
+            a.send(EndpointId(1), class::APP, hdr(i), Bytes::new());
+        }
+        assert_eq!(a.staged_len(), 3, "managed sends stage in the outbox");
+        assert_eq!(
+            fabric.stats().snapshot().app_msgs(),
+            3,
+            "send stats recorded at send time"
+        );
+        a.flush();
+        assert_eq!(a.staged_len(), 0);
+        let snap = fabric.stats().snapshot();
+        assert_eq!(snap.flushes(), 1, "one batch for the single destination");
+        assert_eq!(snap.flushed_msgs(), 3);
+        assert!((snap.mean_flush_batch() - 3.0).abs() < f64::EPSILON);
+        drop(a);
+        fabric.scheduler().finish(EndpointId(0));
+        // The peer (never started: its slot is Ready) can still be drained
+        // manually after taking its endpoint.
+        fabric.scheduler().finish(EndpointId(1));
+        let mut b = fabric.endpoint(EndpointId(1));
+        assert!(b.has_pending());
+    }
+
+    #[test]
+    fn dropped_endpoint_flushes_staged_messages() {
+        let fabric = Fabric::with_defaults(2, LogGpModel::fast_test_model());
+        fabric.scheduler().register(EndpointId(0));
+        fabric.scheduler().start(EndpointId(0));
+        {
+            let mut a = fabric.endpoint(EndpointId(0));
+            a.send(EndpointId(1), class::APP, hdr(9), Bytes::new());
+            assert_eq!(a.staged_len(), 1);
+            // a dropped here: job-exit flush.
+        }
+        fabric.scheduler().finish(EndpointId(0));
+        let mut b = fabric.endpoint(EndpointId(1));
+        let msg = b.recv_blocking().expect("drop must flush the outbox");
+        assert_eq!(msg.header[0], 9);
     }
 
     #[test]
@@ -883,6 +1136,7 @@ mod tests {
             f2.scheduler().start(EndpointId(0));
             let mut a = f2.endpoint(EndpointId(0));
             let got = a.recv_blocking();
+            drop(a);
             f2.scheduler().finish(EndpointId(0));
             got
         });
@@ -906,5 +1160,21 @@ mod tests {
         );
         // No panic; stats still count the attempt.
         assert_eq!(fabric.stats().snapshot().app_msgs(), 1);
+    }
+
+    #[test]
+    fn wake_counters_track_issued_and_suppressed() {
+        // Unmanaged immediate deliveries to an unmanaged peer: every wake is
+        // Ignored (counted as suppressed — no run-queue lock contention).
+        let (mut a, mut b, fabric) = two_endpoint_fabric();
+        for i in 0..4 {
+            a.send(EndpointId(1), class::APP, hdr(i), Bytes::new());
+        }
+        let snap = fabric.stats().snapshot();
+        assert_eq!(snap.wakes_issued() + snap.wakes_suppressed(), 4);
+        assert_eq!(snap.wakes_issued(), 0, "unmanaged targets never unpark");
+        for _ in 0..4 {
+            b.recv_blocking().unwrap();
+        }
     }
 }

@@ -18,7 +18,11 @@
 //!   by quiescence, instead of by real-time timeouts.
 //! * Transport is a crossbeam channel per destination endpoint. Messages from
 //!   one sender to one receiver are delivered in order (the paper's FIFO
-//!   reliable channel assumption).
+//!   reliable channel assumption). Scheduler-managed endpoints *stage* sends
+//!   in a per-destination outbox and push each destination's batch — one
+//!   channel operation, one wake — at their next blocking boundary
+//!   ([`fabric::Endpoint::flush`]); wakes to already-runnable targets take a
+//!   lock-free fast path ([`sched::Scheduler::wake`]).
 //! * Crash failures are injected by the [`failure::FailureService`], which also
 //!   acts as the "external service" the paper assumes for failure detection:
 //!   every alive endpoint learns about a crash.
@@ -40,7 +44,7 @@ pub use clock::VirtualClock;
 pub use fabric::{Endpoint, EndpointId, Fabric, RawMessage, RecvError};
 pub use failure::{CrashSchedule, FailureEvent, FailureService};
 pub use model::{HockneyModel, LogGpModel, NetworkModel};
-pub use sched::{Park, Scheduler};
+pub use sched::{Park, Scheduler, WakeOutcome};
 pub use stats::{NetStats, StatsSnapshot};
 pub use time::SimTime;
 pub use topology::{Cluster, NodeId, Placement};

@@ -399,19 +399,25 @@ pub fn run_ft(p: &mut Process, cfg: &NasConfig) -> f64 {
         for r in 0..rows {
             fft_inplace(&mut re[r], &mut im[r]);
         }
-        // All-to-all transpose: block (this rank, dest) of columns.
+        // All-to-all transpose: block (this rank, dest) of columns. The
+        // whole send slab is marshalled once, destination-major; the
+        // per-destination blocks are then O(1) `Bytes::slice` views sharing
+        // that single allocation instead of one marshalling + allocation per
+        // destination (256 of them at paper scale).
         let block_cols = cols / size;
-        let blocks: Vec<Bytes> = (0..size)
-            .map(|dst| {
-                let mut flat = Vec::with_capacity(rows * block_cols * 2);
-                for r in 0..rows {
-                    for c in 0..block_cols {
-                        flat.push(re[r][dst * block_cols + c]);
-                        flat.push(im[r][dst * block_cols + c]);
-                    }
+        let mut flat = Vec::with_capacity(rows * cols * 2);
+        for dst in 0..size {
+            for r in 0..rows {
+                for c in 0..block_cols {
+                    flat.push(re[r][dst * block_cols + c]);
+                    flat.push(im[r][dst * block_cols + c]);
                 }
-                f64s_to_bytes(&flat)
-            })
+            }
+        }
+        let slab = f64s_to_bytes(&flat);
+        let block_bytes = rows * block_cols * 2 * std::mem::size_of::<f64>();
+        let blocks: Vec<Bytes> = (0..size)
+            .map(|dst| slab.slice(dst * block_bytes..(dst + 1) * block_bytes))
             .collect();
         let received = p.alltoall_bytes(p.world(), blocks);
         // Rebuild the local slab from the received blocks (transposed layout),

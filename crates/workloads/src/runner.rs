@@ -36,6 +36,42 @@ impl WorkloadSpec {
     }
 }
 
+/// Execution-layer counters of one job run, lifted from the fabric's
+/// [`sim_net::StatsSnapshot`] for machine-readable benchmark reports. The
+/// PR 2 delivery path took the scheduler's run-queue lock once per message;
+/// `wakes_issued` is what the batched/coalesced path actually paid, and
+/// [`sim_net::StatsSnapshot::baseline_equivalent_wakes`] (issued +
+/// suppressed + extra messages in multi-message batches) reconstructs the
+/// baseline exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeliveryCounters {
+    /// Scheduler wakes that took the run-queue lock (unparks).
+    pub wakes_issued: u64,
+    /// Wakes coalesced on the lock-free fast path (or no-ops).
+    pub wakes_suppressed: u64,
+    /// Outbox batches pushed (one channel operation + one wake each).
+    pub flushes: u64,
+    /// Messages carried by those batches.
+    pub flushed_msgs: u64,
+    /// Mean messages per batch (0 when nothing was flushed).
+    pub mean_flush_batch: f64,
+    /// Host (real) seconds the run took, as opposed to simulated seconds.
+    pub host_secs: f64,
+}
+
+impl DeliveryCounters {
+    fn from_report<R>(report: &sim_mpi::JobReport<R>, host_secs: f64) -> Self {
+        DeliveryCounters {
+            wakes_issued: report.stats.wakes_issued(),
+            wakes_suppressed: report.stats.wakes_suppressed(),
+            flushes: report.stats.flushes(),
+            flushed_msgs: report.stats.flushed_msgs(),
+            mean_flush_batch: report.stats.mean_flush_batch(),
+            host_secs,
+        }
+    }
+}
+
 /// One row of a Table-1/Table-2-style comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ComparisonRow {
@@ -59,6 +95,10 @@ pub struct ComparisonRow {
     pub replicated_app_msgs: u64,
     /// Acknowledgement messages sent with replication.
     pub replicated_ack_msgs: u64,
+    /// Wake/flush counters of the native run.
+    pub native_delivery: DeliveryCounters,
+    /// Wake/flush counters of the replicated run.
+    pub replicated_delivery: DeliveryCounters,
 }
 
 fn checksums(report: &sim_mpi::JobReport<f64>) -> Vec<f64> {
@@ -96,8 +136,12 @@ pub fn compare_protocols_tuned(
         native_builder = native_builder.workers(w);
         repl_builder = repl_builder.workers(w);
     }
+    let started = std::time::Instant::now();
     let native = native_builder.run(move |p| (app_native)(p));
+    let native_host_secs = started.elapsed().as_secs_f64();
+    let started = std::time::Instant::now();
     let replicated = repl_builder.run(move |p| (app_repl)(p));
+    let replicated_host_secs = started.elapsed().as_secs_f64();
     assert!(
         native.all_finished(),
         "{}: native run did not finish",
@@ -121,6 +165,8 @@ pub fn compare_protocols_tuned(
         native_app_msgs: native.stats.app_msgs(),
         replicated_app_msgs: replicated.stats.app_msgs(),
         replicated_ack_msgs: replicated.stats.ack_msgs(),
+        native_delivery: DeliveryCounters::from_report(&native, native_host_secs),
+        replicated_delivery: DeliveryCounters::from_report(&replicated, replicated_host_secs),
     }
 }
 
@@ -149,6 +195,14 @@ mod tests {
         assert!(row.replicated_secs > 0.0);
         assert_eq!(row.replicated_app_msgs, row.native_app_msgs * 2);
         assert!(row.replicated_ack_msgs > 0);
+        let d = &row.replicated_delivery;
+        assert!(d.flushes > 0, "managed runs must push outbox batches");
+        assert!(d.mean_flush_batch >= 1.0);
+        assert!(
+            d.wakes_issued + d.wakes_suppressed >= d.flushes,
+            "every batch issues exactly one wake"
+        );
+        assert!(d.host_secs > 0.0);
         assert!(
             row.overhead_pct > -2.0 && row.overhead_pct < 50.0,
             "unexpected overhead {}% for a small test problem",

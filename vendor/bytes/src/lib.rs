@@ -2,42 +2,62 @@
 //!
 //! Provides the subset of [`Bytes`] used by this workspace: an immutable,
 //! cheaply cloneable byte buffer backed by an `Arc<[u8]>`. Clones share the
-//! allocation; all read access goes through `Deref<Target = [u8]>`.
+//! allocation; all read access goes through `Deref<Target = [u8]>`. Like the
+//! real crate, [`Bytes::slice`] is O(1): the sub-buffer shares the backing
+//! allocation through an (offset, len) view instead of copying.
 
 use std::ops::Deref;
 use std::sync::Arc;
 
-/// Immutable, reference-counted byte buffer.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Bytes(Arc<[u8]>);
+/// Immutable, reference-counted byte buffer: a shared allocation plus an
+/// (offset, len) window into it.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    offset: usize,
+    len: usize,
+}
 
 impl Bytes {
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let len = data.len();
+        Bytes {
+            data,
+            offset: 0,
+            len,
+        }
+    }
+
     /// Creates an empty buffer (no allocation is shared, but empty slices are cheap).
     pub fn new() -> Self {
-        Bytes(Arc::from(&[][..]))
+        Bytes::from_arc(Arc::from(&[][..]))
     }
 
     /// Creates a buffer from a static slice (copied once into shared storage).
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes(Arc::from(data))
+        Bytes::from_arc(Arc::from(data))
     }
 
     /// Creates a buffer by copying the given slice.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Arc::from(data))
+        Bytes::from_arc(Arc::from(data))
     }
 
     /// Length of the buffer in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len == 0
     }
 
-    /// Returns a new `Bytes` holding a copy of the given subrange.
+    /// Returns a new `Bytes` viewing the given subrange of this buffer.
+    ///
+    /// O(1): the backing `Arc` allocation is shared and only the view's
+    /// offset/length change — no bytes are copied. This matches the real
+    /// `bytes` crate and keeps protocol-layer slicing off the copy path.
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Self {
         use std::ops::Bound;
         let start = match range.start_bound() {
@@ -48,9 +68,18 @@ impl Bytes {
         let end = match range.end_bound() {
             Bound::Included(&n) => n + 1,
             Bound::Excluded(&n) => n,
-            Bound::Unbounded => self.0.len(),
+            Bound::Unbounded => self.len,
         };
-        Bytes(Arc::from(&self.0[start..end]))
+        assert!(
+            start <= end && end <= self.len,
+            "slice range {start}..{end} out of bounds for Bytes of length {}",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            offset: self.offset + start,
+            len: end - start,
+        }
     }
 }
 
@@ -63,31 +92,57 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        &self.data[self.offset..self.offset + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::from(v.into_boxed_slice()))
+        Bytes::from_arc(Arc::from(v.into_boxed_slice()))
     }
 }
 
 impl From<&'static [u8]> for Bytes {
     fn from(v: &'static [u8]) -> Self {
-        Bytes(Arc::from(v))
+        Bytes::from_arc(Arc::from(v))
     }
 }
 
 impl From<&'static str> for Bytes {
     fn from(v: &'static str) -> Self {
-        Bytes(Arc::from(v.as_bytes()))
+        Bytes::from_arc(Arc::from(v.as_bytes()))
     }
 }
 
@@ -100,7 +155,7 @@ impl FromIterator<u8> for Bytes {
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.0.iter() {
+        for &b in self.iter() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -122,9 +177,52 @@ mod tests {
     }
 
     #[test]
-    fn slice_copies_subrange() {
+    fn slice_views_subrange() {
         let a = Bytes::from_static(b"hello world");
         assert_eq!(&a.slice(0..5)[..], b"hello");
         assert_eq!(&a.slice(6..)[..], b"world");
+        assert_eq!(&a.slice(..)[..], b"hello world");
+        assert!(a.slice(4..4).is_empty());
+    }
+
+    #[test]
+    fn slice_shares_backing_allocation() {
+        let a = Bytes::from(vec![9u8; 64]);
+        let before = Arc::strong_count(&a.data);
+        let s = a.slice(8..24);
+        assert_eq!(Arc::strong_count(&a.data), before + 1);
+        assert!(Arc::ptr_eq(&a.data, &s.data));
+        assert_eq!(s.len(), 16);
+        assert_eq!(&s[..], &a[8..24]);
+    }
+
+    #[test]
+    fn nested_slices_compose_offsets() {
+        let a = Bytes::from_static(b"abcdefghij");
+        let s = a.slice(2..8); // cdefgh
+        let t = s.slice(1..4); // def
+        assert_eq!(&t[..], b"def");
+        assert!(Arc::ptr_eq(&a.data, &t.data));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let a = Bytes::from_static(b"abc");
+        let _ = a.slice(1..5);
+    }
+
+    #[test]
+    fn equality_and_hash_follow_the_view() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = Bytes::from_static(b"xabcx").slice(1..4);
+        let b = Bytes::from_static(b"abc");
+        assert_eq!(a, b);
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
     }
 }
