@@ -1,0 +1,72 @@
+//! Criterion micro-bench of the scheduler's park→wake→run dispatch latency:
+//! the direct-handoff path (one permit ping-ponged between two processes — a
+//! departing carrier CASes the peer runnable and signals its seat) against
+//! the cold path (two permits, so every wake of a parked peer acquires an
+//! idle permit through the permit counter, the moral equivalent of the old
+//! global-run-queue condvar handshake). Each iteration runs a full ping-pong
+//! of `ROUNDS` round trips on a fresh scheduler, so the reported time is
+//! `2·ROUNDS` dispatches plus two thread spawns.
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_net::sched::{Park, Scheduler};
+use sim_net::{EndpointId, SimTime};
+use std::sync::Arc;
+
+const ROUNDS: usize = 2_000;
+
+/// Lock-step ping-pong: A wakes B then parks; B parks then wakes A. Every
+/// park is satisfied by exactly one wake, so the pair completes without a
+/// quiescence verdict.
+fn pingpong(workers: usize) -> (u64, u64) {
+    let s = Arc::new(Scheduler::new(2));
+    s.set_workers(workers);
+    s.register(EndpointId(0));
+    s.register(EndpointId(1));
+    let s2 = Arc::clone(&s);
+    let a = std::thread::spawn(move || {
+        s2.start(EndpointId(0));
+        for _ in 0..ROUNDS {
+            s2.wake(EndpointId(1));
+            assert_eq!(s2.park(EndpointId(0), SimTime::ZERO), Park::Woken);
+        }
+        s2.finish(EndpointId(0));
+    });
+    let s3 = Arc::clone(&s);
+    let b = std::thread::spawn(move || {
+        s3.start(EndpointId(1));
+        for _ in 0..ROUNDS {
+            assert_eq!(s3.park(EndpointId(1), SimTime::ZERO), Park::Woken);
+            s3.wake(EndpointId(0));
+        }
+        s3.finish(EndpointId(1));
+    });
+    a.join().unwrap();
+    b.join().unwrap();
+    (s.peak_running() as u64, s.workers() as u64)
+}
+
+fn bench_dispatch_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched_dispatch");
+    group.sample_size(10);
+    // One permit: every dispatch after start-up is a direct handoff (the
+    // parker pops its peer and passes the permit without touching the permit
+    // counter).
+    group.bench_function(format!("handoff_pingpong_{ROUNDS}x2"), |b| {
+        b.iter(|| {
+            let (peak, _) = pingpong(1);
+            assert_eq!(peak, 1);
+        })
+    });
+    // Two permits: a parker finds nothing ready (its peer is still running)
+    // and releases; the peer's next wake then acquires the idle permit — the
+    // cold dispatch path — for every round trip.
+    group.bench_function(format!("cold_pingpong_{ROUNDS}x2"), |b| {
+        b.iter(|| {
+            let (peak, workers) = pingpong(2);
+            assert!(peak <= workers);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch_paths);
+criterion_main!(benches);

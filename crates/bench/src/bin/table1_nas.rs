@@ -8,8 +8,11 @@
 //! path keeps even `--ranks 256 --class d` CI-feasible). The scheduler
 //! multiplexes all simulated processes — 512 of them at `--ranks 256` under
 //! dual replication — over a worker pool bounded by the host core count
-//! (override with `--workers`). `--json PATH` writes the machine-readable
-//! report (wall times plus scheduler wake / outbox flush counters) that CI
+//! (override with `--workers`; `--workers 1` is the deterministic
+//! single-permit replay mode). Carrier threads come from the process-global
+//! pool, so the ten back-to-back jobs of one invocation reuse one thread set.
+//! `--json PATH` writes the machine-readable report (wall times plus
+//! scheduler wake / outbox flush / dispatch / thread-churn counters) that CI
 //! uploads as the `BENCH_table1.json` artifact.
 fn main() {
     let args = sdr_bench::parse_harness_args(std::env::args().skip(1), 16);

@@ -170,13 +170,15 @@ pub fn parse_harness_args<I: Iterator<Item = String>>(
                     .next()
                     .and_then(|s| s.parse().ok())
                     .expect("--workers needs a positive integer");
-                assert!(w > 0, "--workers needs a positive integer");
-                if w < sim_net::sched::MIN_WORKERS {
+                assert!(
+                    w >= sim_net::sched::MIN_WORKERS,
+                    "--workers needs an integer >= {}",
+                    sim_net::sched::MIN_WORKERS
+                );
+                if w == 1 {
                     eprintln!(
-                        "note: the scheduler enforces a minimum pool of {} workers \
-                         (requested {w}); the run will use {}",
-                        sim_net::sched::MIN_WORKERS,
-                        sim_net::sched::MIN_WORKERS
+                        "note: --workers 1 runs the deterministic single-permit replay \
+                         mode (slowest, but two identical runs schedule identically)"
                     );
                 }
                 parsed.tuning.workers = Some(w);
@@ -417,58 +419,102 @@ pub fn format_comparison_table(title: &str, rows: &[ComparisonRow]) -> String {
     out
 }
 
-/// Aggregate delivery counters over a row set (both runs of every row):
-/// `(issued, suppressed, flushes, flushed_msgs, baseline)`, where `baseline`
-/// is the exact wake count the one-wake-per-delivery PR 2 path would have
-/// paid — every recorded wake plus one per extra message in a multi-message
-/// batch (a `k`-message batch records one wake where the baseline issued `k`).
-fn delivery_totals(rows: &[ComparisonRow]) -> (u64, u64, u64, u64, u64) {
-    let mut issued = 0u64;
-    let mut suppressed = 0u64;
-    let mut flushes = 0u64;
-    let mut flushed_msgs = 0u64;
+/// Aggregate delivery counters over a row set (both runs of every row).
+/// `baseline` is the exact wake count the one-wake-per-delivery PR 2 path
+/// would have paid — every recorded wake plus one per extra message in a
+/// multi-message batch (a `k`-message batch records one wake where the
+/// baseline issued `k`).
+#[derive(Debug, Default, Clone, Copy)]
+struct DeliveryTotals {
+    issued: u64,
+    suppressed: u64,
+    flushes: u64,
+    flushed_msgs: u64,
+    baseline: u64,
+    handoffs: u64,
+    steals: u64,
+    condvar_waits: u64,
+    threads_spawned: u64,
+    threads_reused: u64,
+}
+
+impl DeliveryTotals {
+    /// Fraction of dispatches that were direct handoffs/steals (1.0 when
+    /// nothing was dispatched).
+    fn direct_fraction(&self) -> f64 {
+        sim_net::stats::direct_dispatch_fraction(self.handoffs, self.steals, self.condvar_waits)
+    }
+}
+
+fn delivery_totals(rows: &[ComparisonRow]) -> DeliveryTotals {
+    let mut t = DeliveryTotals::default();
     for row in rows {
         for d in [&row.native_delivery, &row.replicated_delivery] {
-            issued += d.wakes_issued;
-            suppressed += d.wakes_suppressed;
-            flushes += d.flushes;
-            flushed_msgs += d.flushed_msgs;
+            t.issued += d.wakes_issued;
+            t.suppressed += d.wakes_suppressed;
+            t.flushes += d.flushes;
+            t.flushed_msgs += d.flushed_msgs;
+            t.handoffs += d.handoffs;
+            t.steals += d.steals;
+            t.condvar_waits += d.condvar_waits;
+            t.threads_spawned += d.threads_spawned;
+            t.threads_reused += d.threads_reused;
         }
     }
-    let baseline = issued + suppressed + (flushed_msgs - flushes);
-    (issued, suppressed, flushes, flushed_msgs, baseline)
+    t.baseline = t.issued + t.suppressed + (t.flushed_msgs - t.flushes);
+    t
 }
 
 /// Format the delivery-layer summary of a row set: scheduler wakes actually
-/// issued vs the one-wake-per-delivery PR 2 baseline, and outbox batching.
+/// issued vs the one-wake-per-delivery PR 2 baseline, outbox batching, the
+/// direct-handoff dispatch split, and carrier-thread churn.
 pub fn format_delivery_summary(rows: &[ComparisonRow]) -> String {
-    let (issued, suppressed, flushes, flushed_msgs, baseline) = delivery_totals(rows);
-    let reduction = if issued == 0 {
+    let t = delivery_totals(rows);
+    let reduction = if t.issued == 0 {
         f64::INFINITY
     } else {
-        baseline as f64 / issued as f64
+        t.baseline as f64 / t.issued as f64
     };
-    let mean_batch = if flushes == 0 {
+    let mean_batch = if t.flushes == 0 {
         0.0
     } else {
-        flushed_msgs as f64 / flushes as f64
+        t.flushed_msgs as f64 / t.flushes as f64
     };
     format!(
-        "delivery: {issued} wakes issued, {suppressed} suppressed \
-         ({reduction:.2}x fewer than the {baseline} one-per-delivery baseline); \
-         {flushes} batches, mean batch {mean_batch:.2} msgs\n"
+        "delivery: {} wakes issued, {} suppressed \
+         ({reduction:.2}x fewer than the {} one-per-delivery baseline); \
+         {} batches, mean batch {mean_batch:.2} msgs\n\
+         dispatch: {} handoffs + {} steals direct vs {} cold \
+         ({:.1}% direct); threads: {} spawned, {} reused\n",
+        t.issued,
+        t.suppressed,
+        t.baseline,
+        t.flushes,
+        t.handoffs,
+        t.steals,
+        t.condvar_waits,
+        t.direct_fraction() * 100.0,
+        t.threads_spawned,
+        t.threads_reused,
     )
 }
 
 fn json_delivery(d: &workloads::runner::DeliveryCounters) -> String {
     format!(
         "{{\"wakes_issued\": {}, \"wakes_suppressed\": {}, \"flushes\": {}, \
-         \"flushed_msgs\": {}, \"mean_flush_batch\": {:.3}, \"host_secs\": {:.3}}}",
+         \"flushed_msgs\": {}, \"mean_flush_batch\": {:.3}, \
+         \"handoffs\": {}, \"steals\": {}, \"condvar_waits\": {}, \
+         \"threads_spawned\": {}, \"threads_reused\": {}, \"host_secs\": {:.3}}}",
         d.wakes_issued,
         d.wakes_suppressed,
         d.flushes,
         d.flushed_msgs,
         d.mean_flush_batch,
+        d.handoffs,
+        d.steals,
+        d.condvar_waits,
+        d.threads_spawned,
+        d.threads_reused,
         d.host_secs
     )
 }
@@ -508,17 +554,29 @@ pub fn table_report_json(
         ));
     }
     out.push_str("  ],\n");
-    let (issued, suppressed, _, _, baseline) = delivery_totals(rows);
+    let t = delivery_totals(rows);
     // No wake ever took the slow path: the reduction is unbounded, not a
     // number — emit null so artifact consumers don't record a bogus value.
-    let reduction = if issued == 0 {
+    let reduction = if t.issued == 0 {
         "null".to_string()
     } else {
-        format!("{:.3}", baseline as f64 / issued as f64)
+        format!("{:.3}", t.baseline as f64 / t.issued as f64)
     };
     out.push_str(&format!(
-        "  \"totals\": {{\"wakes_issued\": {issued}, \"wakes_suppressed\": {suppressed}, \
-         \"baseline_equivalent_wakes\": {baseline}, \"wake_reduction_factor\": {reduction}}}\n"
+        "  \"totals\": {{\"wakes_issued\": {}, \"wakes_suppressed\": {}, \
+         \"baseline_equivalent_wakes\": {}, \"wake_reduction_factor\": {reduction}, \
+         \"handoffs\": {}, \"steals\": {}, \"condvar_waits\": {}, \
+         \"direct_dispatch_fraction\": {:.4}, \
+         \"threads_spawned\": {}, \"threads_reused\": {}}}\n",
+        t.issued,
+        t.suppressed,
+        t.baseline,
+        t.handoffs,
+        t.steals,
+        t.condvar_waits,
+        t.direct_fraction(),
+        t.threads_spawned,
+        t.threads_reused,
     ));
     out.push_str("}\n");
     out

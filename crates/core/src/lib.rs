@@ -44,4 +44,4 @@ pub use config::{AckOn, ReplicationConfig};
 pub use factory::{native_job, replicated_job, SdrFactory};
 pub use layout::ReplicaLayout;
 pub use protocol::{SdrCounters, SdrProtocol, SeqTracker};
-pub use recovery::{RecoveryCoordinator, RecoveryEvent, RecoveryOutcome};
+pub use recovery::{RecoveryCoordinator, RecoveryError, RecoveryEvent, RecoveryOutcome};

@@ -21,13 +21,19 @@
 use crate::config::{AckOn, ReplicationConfig};
 use crate::layout::ReplicaLayout;
 use bytes::Bytes;
+use sim_mpi::matching::KeyHasher;
 use sim_mpi::pml::{MsgMeta, Pml, PmlEvent};
 use sim_mpi::{
     CommId, MpiError, PmlReqId, ProtoRecvReq, ProtoSendReq, Protocol, Rank, Status, Tag, TagSel,
 };
 use sim_net::stats::class;
 use sim_net::{EndpointId, FailureEvent, SimTime};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::BuildHasherDefault;
+
+/// Per-message bookkeeping maps ride the matching engine's trusted-key
+/// multiplicative hasher instead of SipHash.
+type HashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<KeyHasher>>;
 
 /// Control-message kinds carried in `header[0]` of SDR-MPI protocol traffic.
 pub mod ctl {
@@ -208,8 +214,8 @@ impl SdrProtocol {
             sends: BTreeMap::new(),
             recvs: BTreeMap::new(),
             next_req: 1,
-            pml_to_recv: HashMap::new(),
-            early_acks: HashMap::new(),
+            pml_to_recv: HashMap::default(),
+            early_acks: HashMap::default(),
             counters: SdrCounters::default(),
         }
     }

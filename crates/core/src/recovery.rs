@@ -42,6 +42,38 @@ pub struct ReplicaStateSnapshot {
     pub rank: usize,
 }
 
+/// Why a recovery could not be set up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The replica layout's degree is not two. The paper's recovery protocol
+    /// (Section 3.4) relies on there being exactly one surviving replica —
+    /// the substitute — whose state is the unique fork source and whose
+    /// acknowledgements unambiguously partition the messages to re-send; with
+    /// three or more replicas the survivors would additionally have to agree
+    /// on which of them forks and on a merged ack frontier, a coordination
+    /// problem the paper (and this reproduction) leaves open. See
+    /// `DESIGN.md` §4.1.
+    UnsupportedDegree {
+        /// The replication degree that was requested.
+        degree: usize,
+    },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::UnsupportedDegree { degree } => write!(
+                f,
+                "recovery is only supported for dual replication (degree 2), \
+                 not degree {degree}: with one survivor the fork source and \
+                 the ack frontier are unambiguous (paper §3.4)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
 /// What happened during one recovery.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryOutcome {
@@ -77,13 +109,16 @@ pub struct RecoveryCoordinator {
 
 impl RecoveryCoordinator {
     /// A coordinator for the given replica layout. Recovery is only supported
-    /// for dual replication, exactly as in the paper.
-    pub fn new(layout: ReplicaLayout) -> Self {
-        assert_eq!(
-            layout.degree, 2,
-            "the SDR-MPI recovery protocol only works for a replication degree of two"
-        );
-        RecoveryCoordinator { layout }
+    /// for dual replication, exactly as in the paper; any other degree is a
+    /// typed [`RecoveryError::UnsupportedDegree`] so callers can distinguish
+    /// "this configuration cannot recover" from programming errors.
+    pub fn new(layout: ReplicaLayout) -> Result<Self, RecoveryError> {
+        if layout.degree != 2 {
+            return Err(RecoveryError::UnsupportedDegree {
+                degree: layout.degree,
+            });
+        }
+        Ok(RecoveryCoordinator { layout })
     }
 
     /// Capture the substitute's protocol state — the "fork" of the paper.
@@ -165,7 +200,7 @@ mod tests {
     #[test]
     fn snapshot_restores_sequence_state() {
         let layout = ReplicaLayout::new(2, 2);
-        let coord = RecoveryCoordinator::new(layout);
+        let coord = RecoveryCoordinator::new(layout).unwrap();
         let mut substitute = SdrProtocol::new(EndpointId(1), 2, ReplicationConfig::dual());
         // Simulate some protocol history on the substitute.
         substitute.send_seq = vec![5, 9];
@@ -184,16 +219,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "degree of two")]
     fn recovery_requires_dual_replication() {
-        RecoveryCoordinator::new(ReplicaLayout::new(2, 3));
+        for degree in [1usize, 3, 4, 8] {
+            let err = RecoveryCoordinator::new(ReplicaLayout::new(2, degree)).unwrap_err();
+            assert_eq!(err, RecoveryError::UnsupportedDegree { degree });
+            assert!(
+                err.to_string().contains(&format!("degree {degree}")),
+                "error must name the offending degree: {err}"
+            );
+        }
     }
 
     #[test]
     #[should_panic(expected = "must match")]
     fn restore_rejects_wrong_rank() {
         let layout = ReplicaLayout::new(2, 2);
-        let coord = RecoveryCoordinator::new(layout);
+        let coord = RecoveryCoordinator::new(layout).unwrap();
         let substitute = SdrProtocol::new(EndpointId(1), 2, ReplicationConfig::dual());
         let snap = coord.fork_snapshot(&substitute);
         // Endpoint 2 is rank 0, but the snapshot is for rank 1.
@@ -208,7 +249,7 @@ mod tests {
     #[test]
     fn snapshot_rank_matches_protocol_rank() {
         let layout = ReplicaLayout::new(4, 2);
-        let coord = RecoveryCoordinator::new(layout);
+        let coord = RecoveryCoordinator::new(layout).unwrap();
         for rank in 0..4 {
             let substitute =
                 SdrProtocol::new(layout.endpoint(rank, 0), 4, ReplicationConfig::dual());

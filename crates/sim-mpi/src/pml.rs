@@ -18,12 +18,17 @@
 //! MPICH2 behaviour that motivates acking on `irecvComplete` rather than in
 //! `MPI_Wait` (Section 3.3).
 
-use crate::matching::{IncomingMsg, MatchingEngine, PmlReqId, PostedRecv};
+use crate::matching::{IncomingMsg, KeyHasher, MatchingEngine, PmlReqId, PostedRecv};
 use crate::types::{CommId, MpiError, MpiResult, Tag, TagSel};
 use bytes::Bytes;
 use sim_net::stats::class;
 use sim_net::{Endpoint, EndpointId, FailureEvent, RecvError, SimTime};
-use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+/// The request/sequence tables are touched several times per message; the
+/// same trusted-key multiplicative hasher the matching engine uses keeps
+/// them off the SipHash path.
+type HashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<KeyHasher>>;
 
 /// Metadata describing a completed receive (or an incoming message), handed
 /// to protocols together with [`PmlEvent::RecvCompleted`].
@@ -142,9 +147,9 @@ impl Pml {
         Pml {
             ep,
             engine: MatchingEngine::new(),
-            requests: HashMap::new(),
+            requests: HashMap::default(),
             next_req: 1,
-            send_seq: HashMap::new(),
+            send_seq: HashMap::default(),
             failures_seen: 0,
             pending_events: Vec::new(),
             config,

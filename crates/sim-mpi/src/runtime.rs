@@ -4,7 +4,11 @@
 //! [`JobReport`].
 //!
 //! Each simulated process owns a carrier thread (the stack its application
-//! closure lives on), but carriers only execute while holding one of the
+//! closure lives on) leased from the process-global
+//! [`sim_net::CarrierPool`], so back-to-back jobs (a benchmark harness's
+//! rows) reuse each other's threads instead of paying one spawn + join per
+//! process per job — [`JobReport::threads_spawned`]/[`JobReport::threads_reused`]
+//! account for the churn. Carriers only execute while holding one of the
 //! scheduler's bounded run permits — `workers` of them, defaulting to the host
 //! core count. Blocked processes park on the scheduler instead of pinning an
 //! OS thread in a timed channel wait, which is what lets a single job launch
@@ -120,6 +124,11 @@ pub struct JobReport<R> {
     /// Highest number of simultaneously executing simulated processes the
     /// scheduler observed — always `<= workers` outside deadlock teardown.
     pub peak_concurrency: usize,
+    /// Carrier threads freshly spawned for this job (the rest of its
+    /// processes ran on recycled pool threads).
+    pub threads_spawned: usize,
+    /// Carrier threads reused from the process-global pool.
+    pub threads_reused: usize,
 }
 
 impl<R> JobReport<R> {
@@ -259,7 +268,10 @@ impl JobBuilder {
 
     /// Size of the scheduler's worker pool: how many simulated processes may
     /// execute concurrently. Defaults to `min(host cores, physical processes)`
-    /// and is clamped to at least [`sim_net::sched::MIN_WORKERS`].
+    /// (at least 2) and is clamped to at least [`sim_net::sched::MIN_WORKERS`].
+    /// `workers(1)` selects *deterministic replay*: with a single run permit,
+    /// dispatch is a pure function of the virtual-time-ordered ready queues,
+    /// so two identical runs schedule — and trace — identically.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
         self
@@ -311,6 +323,8 @@ impl JobBuilder {
         }
         let app = Arc::new(app);
         let mut handles = Vec::with_capacity(physical);
+        let mut threads_spawned = 0usize;
+        let mut threads_reused = 0usize;
         for p in 0..physical {
             let fabric = Arc::clone(&fabric);
             let factory = Arc::clone(&self.factory);
@@ -318,10 +332,10 @@ impl JobBuilder {
             let trace = trace.clone();
             let pml_config = self.pml_config;
             let app_ranks = self.app_ranks;
-            let handle = std::thread::Builder::new()
-                .name(format!("simproc-{p}"))
-                .stack_size(self.proc_stack_bytes)
-                .spawn(move || {
+            // Lease a carrier from the process-global pool instead of
+            // spawning a fresh OS thread per process per job.
+            let (handle, source) =
+                sim_net::CarrierPool::global().run(self.proc_stack_bytes, move || {
                     // Mark the slot finished on every exit path (including
                     // unexpected panics), so peers never wait on a ghost.
                     let _finish = FinishGuard {
@@ -360,8 +374,11 @@ impl JobBuilder {
                         comm_time: clock.comm_overhead_time(),
                         idle_time: clock.idle_time(),
                     }
-                })
-                .expect("spawn simulated process thread");
+                });
+            match source {
+                sim_net::CarrierSource::Spawned => threads_spawned += 1,
+                sim_net::CarrierSource::Reused => threads_reused += 1,
+            }
             handles.push(handle);
         }
         let mut processes: Vec<ProcessReport<R>> = handles
@@ -386,6 +403,8 @@ impl JobBuilder {
             trace,
             workers: fabric.scheduler().workers(),
             peak_concurrency: fabric.scheduler().peak_running(),
+            threads_spawned,
+            threads_reused,
         }
     }
 }
@@ -792,6 +811,90 @@ mod tests {
             .max()
             .unwrap();
         assert_eq!(report.elapsed, max_finish);
+    }
+
+    #[test]
+    fn back_to_back_jobs_reuse_carrier_threads() {
+        // Two identical jobs in sequence: the second one must draw most of
+        // its carriers from the pool the first one populated (other tests
+        // run concurrently and also feed the pool, so we assert reuse rather
+        // than exact counts).
+        let run = || {
+            JobBuilder::new(8).network(fast()).run(|p| {
+                let world = p.world();
+                let peer = (p.rank() + 1) % p.size();
+                let from = (p.rank() + p.size() - 1) % p.size();
+                p.sendrecv_bytes(world, peer, 0, Bytes::from(vec![1u8; 16]), from as i64, 0);
+                p.rank()
+            })
+        };
+        let first = run();
+        let second = run();
+        assert!(first.all_finished() && second.all_finished());
+        assert_eq!(
+            first.threads_spawned + first.threads_reused,
+            8,
+            "every process gets exactly one carrier"
+        );
+        assert_eq!(second.threads_spawned + second.threads_reused, 8);
+        assert!(
+            second.threads_reused > 0,
+            "a back-to-back job must recycle carriers ({} spawned, {} reused)",
+            second.threads_spawned,
+            second.threads_reused
+        );
+    }
+
+    #[test]
+    fn single_worker_replay_is_deterministic() {
+        // `workers(1)` is the deterministic replay mode: one run permit makes
+        // dispatch a pure function of the ready queues, so two identical runs
+        // must produce identical event traces (order, peers, payload digests
+        // and virtual timestamps) — including across an ANY_SOURCE gather,
+        // the pattern whose completion order host scheduling can otherwise
+        // perturb.
+        let run = || {
+            JobBuilder::new(6)
+                .network(fast())
+                .workers(1)
+                .trace(true)
+                .run(|p| {
+                    let world = p.world();
+                    let peer = (p.rank() + 1) % p.size();
+                    let from = (p.rank() + p.size() - 1) % p.size();
+                    for round in 0..3u8 {
+                        p.sendrecv_bytes(
+                            world,
+                            peer,
+                            1,
+                            Bytes::from(vec![round; 32]),
+                            from as i64,
+                            1,
+                        );
+                    }
+                    if p.rank() == 0 {
+                        for _ in 0..(p.size() - 1) {
+                            let (_, _) = p.recv_bytes(world, crate::types::ANY_SOURCE, 2);
+                        }
+                    } else {
+                        p.send_bytes(world, 0, 2, Bytes::from(vec![p.rank() as u8]));
+                    }
+                    p.now()
+                })
+        };
+        let a = run();
+        let b = run();
+        assert!(a.all_finished() && b.all_finished());
+        assert_eq!(a.workers, 1);
+        assert!(a.peak_concurrency <= 1);
+        assert_eq!(
+            a.trace.events(),
+            b.trace.events(),
+            "single-worker replay must record identical TraceEvent streams"
+        );
+        for (pa, pb) in a.processes.iter().zip(b.processes.iter()) {
+            assert_eq!(pa.finish_time, pb.finish_time);
+        }
     }
 
     #[test]

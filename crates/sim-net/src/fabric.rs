@@ -219,6 +219,11 @@ impl Fabric {
             senders.push(tx);
             receivers.push(rx);
         }
+        // The scheduler shares the fabric's stats so its dispatch counters
+        // (handoffs, steals, cold dispatches) land in the same snapshot as
+        // the wake/flush counters.
+        let stats = Arc::new(NetStats::new());
+        let sched = Scheduler::with_stats(n, Arc::clone(&stats));
         Arc::new(Fabric {
             n,
             model,
@@ -227,9 +232,9 @@ impl Fabric {
             senders,
             receivers,
             taken: Mutex::new(vec![false; n]),
-            stats: Arc::new(NetStats::new()),
+            stats,
             failure: FailureService::new(n),
-            sched: Scheduler::new(n),
+            sched,
             recv_timeout_ms: std::sync::atomic::AtomicU64::new(20_000),
         })
     }
@@ -517,11 +522,11 @@ impl Endpoint {
             self.maybe_crash(true);
         }
         let intra = self.fabric.same_node(self.id, dst);
-        let model = Arc::clone(&self.fabric.model);
-        self.clock
-            .charge_comm(model.send_overhead(payload.len(), intra));
+        let send_overhead = self.fabric.model.send_overhead(payload.len(), intra);
+        let wire_time = self.fabric.model.wire_time(payload.len(), intra);
+        self.clock.charge_comm(send_overhead);
         let injected_at = self.clock.now().max(not_before);
-        let arrival = injected_at + model.wire_time(payload.len(), intra);
+        let arrival = injected_at + wire_time;
         let msg = RawMessage {
             src: self.id,
             dst,
@@ -582,11 +587,14 @@ impl Endpoint {
         if self.outbox.is_empty() {
             return;
         }
-        let fabric = Arc::clone(&self.fabric);
-        for slot in self.outbox.drain(..) {
+        // Move the outbox out so its entries can be consumed while borrowing
+        // `self.fabric`; the (empty) vector moves back to keep its capacity.
+        let mut outbox = std::mem::take(&mut self.outbox);
+        for slot in outbox.drain(..) {
             self.outbox_index[slot.dst.0] = Self::NOT_STAGED;
-            fabric.deliver_batch(slot.first, slot.rest);
+            self.fabric.deliver_batch(slot.first, slot.rest);
         }
+        self.outbox = outbox;
     }
 
     /// Number of messages currently staged in the outbox (diagnostics).
@@ -654,9 +662,8 @@ impl Endpoint {
             return;
         }
         let intra = self.fabric.same_node(msg.src, self.id);
-        let model = Arc::clone(&self.fabric.model);
-        self.clock
-            .charge_comm(model.recv_overhead(msg.len(), intra));
+        let cost = self.fabric.model.recv_overhead(msg.len(), intra);
+        self.clock.charge_comm(cost);
     }
 
     /// Is there any message queued (whether or not it has virtually arrived)?

@@ -19,6 +19,7 @@ use crate::fabric::EndpointId;
 use crate::time::SimTime;
 use parking_lot::RwLock;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Panic payload used to unwind a simulated process out of arbitrary user
@@ -80,9 +81,22 @@ struct Inner {
 }
 
 /// Shared failure-injection + perfect-failure-detection service.
+///
+/// The overwhelmingly common state — nothing scheduled, nothing failed — is
+/// answered entirely from two atomics (`armed`, `failed_seq`): the crash
+/// check runs on every send/compute boundary and the failure poll on every
+/// progress call, tens of millions of times per benchmark row, so the
+/// lock-guarded state is only consulted once something is actually armed or
+/// failed.
 #[derive(Debug, Clone, Default)]
 pub struct FailureService {
     inner: Arc<RwLock<Inner>>,
+    /// True once any crash schedule other than `Never` has been installed.
+    /// Never reset (schedules are rare and per-job); purely a fast-path gate.
+    armed: Arc<AtomicBool>,
+    /// Number of failures recorded so far — the next unseen `seq`. Written
+    /// under the inner write lock, read lock-free by the per-progress poll.
+    failed_seq: Arc<AtomicU64>,
 }
 
 impl FailureService {
@@ -94,6 +108,8 @@ impl FailureService {
                 failed: Vec::new(),
                 failed_set: BTreeSet::new(),
             })),
+            armed: Arc::new(AtomicBool::new(false)),
+            failed_seq: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -104,6 +120,9 @@ impl FailureService {
             g.schedules.resize(endpoint.0 + 1, CrashSchedule::Never);
         }
         g.schedules[endpoint.0] = schedule;
+        if !matches!(schedule, CrashSchedule::Never) {
+            self.armed.store(true, Ordering::SeqCst);
+        }
     }
 
     /// The schedule currently assigned to `endpoint`.
@@ -126,6 +145,10 @@ impl FailureService {
         app_sends: u64,
         pre_send: bool,
     ) -> bool {
+        // Fast path: nothing armed, nothing failed — no lock.
+        if !self.armed.load(Ordering::SeqCst) && self.failed_seq.load(Ordering::SeqCst) == 0 {
+            return false;
+        }
         if self.is_failed(endpoint) {
             return true;
         }
@@ -155,11 +178,16 @@ impl FailureService {
         };
         g.failed.push(ev);
         g.failed_set.insert(endpoint.0);
+        self.failed_seq
+            .store(g.failed.len() as u64, Ordering::SeqCst);
         ev
     }
 
     /// Has `endpoint` been recorded as failed?
     pub fn is_failed(&self, endpoint: EndpointId) -> bool {
+        if self.failed_seq.load(Ordering::SeqCst) == 0 {
+            return false;
+        }
         self.inner.read().failed_set.contains(&endpoint.0)
     }
 
@@ -169,6 +197,8 @@ impl FailureService {
         let mut g = self.inner.write();
         g.failed_set.remove(&endpoint.0);
         g.failed.retain(|e| e.endpoint != endpoint);
+        self.failed_seq
+            .store(g.failed.len() as u64, Ordering::SeqCst);
         if endpoint.0 < g.schedules.len() {
             g.schedules[endpoint.0] = CrashSchedule::Never;
         }
@@ -183,8 +213,12 @@ impl FailureService {
     }
 
     /// Failures with sequence number `>= from_seq` (what a process has not yet
-    /// observed).
+    /// observed). The caller-has-seen-everything case is answered from an
+    /// atomic without taking the lock — this runs on every progress poll.
     pub fn failures_since(&self, from_seq: u64) -> Vec<FailureEvent> {
+        if from_seq >= self.failed_seq.load(Ordering::SeqCst) {
+            return Vec::new();
+        }
         self.inner
             .read()
             .failed

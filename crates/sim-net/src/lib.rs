@@ -12,9 +12,13 @@
 //!   advances the clock explicitly; communication costs are charged by the
 //!   [`model::NetworkModel`].
 //! * Execution goes through the [`sched::Scheduler`]: each simulated process
-//!   lives on a carrier thread, but only a bounded worker pool of them runs
-//!   at a time, dispatched lowest-virtual-time-first. Blocking waits park on
-//!   the scheduler (park/unpark protocol) and deadlocks are detected exactly,
+//!   lives on a carrier thread (leased from the process-global
+//!   [`carrier::CarrierPool`], which reuses parked threads across processes
+//!   and jobs), but only a bounded pool of run permits executes at a time,
+//!   dispatched lowest-virtual-time-first. A departing carrier hands its
+//!   permit *directly* to the next ready process (sharded ready queues,
+//!   virtual-time-aware stealing); blocking waits park on the scheduler
+//!   (park/unpark wake-token protocol) and deadlocks are detected exactly,
 //!   by quiescence, instead of by real-time timeouts.
 //! * Transport is a crossbeam channel per destination endpoint. Messages from
 //!   one sender to one receiver are delivered in order (the paper's FIFO
@@ -30,6 +34,7 @@
 //!   complexity (e.g. mirror's `O(q·r²)` vs parallel's `O(q·r)`) can be
 //!   measured directly.
 
+pub mod carrier;
 pub mod clock;
 pub mod fabric;
 pub mod failure;
@@ -40,6 +45,7 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
+pub use carrier::{CarrierHandle, CarrierPool, CarrierSource};
 pub use clock::VirtualClock;
 pub use fabric::{Endpoint, EndpointId, Fabric, RawMessage, RecvError};
 pub use failure::{CrashSchedule, FailureEvent, FailureService};

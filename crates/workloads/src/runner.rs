@@ -37,12 +37,16 @@ impl WorkloadSpec {
 }
 
 /// Execution-layer counters of one job run, lifted from the fabric's
-/// [`sim_net::StatsSnapshot`] for machine-readable benchmark reports. The
-/// PR 2 delivery path took the scheduler's run-queue lock once per message;
-/// `wakes_issued` is what the batched/coalesced path actually paid, and
+/// [`sim_net::StatsSnapshot`] and the job report for machine-readable
+/// benchmark reports. The PR 2 delivery path took the scheduler's run-queue
+/// lock once per message; `wakes_issued` is what the batched/coalesced path
+/// actually paid, and
 /// [`sim_net::StatsSnapshot::baseline_equivalent_wakes`] (issued +
 /// suppressed + extra messages in multi-message batches) reconstructs the
-/// baseline exactly.
+/// baseline exactly. `handoffs`/`steals` vs `condvar_waits` split dispatches
+/// into the direct-handoff fast path and the cold idle-permit path, and the
+/// `threads_*` counters account for carrier churn against the process-global
+/// [`sim_net::CarrierPool`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DeliveryCounters {
     /// Scheduler wakes that took the run-queue lock (unparks).
@@ -55,6 +59,17 @@ pub struct DeliveryCounters {
     pub flushed_msgs: u64,
     /// Mean messages per batch (0 when nothing was flushed).
     pub mean_flush_batch: f64,
+    /// Dispatches where a departing carrier handed its run permit directly to
+    /// a ready process from its own shard.
+    pub handoffs: u64,
+    /// Direct dispatches stolen from another ready shard.
+    pub steals: u64,
+    /// Cold-path dispatches (idle-permit grants — the old condvar handshake).
+    pub condvar_waits: u64,
+    /// Carrier threads freshly spawned for the run.
+    pub threads_spawned: u64,
+    /// Carrier threads recycled from the process-global pool.
+    pub threads_reused: u64,
     /// Host (real) seconds the run took, as opposed to simulated seconds.
     pub host_secs: f64,
 }
@@ -67,6 +82,11 @@ impl DeliveryCounters {
             flushes: report.stats.flushes(),
             flushed_msgs: report.stats.flushed_msgs(),
             mean_flush_batch: report.stats.mean_flush_batch(),
+            handoffs: report.stats.handoffs(),
+            steals: report.stats.steals(),
+            condvar_waits: report.stats.condvar_waits(),
+            threads_spawned: report.threads_spawned as u64,
+            threads_reused: report.threads_reused as u64,
             host_secs,
         }
     }
@@ -201,6 +221,15 @@ mod tests {
         assert!(
             d.wakes_issued + d.wakes_suppressed >= d.flushes,
             "every batch issues exactly one wake"
+        );
+        assert!(
+            d.handoffs + d.steals + d.condvar_waits > 0,
+            "the run must have dispatched through the scheduler"
+        );
+        assert_eq!(
+            d.threads_spawned + d.threads_reused,
+            8,
+            "4 ranks at dual replication need exactly 8 carriers"
         );
         assert!(d.host_secs > 0.0);
         assert!(

@@ -17,7 +17,7 @@ use sim_net::EndpointId;
 fn main() {
     let ranks = 2;
     let layout = ReplicaLayout::new(ranks, 2);
-    let coordinator = RecoveryCoordinator::new(layout);
+    let coordinator = RecoveryCoordinator::new(layout).expect("dual replication supports recovery");
 
     // The "fork" of Section 3.4: the substitute's protocol state at the moment
     // the replacement is created. Here we build the snapshot explicitly (17

@@ -1,0 +1,56 @@
+//! Deterministic single-worker replay (ROADMAP "Scheduler next steps" (a)).
+//!
+//! With `workers(1)` the scheduler holds a single run permit, so every
+//! dispatch decision — including the spin-yield requeue path that used to be
+//! able to reorder under host-scheduling jitter — is a pure function of the
+//! virtual-time-ordered ready queues. Two identical runs must therefore
+//! produce *identical* `TraceEvent` streams: same events, same global
+//! interleaving, same virtual timestamps. This is the debugging mode the
+//! ROADMAP asked for: a schedule observed once can be re-observed exactly.
+
+use sdr_mpi::sdr_core::{replicated_job, ReplicationConfig};
+use sdr_mpi::sim_net::trace::TraceEvent;
+use sdr_mpi::sim_net::LogGpModel;
+use sdr_mpi::workloads::nas::{run_kernel, NasConfig, NasKernel};
+
+/// One traced, replicated CG run in single-permit replay mode. CG's pattern
+/// mixes row/column exchanges with reductions, and the SDR ack waits drive
+/// the racy-yield path that was the known reordering risk.
+fn traced_replay_run() -> (Vec<TraceEvent>, Vec<u64>) {
+    let cfg = NasConfig::test_size();
+    let report = replicated_job(4, ReplicationConfig::dual())
+        .network(LogGpModel::fast_test_model())
+        .workers(1)
+        .trace(true)
+        .run(move |p| run_kernel(NasKernel::Cg, p, &cfg));
+    assert!(report.all_finished());
+    assert_eq!(report.workers, 1, "explicit workers(1) must not be clamped");
+    assert!(report.peak_concurrency <= 1);
+    let finish_times = report
+        .processes
+        .iter()
+        .map(|p| p.finish_time.as_nanos())
+        .collect();
+    (report.trace.events(), finish_times)
+}
+
+#[test]
+fn two_single_worker_runs_replay_identical_trace_streams() {
+    let (events_a, times_a) = traced_replay_run();
+    let (events_b, times_b) = traced_replay_run();
+    assert!(!events_a.is_empty(), "the traced run must record events");
+    assert_eq!(
+        events_a.len(),
+        events_b.len(),
+        "replayed runs must record the same number of events"
+    );
+    // Full-stream equality: kinds, peers, tags, payload digests, *and* the
+    // global recording order and virtual timestamps. This is strictly
+    // stronger than the send-determinism check (which compares per-process
+    // send sequences only) — it pins down the scheduler itself.
+    assert_eq!(
+        events_a, events_b,
+        "single-worker replay diverged between two identical runs"
+    );
+    assert_eq!(times_a, times_b, "per-process finish times must replay");
+}

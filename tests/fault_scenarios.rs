@@ -3,7 +3,7 @@
 //! The protocol substitutes p⁰₁ for the failed replica and every surviving
 //! process finishes with the correct data.
 
-use sdr_core::{replicated_job, ReplicationConfig};
+use sdr_core::{replicated_job, AckOn, ReplicationConfig};
 use sim_mpi::{Process, ProcessOutcome, ReduceOp};
 use sim_net::{CrashSchedule, EndpointId, LogGpModel};
 use std::time::Duration;
@@ -138,6 +138,68 @@ fn crash_of_both_replicas_of_one_rank_is_a_clear_job_failure() {
         clear_errors >= 1,
         "no surviving process reported the unrecoverable rank"
     );
+}
+
+#[test]
+fn ack_on_app_wait_deadlocks_the_exchange_and_quiescence_reports_it() {
+    // ROADMAP "Missing scenarios" (b), the paper's Section 3.3 argument as an
+    // end-to-end scenario: with acknowledgements deferred to the application's
+    // MPI_Wait (instead of the library-level irecvComplete), the ubiquitous
+    // `MPI_Irecv; MPI_Send; MPI_Wait` neighbour exchange deadlocks — every
+    // process blocks in MPI_Send waiting for acks its peer's replicas would
+    // only emit after their own MPI_Send completed. The real-time timeout is
+    // deliberately enormous: only the scheduler's exact quiescence verdict
+    // (which must see through all 8 parked processes at once) can finish this
+    // test quickly, and every process must be reported Deadlocked — not hung,
+    // not Panicked.
+    let ranks = 4;
+    let exchange = move |p: &mut Process| {
+        let world = p.world();
+        let peer = (p.rank() + 1) % p.size();
+        let from = (p.rank() + p.size() - 1) % p.size();
+        let rreq = p.irecv_bytes(world, from as i64, 9);
+        p.send_bytes(world, peer, 9, bytes::Bytes::from(vec![7u8; 64]));
+        let _ = p.wait(world, rreq);
+        p.rank()
+    };
+    let started = std::time::Instant::now();
+    let report = replicated_job(ranks, ReplicationConfig::dual().ack_on(AckOn::AppWait))
+        .network(LogGpModel::fast_test_model())
+        .recv_timeout(Duration::from_secs(600))
+        .run(exchange);
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "AppWait deadlock took {:?} to surface: the quiescence verdict was \
+         not reached and a real-time timeout burnt instead",
+        started.elapsed()
+    );
+    assert_eq!(
+        report.deadlocked().len(),
+        2 * ranks,
+        "every physical process blocks in the ack wait: {:?}",
+        report
+            .processes
+            .iter()
+            .map(|p| (p.endpoint, p.outcome.is_deadlocked()))
+            .collect::<Vec<_>>()
+    );
+    // The blocked operation must be attributed to send-completion (the ack
+    // wait), which is what distinguishes this protocol-level deadlock from an
+    // application bug.
+    for proc in &report.processes {
+        match &proc.outcome {
+            ProcessOutcome::Deadlocked { waiting_for } => assert!(
+                waiting_for.contains("MPI_Wait"),
+                "unexpected wait description: {waiting_for}"
+            ),
+            other => panic!("{:?} should be deadlocked, got {other:?}", proc.endpoint),
+        }
+    }
+    // Identical exchange under the paper's irecvComplete acking: completes.
+    let report_ok = replicated_job(ranks, ReplicationConfig::dual())
+        .network(LogGpModel::fast_test_model())
+        .run(exchange);
+    assert!(report_ok.all_finished());
 }
 
 #[test]

@@ -83,7 +83,7 @@ fn figure4_recovery_of_p11() {
     );
 
     // --- step 4: the substitute forks the new replica and notifies ---------
-    let coordinator = RecoveryCoordinator::new(layout);
+    let coordinator = RecoveryCoordinator::new(layout).expect("dual replication recovers");
     let snapshot = coordinator.fork_snapshot(&p01);
     assert_eq!(snapshot.rank, 1);
     let outcome = coordinator.broadcast_notification(&mut pml1, &p01, EndpointId(3));
@@ -141,4 +141,16 @@ fn figure4_recovery_of_p11() {
         "ack from the recovered replica completes p⁰₀'s send"
     );
     assert!(p10.send_complete(&mut pml2, s10_2));
+}
+
+#[test]
+fn recovery_beyond_dual_replication_is_a_typed_error() {
+    // The paper restricts recovery to degree 2 (one unambiguous substitute);
+    // asking for more must surface as a typed, matchable error — not a panic
+    // and not a silent misbehaviour. DESIGN.md §4.1 documents the restriction.
+    use sdr_core::RecoveryError;
+    let err = RecoveryCoordinator::new(ReplicaLayout::new(4, 3)).unwrap_err();
+    assert_eq!(err, RecoveryError::UnsupportedDegree { degree: 3 });
+    let msg = err.to_string();
+    assert!(msg.contains("degree 3") && msg.contains("dual"), "{msg}");
 }
