@@ -94,8 +94,12 @@ pub struct FailureService {
     /// True once any crash schedule other than `Never` has been installed.
     /// Never reset (schedules are rare and per-job); purely a fast-path gate.
     armed: Arc<AtomicBool>,
-    /// Number of failures recorded so far — the next unseen `seq`. Written
-    /// under the inner write lock, read lock-free by the per-progress poll.
+    /// Monotonic next failure sequence number — one past the highest `seq`
+    /// ever assigned. Written under the inner write lock, read lock-free by
+    /// the per-progress poll. Never decremented: `mark_recovered` removes
+    /// events from the list but does not reclaim their sequence numbers, so
+    /// `from_seq >= failed_seq` always means "no event with `seq >= from_seq`
+    /// exists" even across recoveries.
     failed_seq: Arc<AtomicU64>,
 }
 
@@ -171,15 +175,15 @@ impl FailureService {
                 .find(|e| e.endpoint == endpoint)
                 .expect("failed_set and failed list out of sync");
         }
-        let ev = FailureEvent {
-            endpoint,
-            at,
-            seq: g.failed.len() as u64,
-        };
+        // Sequence numbers come from the monotonic counter, NOT from
+        // `failed.len()`: recovery shrinks the list, and reusing a length-
+        // derived seq would hand a new failure a number that pollers have
+        // already consumed, making them skip the event forever.
+        let seq = self.failed_seq.load(Ordering::SeqCst);
+        let ev = FailureEvent { endpoint, at, seq };
         g.failed.push(ev);
         g.failed_set.insert(endpoint.0);
-        self.failed_seq
-            .store(g.failed.len() as u64, Ordering::SeqCst);
+        self.failed_seq.store(seq + 1, Ordering::SeqCst);
         ev
     }
 
@@ -197,8 +201,10 @@ impl FailureService {
         let mut g = self.inner.write();
         g.failed_set.remove(&endpoint.0);
         g.failed.retain(|e| e.endpoint != endpoint);
-        self.failed_seq
-            .store(g.failed.len() as u64, Ordering::SeqCst);
+        // `failed_seq` is deliberately left alone: it is a monotonic
+        // sequence allocator, not a list length. Lowering it here would make
+        // the lock-free fast path in `failures_since` hide still-unobserved
+        // failures whose seq is at or above the lowered value.
         if endpoint.0 < g.schedules.len() {
             g.schedules[endpoint.0] = CrashSchedule::Never;
         }
@@ -337,6 +343,35 @@ mod tests {
         assert!(!svc.is_failed(ep(0)));
         assert_eq!(svc.failed_count(), 0);
         assert!(!svc.should_crash(ep(0), SimTime::from_secs(1), 0, false));
+    }
+
+    #[test]
+    fn recovery_does_not_hide_later_failures() {
+        // Regression: A fails (seq 0), a poller advances to from_seq = 1,
+        // B fails (seq 1), then A recovers. The lock-free fast path in
+        // `failures_since` must not early-return empty — B is still
+        // unobserved.
+        let svc = FailureService::new(4);
+        svc.record_failure(ep(0), SimTime::ZERO);
+        let b = svc.record_failure(ep(1), SimTime::from_nanos(3));
+        svc.mark_recovered(ep(0));
+        assert_eq!(svc.failures_since(1), vec![b]);
+        assert_eq!(svc.failures_since(2), vec![]);
+    }
+
+    #[test]
+    fn seq_is_never_reused_after_recovery() {
+        // Regression: seqs must come from a monotonic counter, not the list
+        // length, or a post-recovery failure reuses a seq that pollers have
+        // already consumed and is silently skipped.
+        let svc = FailureService::new(4);
+        svc.record_failure(ep(0), SimTime::ZERO); // seq 0
+        svc.record_failure(ep(1), SimTime::ZERO); // seq 1
+        svc.mark_recovered(ep(0));
+        let c = svc.record_failure(ep(2), SimTime::ZERO);
+        assert_eq!(c.seq, 2, "recovered seqs must not be reallocated");
+        // A poller that had observed seqs 0 and 1 still sees C.
+        assert_eq!(svc.failures_since(2), vec![c]);
     }
 
     #[test]

@@ -72,8 +72,17 @@
 //!    until after its flush completes, so by the time the verdict reads a zero
 //!    counter all such wakes are fully visible and the CASes cannot fail. (An
 //!    *external* thread waking a slot in the verdict's window would lose the
-//!    CAS race; the verdict then rolls its marks back and aborts, conceding
-//!    the job is live.)
+//!    CAS race; the verdict then rolls its marks back, and the idle loop
+//!    retries the rescue — the waker's own dispatch may have backed off
+//!    against the rescuer's speculative permit, so the rescuer re-pops until
+//!    the unparked slot's queue push lands.) Because marks can be rolled
+//!    back, a `Deadlocked` phase is not final until the verdict returns, and
+//!    both sides that can act on one synchronise on the verdict mutex — held
+//!    across the whole mark/rollback sequence — before treating it as
+//!    committed: a carrier (condvars may wake spuriously) only consumes the
+//!    mark, and a waker only discards its wake token, if the mark is still
+//!    present after the mutex is acquired. A transient mark can therefore
+//!    neither surface as a false deadlock report nor swallow a wake.
 //!
 //! Busy-poll loops (`MPI_Test` spinning) are still converted into real parks
 //! after [`YIELD_STREAK_PARK`] fruitless yields, so spinners join the
@@ -202,6 +211,12 @@ pub struct Scheduler {
     /// Entries are (virtual time, FIFO tiebreak, slot) min-heaps, validated
     /// against the slot phase (CAS `Ready → Running`) when popped.
     shards: Vec<Mutex<BinaryHeap<ReadyEntry>>>,
+    /// Advisory count of entries across all ready shards, maintained as an
+    /// over-approximation (incremented before a push inserts, decremented
+    /// after a pop removes), so a zero read proves every shard is empty.
+    /// Lets the hot peek paths skip the shard-lock sweep when nothing is
+    /// ready — the common case for a spinner's requeue check.
+    ready_entries: AtomicUsize,
     ready_seq: AtomicU64,
     /// Run permits currently in circulation. Direct handoffs transfer a
     /// permit without touching this counter; only the acquire (cold dispatch)
@@ -267,6 +282,7 @@ impl Scheduler {
             streak: (0..n).map(|_| AtomicU32::new(0)).collect(),
             seats: (0..n).map(|_| Seat::default()).collect(),
             shards: (0..shards).map(|_| Mutex::new(BinaryHeap::new())).collect(),
+            ready_entries: AtomicUsize::new(0),
             ready_seq: AtomicU64::new(0),
             running: AtomicUsize::new(0),
             workers: AtomicUsize::new(default_workers(n)),
@@ -377,20 +393,28 @@ impl Scheduler {
 
     fn push_ready(&self, idx: usize, vt: SimTime) {
         let seq = self.ready_seq.fetch_add(1, Ordering::SeqCst);
+        // Count up *before* inserting so the advisory count never
+        // under-reports (a zero read must prove the shards are empty).
+        self.ready_entries.fetch_add(1, Ordering::SeqCst);
         self.lock_shard(self.shard_of(idx))
             .push(Reverse((vt, seq, idx)));
     }
 
-    /// Lowest (virtual time, sequence, slot) key over all ready shards, or
-    /// `None` when nothing is ready. Advisory: the answer may be stale by the
-    /// time the caller acts on it.
-    fn best_ready_key(&self) -> Option<(SimTime, u64, usize)> {
-        let mut best: Option<(SimTime, u64, usize)> = None;
+    /// Lowest (virtual time, sequence, slot) key over all ready shards and
+    /// the shard holding it, or `None` when nothing is ready. Advisory: the
+    /// answer may be stale by the time the caller acts on it. The empty case
+    /// — every yield of a spinner with idle queues — is answered from the
+    /// advisory count without sweeping the shard locks.
+    fn best_ready_entry(&self) -> Option<((SimTime, u64, usize), usize)> {
+        if self.ready_entries.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let mut best: Option<((SimTime, u64, usize), usize)> = None;
         for si in 0..self.shards.len() {
             let g = self.lock_shard(si);
             if let Some(&Reverse(top)) = g.peek() {
-                if best.map_or(true, |b| top < b) {
-                    best = Some(top);
+                if best.map_or(true, |(b, _)| top < b) {
+                    best = Some((top, si));
                 }
             }
         }
@@ -406,26 +430,21 @@ impl Scheduler {
             // Single-shard fast path (low-parallelism hosts): peek-and-pop
             // under one lock acquisition per candidate.
             loop {
+                if self.ready_entries.load(Ordering::SeqCst) == 0 {
+                    return None;
+                }
                 let popped = self.lock_shard(0).pop();
                 let Some(Reverse((_, _, idx))) = popped else {
                     return None;
                 };
+                self.ready_entries.fetch_sub(1, Ordering::SeqCst);
                 if self.cas_phase(idx, Phase::Ready, Phase::Running) {
                     return Some((idx, 0));
                 }
             }
         }
         'scan: loop {
-            let mut best: Option<((SimTime, u64, usize), usize)> = None;
-            for si in 0..self.shards.len() {
-                let g = self.lock_shard(si);
-                if let Some(&Reverse(top)) = g.peek() {
-                    if best.map_or(true, |(b, _)| top < b) {
-                        best = Some((top, si));
-                    }
-                }
-            }
-            let (key, si) = best?;
+            let (key, si) = self.best_ready_entry()?;
             let popped = {
                 let mut g = self.lock_shard(si);
                 match g.peek() {
@@ -440,6 +459,7 @@ impl Scheduler {
             let Some(Reverse((_, _, idx))) = popped else {
                 continue 'scan;
             };
+            self.ready_entries.fetch_sub(1, Ordering::SeqCst);
             if self.cas_phase(idx, Phase::Ready, Phase::Running) {
                 return Some((idx, si));
             }
@@ -525,6 +545,15 @@ impl Scheduler {
     /// Cold path, entered when the last permit was released: rescue any ready
     /// work that raced in, else run the quiescence verdict. Serialised by the
     /// verdict mutex.
+    ///
+    /// The rescue and the verdict loop together: a waker that unparked a slot
+    /// during our speculative permit window saw `running != 0` in its own
+    /// `try_dispatch_idle` and backed off, counting on the permit holder — us
+    /// — to dispatch its push. If the verdict scan then observes that slot
+    /// `Ready`, returning would strand it with zero permits in circulation,
+    /// so the verdict reports it and we retry the rescue until the push lands
+    /// (it is at most a few instructions behind the phase store) or someone
+    /// else acquires a permit.
     fn on_idle(&self) {
         let _g = self
             .verdict_lock
@@ -550,26 +579,47 @@ impl Scheduler {
                 return;
             }
             self.running.fetch_sub(1, Ordering::SeqCst);
-            break;
+            if self.quiescence_verdict() {
+                return;
+            }
+            // A ready slot whose queue push is still in flight: give its
+            // waker a beat and rescue again.
+            std::thread::yield_now();
         }
-        self.quiescence_verdict();
     }
 
     /// The quiescence check: with no permit in circulation, nothing ready and
     /// no wake token pending, parked processes can never be woken again —
     /// declare them deadlocked and wake their carriers with the verdict.
     /// Caller holds the verdict mutex and has just observed `running == 0`.
-    fn quiescence_verdict(&self) {
+    ///
+    /// Returns `true` when the verdict is settled: either deadlock was
+    /// declared, or the job is demonstrably live with a responsible permit
+    /// holder (a `Running` phase, a non-zero permit counter, a parked slot
+    /// with a wake token whose waker has not yet begun its unpark — all of
+    /// which guarantee a future dispatcher). Returns `false` when it observed
+    /// a `Ready` slot (directly, or via a mark CAS losing to a concurrent
+    /// unpark): that slot's waker may have backed off against the caller's
+    /// own speculative rescue permit, so the caller must retry the rescue
+    /// rather than return and strand the slot.
+    fn quiescence_verdict(&self) -> bool {
         let mut parked = Vec::new();
         for i in 0..self.phase.len() {
             match self.load_phase(i) {
                 // Runnable work exists (possibly a push still in flight —
-                // phase is stored before the queue push); its dispatcher will
-                // find the idle pool.
-                Phase::Ready | Phase::Running => return,
+                // phase is stored before the queue push). Its waker's
+                // dispatch may have deferred to our rescue permit: retry.
+                Phase::Ready => return false,
+                // A running carrier holds a permit and inherits
+                // responsibility for any queued work.
+                Phase::Running => return true,
                 Phase::Parked => {
                     if self.token[i].load(Ordering::SeqCst) {
-                        return; // a wake-up is already pending
+                        // A wake is pending and its waker has not yet started
+                        // the unpark (the token clears before the push): its
+                        // own `try_dispatch_idle` runs after our rescue
+                        // permit is gone and cannot have deferred to it.
+                        return true;
                     }
                     parked.push(i);
                 }
@@ -577,23 +627,28 @@ impl Scheduler {
             }
         }
         if parked.is_empty() || self.running.load(Ordering::SeqCst) != 0 {
-            return;
+            return true;
         }
         // Commit: mark every parked slot. A CAS can only fail if an external
         // (non-carrier) thread unparked the slot inside this window — see the
         // module docs for why carrier-originated wakes are already visible —
-        // in which case the job is live: roll the marks back and abort.
+        // in which case the job is live: roll the marks back and retry the
+        // rescue (the unparked slot is now `Ready`, see above). Carriers and
+        // wakers cannot consume a mark mid-sequence — they synchronise on the
+        // verdict mutex we hold before acting on `Deadlocked` — so the
+        // rollback CASes below always find the marks they set.
         for (k, &i) in parked.iter().enumerate() {
             if !self.cas_phase(i, Phase::Parked, Phase::Deadlocked) {
                 for &j in &parked[..k] {
                     let _ = self.cas_phase(j, Phase::Deadlocked, Phase::Parked);
                 }
-                return;
+                return false;
             }
         }
         for &i in &parked {
             self.signal_seat(i);
         }
+        true
     }
 
     /// Common blocking tail of `park`/`yield_now`: wait on the slot's seat
@@ -605,14 +660,36 @@ impl Scheduler {
             match self.load_phase(e) {
                 Phase::Running => return Park::Woken,
                 Phase::Deadlocked => {
-                    if self.cas_phase(e, Phase::Deadlocked, Phase::Running) {
-                        // The carrier resumes to unwind with a deadlock
-                        // report; it is genuinely executing again, so restore
-                        // the accounting (teardown may briefly exceed the
-                        // pool bound).
-                        self.running.fetch_add(1, Ordering::SeqCst);
-                        return Park::Deadlock;
+                    // `Deadlocked` may be transient: the verdict marks slots
+                    // `Parked → Deadlocked` one at a time and rolls the marks
+                    // back if a later CAS loses to an external wake. A
+                    // spuriously-woken carrier must not treat the mark as
+                    // final while the verdict is still deciding, so it
+                    // synchronises on the verdict mutex (held across the
+                    // whole mark/rollback sequence) before consuming it. The
+                    // seat lock is dropped first — the verdict signals seats
+                    // while holding the verdict mutex, and taking them in the
+                    // opposite order here would deadlock. Once the verdict
+                    // mutex is acquired, a still-`Deadlocked` phase means the
+                    // verdict committed (a rollback restores `Parked` before
+                    // releasing the mutex), so the CAS below cannot strand a
+                    // live job.
+                    drop(g);
+                    {
+                        let _v = self
+                            .verdict_lock
+                            .lock()
+                            .unwrap_or_else(|err| err.into_inner());
+                        if self.cas_phase(e, Phase::Deadlocked, Phase::Running) {
+                            // The carrier resumes to unwind with a deadlock
+                            // report; it is genuinely executing again, so
+                            // restore the accounting (teardown may briefly
+                            // exceed the pool bound).
+                            self.running.fetch_add(1, Ordering::SeqCst);
+                            return Park::Deadlock;
+                        }
                     }
+                    g = seat.m.lock().unwrap_or_else(|err| err.into_inner());
                 }
                 _ => {
                     g = seat.cv.wait(g).unwrap_or_else(|err| err.into_inner());
@@ -693,9 +770,33 @@ impl Scheduler {
                         return WakeOutcome::Unparked;
                     }
                 }
-                Phase::Unmanaged | Phase::Finished | Phase::Deadlocked => {
+                Phase::Unmanaged | Phase::Finished => {
                     self.token[e.0].store(false, Ordering::SeqCst);
                     return WakeOutcome::Ignored;
+                }
+                Phase::Deadlocked => {
+                    // The mark may be transient: a mid-flight verdict marks
+                    // slots one at a time and rolls back if a later CAS loses
+                    // to a wake like this one. Dropping the token here on a
+                    // transient mark would destroy a wake the rollback cannot
+                    // restore, so synchronise on the verdict mutex first
+                    // (held across the whole mark/rollback sequence). If the
+                    // mark is still present afterwards the verdict committed
+                    // — the slot is unwinding with a deadlock report and the
+                    // wake is genuinely moot. Otherwise re-read the phase and
+                    // deliver the wake properly. (A *new* verdict cannot
+                    // re-mark the slot in between: our token is still set,
+                    // and the verdict scan aborts on a parked slot with a
+                    // pending token.)
+                    drop(
+                        self.verdict_lock
+                            .lock()
+                            .unwrap_or_else(|err| err.into_inner()),
+                    );
+                    if self.load_phase(e.0) == Phase::Deadlocked {
+                        self.token[e.0].store(false, Ordering::SeqCst);
+                        return WakeOutcome::Ignored;
+                    }
                 }
             }
         }
@@ -748,8 +849,8 @@ impl Scheduler {
         // next boundary, exactly as if it had arrived a moment later. The
         // streak deliberately survives, so a spinner still converges on a
         // park.)
-        match self.best_ready_key() {
-            Some((vt, _, _)) if vt <= now => {}
+        match self.best_ready_entry() {
+            Some(((vt, _, _), _)) if vt <= now => {}
             _ => return Park::Woken,
         }
         self.phase[e.0].store(Phase::Ready as u8, Ordering::SeqCst);

@@ -49,7 +49,8 @@ impl WorkloadSpec {
 /// [`sim_net::CarrierPool`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DeliveryCounters {
-    /// Scheduler wakes that took the run-queue lock (unparks).
+    /// Scheduler wakes that unparked the target (moved it to the ready
+    /// queues).
     pub wakes_issued: u64,
     /// Wakes coalesced on the lock-free fast path (or no-ops).
     pub wakes_suppressed: u64,
