@@ -434,6 +434,8 @@ struct DeliveryTotals {
     handoffs: u64,
     steals: u64,
     condvar_waits: u64,
+    deliveries_direct: u64,
+    heap_fallbacks: u64,
     threads_spawned: u64,
     threads_reused: u64,
 }
@@ -443,6 +445,12 @@ impl DeliveryTotals {
     /// nothing was dispatched).
     fn direct_fraction(&self) -> f64 {
         sim_net::stats::direct_dispatch_fraction(self.handoffs, self.steals, self.condvar_waits)
+    }
+
+    /// Fraction of deliveries ingested on the ladder's in-order fast path
+    /// (1.0 when nothing was delivered).
+    fn direct_delivery_fraction(&self) -> f64 {
+        sim_net::stats::direct_delivery_fraction(self.deliveries_direct, self.heap_fallbacks)
     }
 }
 
@@ -457,6 +465,8 @@ fn delivery_totals(rows: &[ComparisonRow]) -> DeliveryTotals {
             t.handoffs += d.handoffs;
             t.steals += d.steals;
             t.condvar_waits += d.condvar_waits;
+            t.deliveries_direct += d.deliveries_direct;
+            t.heap_fallbacks += d.heap_fallbacks;
             t.threads_spawned += d.threads_spawned;
             t.threads_reused += d.threads_reused;
         }
@@ -484,12 +494,17 @@ pub fn format_delivery_summary(rows: &[ComparisonRow]) -> String {
         "delivery: {} wakes issued, {} suppressed \
          ({reduction:.2}x fewer than the {} one-per-delivery baseline); \
          {} batches, mean batch {mean_batch:.2} msgs\n\
+         ingest: {} in-order ladder appends vs {} heap fallbacks \
+         ({:.1}% single-pass O(1))\n\
          dispatch: {} handoffs + {} steals direct vs {} cold \
          ({:.1}% direct); threads: {} spawned, {} reused\n",
         t.issued,
         t.suppressed,
         t.baseline,
         t.flushes,
+        t.deliveries_direct,
+        t.heap_fallbacks,
+        t.direct_delivery_fraction() * 100.0,
         t.handoffs,
         t.steals,
         t.condvar_waits,
@@ -504,6 +519,7 @@ fn json_delivery(d: &workloads::runner::DeliveryCounters) -> String {
         "{{\"wakes_issued\": {}, \"wakes_suppressed\": {}, \"flushes\": {}, \
          \"flushed_msgs\": {}, \"mean_flush_batch\": {:.3}, \
          \"handoffs\": {}, \"steals\": {}, \"condvar_waits\": {}, \
+         \"deliveries_direct\": {}, \"heap_fallbacks\": {}, \
          \"threads_spawned\": {}, \"threads_reused\": {}, \"host_secs\": {:.3}}}",
         d.wakes_issued,
         d.wakes_suppressed,
@@ -513,6 +529,8 @@ fn json_delivery(d: &workloads::runner::DeliveryCounters) -> String {
         d.handoffs,
         d.steals,
         d.condvar_waits,
+        d.deliveries_direct,
+        d.heap_fallbacks,
         d.threads_spawned,
         d.threads_reused,
         d.host_secs
@@ -567,6 +585,8 @@ pub fn table_report_json(
          \"baseline_equivalent_wakes\": {}, \"wake_reduction_factor\": {reduction}, \
          \"handoffs\": {}, \"steals\": {}, \"condvar_waits\": {}, \
          \"direct_dispatch_fraction\": {:.4}, \
+         \"deliveries_direct\": {}, \"heap_fallbacks\": {}, \
+         \"direct_delivery_fraction\": {:.4}, \
          \"threads_spawned\": {}, \"threads_reused\": {}}}\n",
         t.issued,
         t.suppressed,
@@ -575,6 +595,9 @@ pub fn table_report_json(
         t.steals,
         t.condvar_waits,
         t.direct_fraction(),
+        t.deliveries_direct,
+        t.heap_fallbacks,
+        t.direct_delivery_fraction(),
         t.threads_spawned,
         t.threads_reused,
     ));

@@ -470,7 +470,12 @@ impl Pml {
     pub fn progress(&mut self) -> Vec<PmlEvent> {
         self.poll_failures();
         let mut drained_any = false;
-        while let Some(raw) = self.ep.try_recv() {
+        // Batch drain: one crash check and one inbox sweep
+        // (`Endpoint::poll_ready`), then pop every already-ingested message —
+        // instead of paying a crash check plus an inbox probe per message as
+        // the per-`try_recv` loop used to.
+        self.ep.poll_ready();
+        while let Some(raw) = self.ep.next_ready() {
             drained_any = true;
             self.process_raw(raw);
         }
@@ -521,8 +526,10 @@ impl Pml {
         match self.ep.recv_blocking_hinted(racy) {
             Ok(raw) => {
                 self.process_raw(raw);
-                // Drain anything else that became visible.
-                while let Some(raw) = self.ep.try_recv() {
+                // Drain anything else that became visible in the same batch
+                // (`recv_blocking` already swept the inbox; `next_ready` pops
+                // without re-probing it).
+                while let Some(raw) = self.ep.next_ready() {
                     self.process_raw(raw);
                 }
                 self.poll_failures();

@@ -9,25 +9,57 @@
 //! that depends on it (see the `sim-mpi` PML), never by the mere act of
 //! polling the queue.
 //!
-//! Reliability and FIFO ordering per ordered process pair follow from using
-//! one crossbeam channel per destination (crossbeam preserves per-producer
-//! order). Messages to a crashed process are silently dropped, but messages a
-//! process handed to the fabric *before* crashing are still delivered — the
-//! paper's "channels are reliable" assumption.
+//! # The single-pass delivery pipeline
+//!
+//! A delivery crosses exactly one buffer on its way from sender to receiver
+//! (DESIGN.md §5.3). The channel-era design (PRs 1–4) paid two hops per
+//! message — a push through a per-destination crossbeam channel, then a
+//! re-buffering into a receiver-side `BinaryHeap` with an O(log n) sift — and
+//! at 256-rank class D that double buffering ran ~5.1 million times per job.
+//! The pipeline now is:
+//!
+//! * **Inbox, lock-striped by source.** The fabric owns one inbox per
+//!   endpoint: a small array of mutex-guarded vectors, a sender's stripe
+//!   chosen by its endpoint id. A flush appends a whole per-destination batch
+//!   under one stripe lock — senders from different stripes never contend
+//!   with each other, and the receiver only ever takes a stripe lock to swap
+//!   the vector out. Each message is stamped with a per-inbox atomic ingest
+//!   sequence number at push time; this reproduces the exact global FIFO
+//!   tie-break the channel used to provide (equal virtual arrivals pop in
+//!   physical ingest order).
+//! * **Delivery ladder with a heap fallback.** The receiver sweeps its
+//!   stripes into an *in-order ladder* (a `VecDeque` sorted by
+//!   `(arrival, ingest seq)`): because virtual arrival stamps are
+//!   near-monotonic in ingest order (see [`crate::model`] for the contract),
+//!   the overwhelmingly common case is an O(1) `push_back`
+//!   (`deliveries_direct` in [`NetStats`]), and popping the earliest arrival
+//!   is an O(1) `pop_front`. A message whose arrival runs behind the ladder
+//!   tail — reordered wire times, a late-flushing sender — goes to a small
+//!   fallback `BinaryHeap` instead (`heap_fallbacks`); a pop takes the
+//!   smaller of the two structure heads, so pop order is *identical* to a
+//!   single heap keyed by `(arrival, seq)`, only cheaper.
+//!
+//! Reliability and FIFO ordering per ordered process pair follow from the
+//! stripe vectors (append order per stripe) plus the ingest stamp (global
+//! order across stripes). Messages to a crashed process are silently kept in
+//! its fabric-owned inbox — messages a process handed to the fabric *before*
+//! crashing are still delivered, the paper's "channels are reliable"
+//! assumption, and recovery can take a fresh [`Endpoint`] handle for the same
+//! identity that reads the same inbox.
 //!
 //! # Batched delivery (the outbox)
 //!
-//! Scheduler-managed endpoints do not push every message into its destination
-//! channel the moment it is sent. Sends are *staged* in a per-destination
-//! outbox and pushed — one channel operation and **one scheduler wake per
-//! destination** — when the endpoint reaches a blocking boundary: before it
-//! parks in [`Endpoint::recv_blocking`], before a cooperative yield in
-//! [`Endpoint::idle_poll`], before a scheduled crash unwinds the process, and
-//! when the endpoint is dropped at job exit. Because progress in this
-//! simulator only ever happens inside MPI calls, deferring physical delivery
-//! to the sender's next blocking boundary is invisible in virtual time (the
-//! arrival stamp is computed at send time) and collapses the per-message
-//! channel-lock + run-queue-lock costs that dominated ≥256-rank runs.
+//! Scheduler-managed endpoints do not ingest every message into its
+//! destination inbox the moment it is sent. Sends are *staged* in a
+//! per-destination outbox and ingested — one stripe-lock acquisition and
+//! **one scheduler wake per destination** — when the endpoint reaches a
+//! blocking boundary: before it parks in [`Endpoint::recv_blocking`], before
+//! a cooperative yield in [`Endpoint::idle_poll`], before a scheduled crash
+//! unwinds the process, and when the endpoint is dropped at job exit. Because
+//! progress in this simulator only ever happens inside MPI calls, deferring
+//! physical delivery to the sender's next blocking boundary is invisible in
+//! virtual time (the arrival stamp is computed at send time) and collapses
+//! the per-message buffer and wake costs that dominated ≥256-rank runs.
 //!
 //! The flush points are chosen so that **no wake can be lost**: an endpoint
 //! always drains its outbox before it can park (and hence before the
@@ -36,7 +68,23 @@
 //! therefore only ever exists while its sender is running — exactly the
 //! condition under which the quiescence check refuses to declare a deadlock.
 //! Self-sends and unmanaged endpoints (driven outside the scheduler, e.g. in
-//! unit tests) bypass the outbox and deliver immediately.
+//! unit tests) bypass the outbox and ingest immediately.
+//!
+//! # Why direct inbox ingest loses no wake
+//!
+//! The store-load (Dekker) wake protocol of [`crate::sched`] is what makes
+//! the mailbox safe without a channel's internal blocking: an ingest makes
+//! the message visible **before** it issues the wake — `queued` is
+//! incremented, then the stripe vector is appended under its lock, and only
+//! then does [`Scheduler::wake`] set the destination's wake token. A receiver
+//! that is about to park re-checks that token *after* publishing its `Parked`
+//! phase, so in every interleaving either the receiver's pre-park sweep sees
+//! `queued != 0`, or its token re-check fires and it re-polls. For unmanaged
+//! endpoints the same argument runs against the timed seat: a waiter
+//! registers itself in `timed_waiters` before re-reading `queued` (both
+//! SeqCst), while the ingest increments `queued` before reading
+//! `timed_waiters` — one side always sees the other. The full argument is
+//! spelled out in DESIGN.md §5.3.
 
 use crate::clock::VirtualClock;
 use crate::failure::{CrashSignal, FailureService};
@@ -46,10 +94,10 @@ use crate::stats::{class, NetStats};
 use crate::time::SimTime;
 use crate::topology::{Cluster, NodeId, Placement};
 use bytes::Bytes;
-use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -61,6 +109,11 @@ pub struct EndpointId(pub usize);
 /// (sim-mpi, replication protocols) encode tags, communicator ids, sequence
 /// numbers, etc. into these words; the fabric never interprets them.
 pub const HEADER_WORDS: usize = 8;
+
+/// Upper bound on the number of lock stripes per endpoint inbox. A sender's
+/// stripe is `src % stripes`, so concurrent senders from different stripes
+/// append without contending; the actual count is `min(INBOX_STRIPES, n)`.
+const INBOX_STRIPES: usize = 8;
 
 /// A message in flight on the fabric.
 #[derive(Debug, Clone)]
@@ -94,14 +147,6 @@ impl RawMessage {
     }
 }
 
-/// What travels through a destination channel: a single message (immediate
-/// deliveries, single-message batches) or a whole multi-message outbox batch
-/// pushed by one flush — one channel operation either way.
-enum Delivery {
-    One(RawMessage),
-    Batch(Vec<RawMessage>),
-}
-
 /// One destination's staged messages in an [`Endpoint`]'s outbox.
 struct OutSlot {
     dst: EndpointId,
@@ -113,17 +158,17 @@ struct OutSlot {
 }
 
 /// Why a blocking receive returned without a message. Distinguishing these
-/// matters: a timeout *may* be a deadlock (the legacy real-time heuristic), a
-/// disconnect means the transport itself was torn down (fail fast instead of
-/// burning the timeout), and quiescence is the scheduler's exact deadlock
-/// verdict.
+/// matters: a timeout *may* be a deadlock (the legacy real-time heuristic)
+/// and quiescence is the scheduler's exact deadlock verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecvError {
     /// No traffic arrived within the fabric's real-time timeout (only
     /// possible for endpoints driven outside the scheduler).
     Timeout,
-    /// The incoming channel was disconnected: the fabric side of this
-    /// endpoint's queue no longer exists.
+    /// The incoming transport was torn down. Kept for API compatibility with
+    /// the channel-era fabric; the in-process inbox of the single-pass
+    /// pipeline lives as long as the fabric itself and can no longer
+    /// disconnect, so this variant is never produced today.
     Disconnected,
     /// The scheduler's quiescence check fired: every unfinished process is
     /// parked and no message is in flight — the job is deadlocked.
@@ -134,7 +179,7 @@ impl std::fmt::Display for RecvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RecvError::Timeout => write!(f, "no traffic within the real-time timeout"),
-            RecvError::Disconnected => write!(f, "incoming channel disconnected"),
+            RecvError::Disconnected => write!(f, "incoming transport disconnected"),
             RecvError::Quiescent => write!(
                 f,
                 "scheduler quiescence: every unfinished process is blocked with no messages in flight"
@@ -143,7 +188,13 @@ impl std::fmt::Display for RecvError {
     }
 }
 
-struct PendingMsg(Reverse<(SimTime, u64)>, RawMessage);
+/// Pop key of a physically delivered message: virtual arrival time, with ties
+/// broken by the inbox's physical ingest order (the exact tie-break the
+/// channel-era fabric provided through its FIFO push order).
+type PendingKey = (SimTime, u64);
+
+/// Out-of-order entry in the fallback heap (min-heap via `Reverse`).
+struct PendingMsg(Reverse<PendingKey>, RawMessage);
 
 impl PartialEq for PendingMsg {
     fn eq(&self, other: &Self) -> bool {
@@ -162,23 +213,107 @@ impl Ord for PendingMsg {
     }
 }
 
+/// In-order entry of the delivery ladder (kept sorted by construction: a
+/// message is only appended when its key is larger than the tail's).
+struct LadderEntry {
+    key: PendingKey,
+    msg: RawMessage,
+}
+
+/// The fabric-owned mailbox of one endpoint: the single buffer a delivery
+/// crosses between sender and receiver.
+///
+/// Senders append under a per-source-stripe lock; the receiver swaps whole
+/// stripe vectors out. `queued` is an advisory over-approximation maintained
+/// like the scheduler's ready-entry count — incremented *before* a push
+/// inserts, decremented *after* a sweep removes — so a zero read proves every
+/// stripe is empty and the hot empty-poll path never touches a lock.
+struct Inbox {
+    /// Lock stripes; a sender's stripe is `src % stripes.len()`. Order within
+    /// a stripe is append order; order across stripes is restored by the
+    /// ingest stamp.
+    stripes: Vec<Mutex<Vec<(u64, RawMessage)>>>,
+    /// Advisory message count (over-approximation; zero proves empty).
+    queued: AtomicU64,
+    /// Monotonic physical-ingest stamp, the FIFO tie-break for equal virtual
+    /// arrivals. Allocated at push time so it survives endpoint incarnations
+    /// (recovery takes a fresh handle over the same inbox).
+    ingest_seq: AtomicU64,
+    /// Number of unmanaged carriers blocked in a timed wait on this inbox.
+    /// Ingest only touches the seat below when this is non-zero, so the
+    /// scheduler-managed hot path never pays for the legacy wait mode.
+    timed_waiters: AtomicU32,
+    /// Seat for unmanaged timed waits (std primitives: the vendored
+    /// parking_lot stand-in has no condvar).
+    timed_seat: std::sync::Mutex<()>,
+    timed_cv: std::sync::Condvar,
+}
+
+impl Inbox {
+    fn new(stripes: usize) -> Self {
+        Inbox {
+            stripes: (0..stripes.max(1))
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+            queued: AtomicU64::new(0),
+            ingest_seq: AtomicU64::new(0),
+            timed_waiters: AtomicU32::new(0),
+            timed_seat: std::sync::Mutex::new(()),
+            timed_cv: std::sync::Condvar::new(),
+        }
+    }
+
+    fn stripe_of(&self, src: EndpointId) -> usize {
+        src.0 % self.stripes.len()
+    }
+
+    /// Append `first` (+ `rest`) from one source under a single stripe-lock
+    /// acquisition, stamping each message with its global ingest sequence.
+    /// The count is raised before the insert (see the struct docs); the
+    /// caller issues the scheduler wake *after* this returns, which is what
+    /// the no-lost-wake argument in the module docs relies on.
+    ///
+    /// The sequence base is allocated *while holding the stripe lock*: two
+    /// sources mapped to the same stripe then can never interleave their
+    /// stamp allocation and their append, so every stripe vector is
+    /// monotonic in seq — which is exactly what lets a single-stripe sweep
+    /// skip its restore-order sort.
+    fn ingest(&self, first: RawMessage, rest: Vec<RawMessage>) {
+        let n = 1 + rest.len() as u64;
+        self.queued.fetch_add(n, Ordering::SeqCst);
+        {
+            let mut stripe = self.stripes[self.stripe_of(first.src)].lock();
+            let base = self.ingest_seq.fetch_add(n, Ordering::SeqCst);
+            stripe.reserve(n as usize);
+            stripe.push((base, first));
+            for (i, msg) in rest.into_iter().enumerate() {
+                stripe.push((base + 1 + i as u64, msg));
+            }
+        }
+        if self.timed_waiters.load(Ordering::SeqCst) > 0 {
+            // Serialise with the waiter's check-then-wait, then signal.
+            drop(self.timed_seat.lock().unwrap_or_else(|e| e.into_inner()));
+            self.timed_cv.notify_all();
+        }
+    }
+}
+
 /// The shared fabric connecting `n` endpoints.
 pub struct Fabric {
     n: usize,
     model: Arc<dyn NetworkModel>,
     cluster: Cluster,
     node_of: Vec<NodeId>,
-    senders: Vec<Sender<Delivery>>,
-    // The fabric keeps one receiver per endpoint alive for the whole run so
-    // that (a) messages sent to a crashed process are not lost by channel
-    // disconnection and (b) recovery can hand out a fresh endpoint handle for
-    // the same identity (crossbeam receivers are cloneable).
-    receivers: Vec<Receiver<Delivery>>,
+    /// One inbox per endpoint, owned by the fabric for the whole run so that
+    /// (a) messages sent to a crashed process are not lost and (b) recovery
+    /// can hand out a fresh endpoint handle for the same identity that keeps
+    /// reading the same inbox.
+    inboxes: Vec<Inbox>,
     taken: Mutex<Vec<bool>>,
     stats: Arc<NetStats>,
     failure: FailureService,
     sched: Scheduler,
-    recv_timeout_ms: std::sync::atomic::AtomicU64,
+    recv_timeout_ms: AtomicU64,
 }
 
 impl std::fmt::Debug for Fabric {
@@ -212,13 +347,8 @@ impl Fabric {
     ) -> Arc<Fabric> {
         assert!(n > 0, "fabric needs at least one endpoint");
         let node_of: Vec<NodeId> = (0..n).map(|p| placement.node_of(p, n, &cluster)).collect();
-        let mut senders = Vec::with_capacity(n);
-        let mut receivers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            receivers.push(rx);
-        }
+        let stripes = INBOX_STRIPES.min(n);
+        let inboxes = (0..n).map(|_| Inbox::new(stripes)).collect();
         // The scheduler shares the fabric's stats so its dispatch counters
         // (handoffs, steals, cold dispatches) land in the same snapshot as
         // the wake/flush counters.
@@ -229,13 +359,12 @@ impl Fabric {
             model,
             cluster,
             node_of,
-            senders,
-            receivers,
+            inboxes,
             taken: Mutex::new(vec![false; n]),
             stats,
             failure: FailureService::new(n),
             sched,
-            recv_timeout_ms: std::sync::atomic::AtomicU64::new(20_000),
+            recv_timeout_ms: AtomicU64::new(20_000),
         })
     }
 
@@ -267,34 +396,24 @@ impl Fabric {
         &self.sched
     }
 
-    /// Hand a single message to its destination queue and wake the
+    /// Ingest a single message into its destination inbox and wake the
     /// destination's scheduler slot. Every delivery — application traffic,
     /// protocol control messages and crash wake-ups — must go through here or
     /// through [`Fabric::deliver_batch`] so that no parked process can miss a
     /// message.
     fn deliver(&self, msg: RawMessage) {
         let dst = msg.dst;
-        // Sending to a torn-down queue may fail; the message is then simply
-        // lost, which is fine because nobody will ever wait on it.
-        let _ = self.senders[dst.0].send(Delivery::One(msg));
+        self.inboxes[dst.0].ingest(msg, Vec::new());
         self.stats.record_wake(self.sched.wake(dst));
     }
 
-    /// Push one endpoint's staged batch for `dst`: a single channel operation
-    /// and a single wake, however many messages the batch carries. The
-    /// common single-message case travels as `Delivery::One` so batching
-    /// never costs an extra allocation over the unbatched path.
+    /// Ingest one endpoint's staged batch for `dst`: a single stripe-lock
+    /// acquisition and a single wake, however many messages the batch
+    /// carries.
     fn deliver_batch(&self, first: RawMessage, rest: Vec<RawMessage>) {
         let dst = first.dst;
         self.stats.record_flush(1 + rest.len() as u64);
-        if rest.is_empty() {
-            let _ = self.senders[dst.0].send(Delivery::One(first));
-        } else {
-            let mut msgs = Vec::with_capacity(1 + rest.len());
-            msgs.push(first);
-            msgs.extend(rest);
-            let _ = self.senders[dst.0].send(Delivery::Batch(msgs));
-        }
+        self.inboxes[dst.0].ingest(first, rest);
         self.stats.record_wake(self.sched.wake(dst));
     }
 
@@ -316,19 +435,14 @@ impl Fabric {
     /// Real-time timeout used by blocking receives before declaring a
     /// simulated deadlock.
     pub fn recv_timeout(&self) -> Duration {
-        Duration::from_millis(
-            self.recv_timeout_ms
-                .load(std::sync::atomic::Ordering::Relaxed),
-        )
+        Duration::from_millis(self.recv_timeout_ms.load(Ordering::Relaxed))
     }
 
     /// Change the deadlock-detection timeout (tests that intentionally
     /// provoke a deadlock use a short timeout).
     pub fn set_recv_timeout(&self, timeout: Duration) {
-        self.recv_timeout_ms.store(
-            timeout.as_millis() as u64,
-            std::sync::atomic::Ordering::Relaxed,
-        );
+        self.recv_timeout_ms
+            .store(timeout.as_millis() as u64, Ordering::Relaxed);
     }
 
     /// Take the endpoint for physical process `id`. Panics if taken twice
@@ -344,10 +458,10 @@ impl Fabric {
             id,
             managed: self.sched.is_managed(id),
             fabric: Arc::clone(self),
-            rx: self.receivers[id.0].clone(),
             clock: VirtualClock::new(),
-            pending: BinaryHeap::new(),
-            pending_seq: 0,
+            ladder: VecDeque::new(),
+            overflow: BinaryHeap::new(),
+            sweep: Vec::new(),
             outbox: Vec::new(),
             outbox_index: vec![Endpoint::NOT_STAGED; self.n],
             app_sends: 0,
@@ -357,9 +471,12 @@ impl Fabric {
 
     /// Release endpoint `id` so a *new* endpoint handle can be taken for the
     /// same physical identity. Used by recovery to fork a replacement process
-    /// (Section 3.4 of the paper). Messages queued while the previous
-    /// incarnation was dead remain in the queue; the recovery protocol decides
-    /// by epoch which of them the new incarnation must honour.
+    /// (Section 3.4 of the paper). Messages ingested into the fabric-owned
+    /// inbox while the previous incarnation was dead remain there; the
+    /// recovery protocol decides by epoch which of them the new incarnation
+    /// must honour. (Messages the dead incarnation had already moved into its
+    /// private ladder die with it, exactly as the channel-era pending heap
+    /// did.)
     pub fn reset_endpoint(self: &Arc<Self>, id: EndpointId) {
         assert!(id.0 < self.n, "endpoint id out of range");
         self.taken.lock()[id.0] = false;
@@ -367,8 +484,9 @@ impl Fabric {
 }
 
 /// A physical process's handle onto the fabric. Owns the process's virtual
-/// clock, its incoming message queue, and its per-destination outbox of
-/// staged (not yet physically pushed) messages.
+/// clock, its private view of the incoming inbox (the delivery ladder and its
+/// fallback heap), and its per-destination outbox of staged (not yet
+/// physically ingested) messages.
 pub struct Endpoint {
     id: EndpointId,
     /// Was this endpoint registered with the fabric's scheduler when taken?
@@ -376,15 +494,22 @@ pub struct Endpoint {
     /// and batch their sends through the outbox.
     managed: bool,
     fabric: Arc<Fabric>,
-    rx: Receiver<Delivery>,
     clock: VirtualClock,
-    pending: BinaryHeap<PendingMsg>,
-    pending_seq: u64,
-    /// Per-destination staging area, in first-use order. Each entry is pushed
-    /// as one channel batch (one wake) by [`Endpoint::flush`]. Only managed
-    /// endpoints stage; order within an entry preserves the FIFO send order
-    /// for that (src, dst) pair. The first message per destination is held
-    /// inline so the dominant single-message flush allocates nothing.
+    /// In-order deliveries, sorted by `(arrival, ingest seq)` by
+    /// construction: the near-monotonic common case appends and pops in O(1).
+    ladder: VecDeque<LadderEntry>,
+    /// Out-of-order deliveries (arrival behind the ladder tail). Pops take
+    /// the smaller of this heap's top and the ladder's front, so overall pop
+    /// order equals a single `(arrival, seq)` heap.
+    overflow: BinaryHeap<PendingMsg>,
+    /// Scratch vector the stripe sweep swaps stripe contents into; reused
+    /// across sweeps so the steady state allocates nothing.
+    sweep: Vec<(u64, RawMessage)>,
+    /// Per-destination staging area, in first-use order. Each entry is
+    /// ingested as one stripe append (one wake) by [`Endpoint::flush`]. Only
+    /// managed endpoints stage; order within an entry preserves the FIFO send
+    /// order for that (src, dst) pair. The first message per destination is
+    /// held inline so the dominant single-message flush allocates nothing.
     outbox: Vec<OutSlot>,
     /// `dst -> position in outbox` (or [`Endpoint::NOT_STAGED`]), so staging
     /// stays O(1) even for full fan-out patterns (a scatter root staging to
@@ -491,11 +616,11 @@ impl Endpoint {
 
     /// Inject a message. Charges the sender's clock with the model's send
     /// overhead, stamps the arrival time and hands the message to the
-    /// destination queue. Application-class sends also drive the crash
+    /// destination inbox. Application-class sends also drive the crash
     /// schedule (`BeforeSend`/`AfterSend`).
     ///
     /// For scheduler-managed endpoints the message is *staged* in the
-    /// per-destination outbox and physically pushed at the next blocking
+    /// per-destination outbox and physically ingested at the next blocking
     /// boundary (see the module docs); its virtual injection/arrival stamps
     /// are fixed here regardless.
     pub fn send(&mut self, dst: EndpointId, cls: u8, header: [i64; HEADER_WORDS], payload: Bytes) {
@@ -542,7 +667,7 @@ impl Endpoint {
         } else {
             // Unmanaged endpoints (no scheduler, often no further fabric
             // calls) and self-sends (which must be visible to this process's
-            // own next poll) deliver immediately.
+            // own next poll) ingest immediately.
             self.fabric.deliver(msg);
         }
         if is_app {
@@ -575,8 +700,9 @@ impl Endpoint {
         }
     }
 
-    /// Push every staged batch to its destination: one channel operation and
-    /// one wake per destination, regardless of how many messages were staged.
+    /// Ingest every staged batch into its destination inbox: one stripe-lock
+    /// acquisition and one wake per destination, regardless of how many
+    /// messages were staged.
     ///
     /// Called automatically at every blocking boundary (before parking in
     /// [`Endpoint::recv_blocking`], before yielding in
@@ -602,30 +728,86 @@ impl Endpoint {
         self.outbox.iter().map(|s| 1 + s.rest.len()).sum()
     }
 
-    fn enqueue_pending(&mut self, m: RawMessage) {
-        self.fabric.stats.record_delivery(m.class);
-        let seq = self.pending_seq;
-        self.pending_seq += 1;
-        self.pending.push(PendingMsg(Reverse((m.arrival, seq)), m));
-    }
-
-    fn accept(&mut self, d: Delivery) {
-        match d {
-            Delivery::One(m) => self.enqueue_pending(m),
-            Delivery::Batch(ms) => {
-                for m in ms {
-                    self.enqueue_pending(m);
-                }
+    /// Place one swept message into the ladder (in-order fast path) or the
+    /// fallback heap (arrival behind the ladder tail).
+    fn enqueue_pending(&mut self, seq: u64, msg: RawMessage) {
+        self.fabric.stats.record_delivery(msg.class);
+        let key = (msg.arrival, seq);
+        match self.ladder.back() {
+            Some(tail) if key < tail.key => {
+                self.fabric.stats.record_heap_fallback();
+                self.overflow.push(PendingMsg(Reverse(key), msg));
+            }
+            _ => {
+                self.fabric.stats.record_direct_delivery();
+                self.ladder.push_back(LadderEntry { key, msg });
             }
         }
     }
 
-    /// Drain the whole inbound channel into the pending heap: every batch and
-    /// single delivery that has physically arrived is ingested in one sweep,
-    /// so a wakeup processes all available traffic rather than one message.
-    fn drain_channel(&mut self) {
-        while let Ok(d) = self.rx.try_recv() {
-            self.accept(d);
+    /// Sweep the fabric-owned inbox into the ladder/heap: every message that
+    /// has physically arrived is ingested in one pass, so a wakeup processes
+    /// all available traffic rather than one message. Returns whether
+    /// anything was swept. The empty case — every poll of an idle endpoint —
+    /// is answered from the inbox's advisory count without touching a lock.
+    ///
+    /// The sweep restores *global ingest order* before feeding the ladder:
+    /// stripes are visited in index order, so a multi-stripe batch is sorted
+    /// by its ingest stamps (cheap — batches are small, and each stripe is
+    /// already nearly sorted). Ingest-order processing means a heap fallback
+    /// occurs only on a true arrival inversion, not as an artifact of stripe
+    /// layout, exactly matching the channel-era enqueue order.
+    fn sweep_inbox(&mut self) -> bool {
+        if self.fabric.inboxes[self.id.0].queued.load(Ordering::SeqCst) == 0 {
+            return false;
+        }
+        let stripes = self.fabric.inboxes[self.id.0].stripes.len();
+        let mut sweep = std::mem::take(&mut self.sweep);
+        let mut sorted_so_far = true;
+        for si in 0..stripes {
+            let inbox = &self.fabric.inboxes[self.id.0];
+            let before = sweep.len();
+            {
+                let mut stripe = inbox.stripes[si].lock();
+                if stripe.is_empty() {
+                    continue;
+                }
+                sorted_so_far = sorted_so_far && before == 0;
+                sweep.append(&mut stripe);
+            }
+            // Decrement *after* the removal so the advisory count never
+            // under-reports (see the Inbox docs).
+            inbox
+                .queued
+                .fetch_sub((sweep.len() - before) as u64, Ordering::SeqCst);
+        }
+        if sweep.is_empty() {
+            self.sweep = sweep;
+            return false;
+        }
+        if !sorted_so_far {
+            sweep.sort_unstable_by_key(|&(seq, _)| seq);
+        }
+        for (seq, msg) in sweep.drain(..) {
+            self.enqueue_pending(seq, msg);
+        }
+        self.sweep = sweep;
+        true
+    }
+
+    /// Pop the pending message with the smallest `(arrival, ingest seq)` key,
+    /// whichever structure holds it.
+    fn pop_pending(&mut self) -> Option<RawMessage> {
+        let from_heap = match (self.ladder.front(), self.overflow.peek()) {
+            (Some(front), Some(top)) => top.0 .0 < front.key,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (None, None) => return None,
+        };
+        if from_heap {
+            self.overflow.pop().map(|p| p.1)
+        } else {
+            self.ladder.pop_front().map(|e| e.msg)
         }
     }
 
@@ -641,11 +823,27 @@ impl Endpoint {
     /// (see the `sim-mpi` PML), which keeps timing causal without letting
     /// unrelated future messages inflate the clock.
     pub fn try_recv(&mut self) -> Option<RawMessage> {
+        self.poll_ready();
+        self.next_ready()
+    }
+
+    /// The sweep half of [`Endpoint::try_recv`]: run the crash check once and
+    /// ingest everything that has physically arrived. Batch consumers (the
+    /// PML's progress drain) call this once and then pop with
+    /// [`Endpoint::next_ready`] until empty, instead of paying a crash check
+    /// and an inbox probe per message.
+    pub fn poll_ready(&mut self) {
         self.maybe_crash(false);
-        self.drain_channel();
-        match self.pending.pop() {
-            Some(p) => {
-                let msg = p.1;
+        self.sweep_inbox();
+    }
+
+    /// The pop half of [`Endpoint::try_recv`]: return the earliest-arriving
+    /// already-swept message (charging the receive overhead) without probing
+    /// the inbox again. `None` when the ladder and fallback heap are empty —
+    /// call [`Endpoint::poll_ready`] to sweep first.
+    pub fn next_ready(&mut self) -> Option<RawMessage> {
+        match self.pop_pending() {
+            Some(msg) => {
                 self.charge_recv_overhead(&msg);
                 Some(msg)
             }
@@ -668,23 +866,22 @@ impl Endpoint {
 
     /// Is there any message queued (whether or not it has virtually arrived)?
     pub fn has_pending(&mut self) -> bool {
-        self.drain_channel();
-        !self.pending.is_empty()
+        self.sweep_inbox();
+        !self.ladder.is_empty() || !self.overflow.is_empty()
     }
 
     /// Blocking receive: waits until at least one message is queued, then
     /// returns the one with the earliest virtual arrival.
     ///
     /// Scheduler-managed endpoints *park* instead of blocking the OS thread on
-    /// the channel: the outbox is flushed (a process must never sleep on
+    /// the inbox: the outbox is flushed (a process must never sleep on
     /// staged messages — see the module docs), the carrier releases its run
     /// permit, and it is woken on the next delivery. A
     /// [`RecvError::Quiescent`] verdict means the scheduler proved the job
     /// deadlocked. Unmanaged endpoints (driven manually, outside a job
-    /// launcher) keep the legacy real-time timeout, distinguishing
-    /// [`RecvError::Timeout`] from [`RecvError::Disconnected`] and returning
-    /// early when a new failure is recorded so teardown of a crashed peer
-    /// does not burn the full timeout.
+    /// launcher) keep the legacy real-time timeout, waiting on the inbox's
+    /// timed seat and returning early when a new failure is recorded so
+    /// teardown of a crashed peer does not burn the full timeout.
     ///
     /// As with [`Endpoint::try_recv`], the clock is not advanced to the
     /// message's arrival; waiting layers synchronise the clock when the
@@ -707,9 +904,8 @@ impl Endpoint {
         self.maybe_crash(false);
         let mut tried_yield = !racy;
         loop {
-            self.drain_channel();
-            if let Some(p) = self.pending.pop() {
-                let msg = p.1;
+            self.sweep_inbox();
+            if let Some(msg) = self.pop_pending() {
                 self.charge_recv_overhead(&msg);
                 self.maybe_crash(false);
                 return Ok(msg);
@@ -738,33 +934,47 @@ impl Endpoint {
         }
     }
 
-    /// Legacy timed wait for unmanaged endpoints. Waits in short slices so a
-    /// freshly recorded failure surfaces immediately (the caller polls the
-    /// failure detector on [`RecvError::Timeout`]) instead of after the full
-    /// timeout.
+    /// Legacy timed wait for unmanaged endpoints, on the inbox's timed seat.
+    /// Waits in short slices so a freshly recorded failure surfaces
+    /// immediately (the caller polls the failure detector on
+    /// [`RecvError::Timeout`]) instead of after the full timeout.
+    ///
+    /// The check-then-wait race against a concurrent ingest is closed by a
+    /// store-load protocol (mirroring the scheduler's wake tokens): the
+    /// waiter registers itself in `timed_waiters`, then re-reads the inbox
+    /// count under the seat lock; the ingest raises the count, then reads
+    /// `timed_waiters` and signals through the same seat. One side always
+    /// sees the other, so no delivery can slip between the check and the
+    /// wait.
     fn recv_timed(&mut self) -> Result<(), RecvError> {
         let timeout = self.fabric.recv_timeout();
         let slice = Duration::from_millis(50).min(timeout);
         let deadline = Instant::now() + timeout;
         let failures_at_start = self.fabric.failure.failed_count();
         loop {
-            match self.rx.recv_timeout(slice) {
-                Ok(d) => {
-                    self.accept(d);
-                    // Whatever else already arrived comes along in the same
-                    // sweep.
-                    self.drain_channel();
-                    return Ok(());
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    if self.fabric.failure.failed_count() > failures_at_start
-                        || Instant::now() >= deadline
-                    {
-                        return Err(RecvError::Timeout);
-                    }
-                }
-                Err(RecvTimeoutError::Disconnected) => return Err(RecvError::Disconnected),
+            // The sweep always precedes the error checks: a message ingested
+            // right before the deadline (or a failure) must surface as a
+            // delivery, not a timeout — matching the channel-era semantics,
+            // where a message arriving within the final slice was returned.
+            if self.sweep_inbox() {
+                return Ok(());
             }
+            if self.fabric.failure.failed_count() > failures_at_start || Instant::now() >= deadline
+            {
+                return Err(RecvError::Timeout);
+            }
+            let inbox = &self.fabric.inboxes[self.id.0];
+            inbox.timed_waiters.fetch_add(1, Ordering::SeqCst);
+            {
+                let seat = inbox.timed_seat.lock().unwrap_or_else(|e| e.into_inner());
+                if inbox.queued.load(Ordering::SeqCst) == 0 {
+                    let _ = inbox
+                        .timed_cv
+                        .wait_timeout(seat, slice)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            inbox.timed_waiters.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
@@ -853,8 +1063,6 @@ mod tests {
     fn try_recv_returns_arrival_stamp_without_jumping_clock() {
         let (mut a, mut b, _f) = two_endpoint_fabric();
         a.send(EndpointId(1), class::APP, hdr(1), Bytes::from_static(b"x"));
-        // Give the channel time to deliver in real time.
-        std::thread::sleep(Duration::from_millis(5));
         let msg = b
             .try_recv()
             .expect("physically delivered message is returned");
@@ -901,16 +1109,75 @@ mod tests {
         let mut c = fabric.endpoint(EndpointId(2));
         let mut b = fabric.endpoint(EndpointId(1));
         // c is "late": advance its clock before sending so its message has a
-        // later virtual arrival even if it lands in the channel first.
+        // later virtual arrival even though it is ingested first.
         c.compute(SimTime::from_millis(10));
         c.send(EndpointId(1), class::APP, hdr(2), Bytes::new());
-        std::thread::sleep(Duration::from_millis(5));
         a.send(EndpointId(1), class::APP, hdr(1), Bytes::new());
-        std::thread::sleep(Duration::from_millis(5));
         let first = b.recv_blocking().unwrap();
         let second = b.recv_blocking().unwrap();
         assert_eq!(first.header[0], 1, "earlier virtual arrival first");
         assert_eq!(second.header[0], 2);
+    }
+
+    #[test]
+    fn out_of_order_ingest_falls_back_to_heap_but_pops_in_arrival_order() {
+        // The sweep visits stripes in source order, so a late-clock sender in
+        // an *early* stripe puts its big-arrival message at the ladder tail
+        // before the small-arrival message from a later stripe is seen: that
+        // one must take the heap fallback — and still pop first.
+        let fabric = Fabric::with_defaults(3, LogGpModel::fast_test_model());
+        let mut a = fabric.endpoint(EndpointId(0));
+        let mut c = fabric.endpoint(EndpointId(2));
+        let mut b = fabric.endpoint(EndpointId(1));
+        a.compute(SimTime::from_millis(10));
+        a.send(EndpointId(1), class::APP, hdr(2), Bytes::new());
+        c.send(EndpointId(1), class::APP, hdr(1), Bytes::new());
+        // One sweep ingests both.
+        assert!(b.has_pending());
+        let snap = fabric.stats().snapshot();
+        assert_eq!(snap.deliveries_direct(), 1);
+        assert_eq!(snap.heap_fallbacks(), 1, "reordered arrival takes the heap");
+        let first = b.recv_blocking().unwrap();
+        let second = b.recv_blocking().unwrap();
+        assert_eq!(first.header[0], 1, "pop order is virtual-arrival order");
+        assert_eq!(second.header[0], 2);
+    }
+
+    #[test]
+    fn monotonic_arrivals_never_touch_the_fallback_heap() {
+        let (mut a, mut b, fabric) = two_endpoint_fabric();
+        for i in 0..20 {
+            a.send(EndpointId(1), class::APP, hdr(i), Bytes::new());
+        }
+        for _ in 0..20 {
+            b.recv_blocking().unwrap();
+        }
+        let snap = fabric.stats().snapshot();
+        assert_eq!(
+            snap.deliveries_direct(),
+            20,
+            "monotonic arrivals are all O(1) ladder appends"
+        );
+        assert_eq!(snap.heap_fallbacks(), 0);
+        assert!((snap.direct_delivery_fraction() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn equal_arrivals_pop_in_ingest_order() {
+        // Two senders with identical clocks and message sizes produce equal
+        // arrival stamps; the ingest-seq tie-break must pop them in physical
+        // ingest order, reproducing the channel-era FIFO semantics.
+        let fabric = Fabric::with_defaults(3, LogGpModel::fast_test_model());
+        let mut a = fabric.endpoint(EndpointId(0));
+        let mut c = fabric.endpoint(EndpointId(2));
+        let mut b = fabric.endpoint(EndpointId(1));
+        c.send(EndpointId(1), class::APP, hdr(20), Bytes::new());
+        a.send(EndpointId(1), class::APP, hdr(10), Bytes::new());
+        let first = b.recv_blocking().unwrap();
+        let second = b.recv_blocking().unwrap();
+        assert_eq!(first.arrival, second.arrival, "test needs an arrival tie");
+        assert_eq!(first.header[0], 20, "ingest order breaks the tie");
+        assert_eq!(second.header[0], 10);
     }
 
     #[test]
@@ -1025,6 +1292,31 @@ mod tests {
         fabric.set_recv_timeout(Duration::from_millis(30));
         let mut a = fabric.endpoint(EndpointId(0));
         assert_eq!(a.recv_blocking().unwrap_err(), RecvError::Timeout);
+    }
+
+    #[test]
+    fn unmanaged_recv_wakes_promptly_on_cross_thread_delivery() {
+        // The timed seat must be signalled by a concurrent ingest: with a
+        // long 10 s timeout, a delivery 20 ms in has to complete the wait in
+        // far less than one 50 ms slice-polling cycle would suggest.
+        let fabric = Fabric::with_defaults(2, LogGpModel::fast_test_model());
+        fabric.set_recv_timeout(Duration::from_secs(10));
+        let mut a = fabric.endpoint(EndpointId(0));
+        let f2 = Arc::clone(&fabric);
+        let h = std::thread::spawn(move || {
+            let mut b = f2.endpoint(EndpointId(1));
+            std::thread::sleep(Duration::from_millis(20));
+            b.send(EndpointId(0), class::APP, hdr(5), Bytes::new());
+        });
+        let started = Instant::now();
+        let msg = a.recv_blocking().expect("delivered across threads");
+        assert_eq!(msg.header[0], 5);
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "timed wait must be signalled by the ingest, took {:?}",
+            started.elapsed()
+        );
+        h.join().unwrap();
     }
 
     #[test]
@@ -1152,21 +1444,41 @@ mod tests {
     }
 
     #[test]
-    fn send_to_dead_endpoint_is_silently_dropped() {
+    fn send_to_dead_endpoint_is_silently_kept_in_its_inbox() {
         let fabric = Fabric::with_defaults(2, LogGpModel::fast_test_model());
         let mut a = fabric.endpoint(EndpointId(0));
         {
             let _b = fabric.endpoint(EndpointId(1));
-            // b dropped here: receiver end disappears.
+            // b dropped here: nobody reads the inbox any more.
         }
         a.send(
             EndpointId(1),
             class::APP,
             hdr(0),
-            Bytes::from_static(b"lost"),
+            Bytes::from_static(b"kept"),
         );
-        // No panic; stats still count the attempt.
+        // No panic; stats still count the attempt, and a recovery incarnation
+        // taking a fresh handle for the same identity can still drain it.
         assert_eq!(fabric.stats().snapshot().app_msgs(), 1);
+        fabric.reset_endpoint(EndpointId(1));
+        let mut b2 = fabric.endpoint(EndpointId(1));
+        let msg = b2.recv_blocking().expect("inbox survives the endpoint");
+        assert_eq!(&msg.payload[..], b"kept");
+    }
+
+    #[test]
+    fn batch_drain_pops_everything_after_one_sweep() {
+        let (mut a, mut b, _f) = two_endpoint_fabric();
+        for i in 0..5 {
+            a.send(EndpointId(1), class::APP, hdr(i), Bytes::new());
+        }
+        b.poll_ready();
+        let mut got = Vec::new();
+        while let Some(msg) = b.next_ready() {
+            got.push(msg.header[0]);
+        }
+        assert_eq!(got, (0..5).collect::<Vec<_>>());
+        assert!(b.next_ready().is_none());
     }
 
     #[test]

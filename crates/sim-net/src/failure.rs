@@ -14,6 +14,28 @@
 //! * **Detection** — once a crash is recorded, every other process observes it
 //!   the next time it polls the service (which the `sim-mpi` progress engine
 //!   does on every call). This models a perfect failure detector.
+//!
+//! # Concurrency protocol
+//!
+//! The service sits on two of the simulator's hottest paths: the crash check
+//! runs at every send/compute boundary and the failure poll on every
+//! progress call — tens of millions of times per benchmark row. The common
+//! state (nothing scheduled, nothing failed) is therefore answered entirely
+//! from two atomics, with the inner `RwLock` consulted only once something
+//! is actually armed or failed:
+//!
+//! * `armed` is set (and never reset) when any non-`Never` schedule is
+//!   installed; `should_crash` returns immediately while it is clear.
+//! * `failed_seq` is a **monotonic sequence allocator**, written under the
+//!   inner write lock and read lock-free: `failures_since(from)` returns
+//!   empty without locking when `from >= failed_seq`. Recovery
+//!   (`mark_recovered`) removes events but never lowers the counter, so the
+//!   lock-free early-out can never hide a failure a poller has not yet
+//!   observed, even across recoveries that reuse endpoint ids.
+//!
+//! Both atomics are SeqCst: a recorder publishes the event list (under the
+//! lock) before bumping `failed_seq`, so any poller that sees the new
+//! sequence value also sees the event behind it.
 
 use crate::fabric::EndpointId;
 use crate::time::SimTime;

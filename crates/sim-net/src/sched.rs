@@ -87,6 +87,38 @@
 //! Busy-poll loops (`MPI_Test` spinning) are still converted into real parks
 //! after [`YIELD_STREAK_PARK`] fruitless yields, so spinners join the
 //! quiescence accounting instead of masking a deadlock forever.
+//!
+//! # The wake protocol under direct mailbox ingest
+//!
+//! Since the single-pass delivery pipeline (DESIGN.md §5.3), the transport
+//! below this scheduler is not a channel but the fabric's per-endpoint
+//! mailbox, which senders append to *in place*. The store-load argument
+//! above is what makes that safe, and it must be read together with the
+//! fabric's ingest order:
+//!
+//! * **Ingest happens-before wake.** `Fabric::deliver`/`deliver_batch` raise
+//!   the inbox's advisory count and append to the source's stripe (all SeqCst
+//!   / under the stripe mutex) *before* calling [`Scheduler::wake`]. So by
+//!   the time a wake token is set, the message it announces is visible to
+//!   any subsequent inbox sweep.
+//! * **Parker re-checks after publishing.** [`Scheduler::park`] consumes the
+//!   token after storing the `Parked` phase. A receiver whose pre-park sweep
+//!   ran *before* the ingest therefore either sees the token on the re-check
+//!   (the waker's token store completed) or is unparked through the ordinary
+//!   `Parked` path (the waker's phase load saw `Parked`). In both cases the
+//!   caller re-polls and its next sweep finds the message: no delivery can
+//!   sleep in a mailbox while its destination parks forever.
+//! * **Quiescence still counts mailbox residents as in-flight work.** A
+//!   message sitting in a mailbox was put there by a carrier that had not yet
+//!   reached its next blocking boundary — its run permit still counts, so
+//!   the verdict cannot fire; once it parks, the wake it issued at ingest
+//!   time has fully completed (wakes precede the permit release), so either
+//!   the destination is `Ready`/token-carrying (verdict aborts) or it
+//!   already swept the message.
+//!
+//! The scheduler itself needed no code change for this: the token protocol
+//! never assumed anything about *where* the message lives, only that wakes
+//! follow visibility — which the fabric's ingest order (re)establishes.
 
 use crate::fabric::EndpointId;
 use crate::stats::NetStats;

@@ -5,6 +5,13 @@
 //! deterministic and independent of the host machine's load, core count or
 //! scheduler. `SimTime` is a thin newtype over `u64` nanoseconds with
 //! saturating arithmetic (virtual time never goes negative and never wraps).
+//!
+//! `SimTime`'s `Ord` is plain numeric order on the nanosecond value; the
+//! fabric's delivery pipeline and the scheduler's ready queues both key on it
+//! directly (as `(SimTime, sequence)` pairs), so the total order of
+//! timestamps — and therefore pop order everywhere — is exactly the total
+//! order of `u64`. See `sim_net::model` for the arrival-ordering contract
+//! built on top of this.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

@@ -67,6 +67,12 @@ pub struct DeliveryCounters {
     pub steals: u64,
     /// Cold-path dispatches (idle-permit grants — the old condvar handshake).
     pub condvar_waits: u64,
+    /// Deliveries ingested on the delivery ladder's in-order O(1) fast path
+    /// (see `sim_net::fabric`: the single-pass pipeline's common case).
+    pub deliveries_direct: u64,
+    /// Out-of-order deliveries buffered through the fallback heap — each one
+    /// is what *every* delivery cost under the channel + pending-heap path.
+    pub heap_fallbacks: u64,
     /// Carrier threads freshly spawned for the run.
     pub threads_spawned: u64,
     /// Carrier threads recycled from the process-global pool.
@@ -86,6 +92,8 @@ impl DeliveryCounters {
             handoffs: report.stats.handoffs(),
             steals: report.stats.steals(),
             condvar_waits: report.stats.condvar_waits(),
+            deliveries_direct: report.stats.deliveries_direct(),
+            heap_fallbacks: report.stats.heap_fallbacks(),
             threads_spawned: report.threads_spawned as u64,
             threads_reused: report.threads_reused as u64,
             host_secs,
@@ -226,6 +234,16 @@ mod tests {
         assert!(
             d.handoffs + d.steals + d.condvar_waits > 0,
             "the run must have dispatched through the scheduler"
+        );
+        assert!(
+            d.deliveries_direct > 0,
+            "deliveries must flow through the single-pass pipeline"
+        );
+        assert!(
+            d.deliveries_direct >= d.heap_fallbacks,
+            "in-order ingest must dominate: {} direct vs {} heap fallbacks",
+            d.deliveries_direct,
+            d.heap_fallbacks
         );
         assert_eq!(
             d.threads_spawned + d.threads_reused,

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Relative-link and anchor checker for the repo's markdown docs.
+
+Run by the CI `docs` job over README/DESIGN/ARCHITECTURE/EXPERIMENTS/
+ROADMAP and vendor/README. Checks every inline markdown link of the form
+`[text](target)` where the target is *relative* (external http(s) links
+are skipped — CI must not depend on the network):
+
+* `path` and `path#anchor` — the path must exist relative to the linking
+  file;
+* `#anchor` / `path#anchor` — the anchor must match a heading in the
+  target file, using GitHub's slugification (lowercase; punctuation
+  dropped; spaces to hyphens; duplicate slugs suffixed -1, -2, ...).
+
+Exits non-zero listing every dangling link. No external dependencies.
+"""
+
+import re
+import sys
+import unicodedata
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str, seen: dict) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    # Strip markdown formatting that does not contribute to the slug.
+    text = re.sub(r"[`*_]", "", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    slug = []
+    for ch in text.strip().lower():
+        cat = unicodedata.category(ch)
+        if ch in (" ", "-"):
+            slug.append("-")
+        elif cat.startswith("L") or cat.startswith("N") or ch == "_":
+            slug.append(ch)
+        # everything else (punctuation, §, :, …) is dropped
+    base = "".join(slug)
+    if base in seen:
+        seen[base] += 1
+        return f"{base}-{seen[base]}"
+    seen[base] = 0
+    return base
+
+
+def anchors_of(path: Path) -> set:
+    anchors, seen, in_fence = set(), {}, False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(github_slug(m.group(2), seen))
+    return anchors
+
+
+def links_of(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        # Drop inline code spans so `[workspace.dependencies]`-style TOML
+        # fragments are not mistaken for links.
+        stripped = re.sub(r"`[^`]*`", "", line)
+        for m in LINK_RE.finditer(stripped):
+            yield lineno, m.group(1)
+
+
+def main(files):
+    errors = []
+    anchor_cache = {}
+    for name in files:
+        src = Path(name)
+        if not src.is_file():
+            errors.append(f"{name}: file listed for checking does not exist")
+            continue
+        for lineno, target in links_of(src):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            dest = src if not path_part else (src.parent / path_part).resolve()
+            if path_part and not dest.is_file():
+                errors.append(f"{name}:{lineno}: dangling link target {target!r}")
+                continue
+            if anchor:
+                if dest not in anchor_cache:
+                    anchor_cache[dest] = anchors_of(dest)
+                if anchor.lower() not in anchor_cache[dest]:
+                    errors.append(
+                        f"{name}:{lineno}: anchor {('#' + anchor)!r} not found "
+                        f"in {dest.name} (known: {sorted(anchor_cache[dest])[:8]}…)"
+                    )
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} dangling doc link(s)")
+        return 1
+    print(f"doc links OK across {len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:] or ["README.md"]))

@@ -1,63 +1,123 @@
 //! Minimal offline stand-in for the `bytes` crate.
 //!
 //! Provides the subset of [`Bytes`] used by this workspace: an immutable,
-//! cheaply cloneable byte buffer backed by an `Arc<[u8]>`. Clones share the
-//! allocation; all read access goes through `Deref<Target = [u8]>`. Like the
-//! real crate, [`Bytes::slice`] is O(1): the sub-buffer shares the backing
-//! allocation through an (offset, len) view instead of copying.
+//! cheaply cloneable byte buffer. Large buffers are backed by an `Arc<[u8]>`
+//! whose clones share the allocation; like the real crate, [`Bytes::slice`]
+//! on a shared buffer is O(1) — the sub-buffer shares the backing allocation
+//! through an (offset, len) view instead of copying.
+//!
+//! Unlike the real crate, buffers of up to [`INLINE_CAP`] bytes are stored
+//! *inline* in the handle itself (a small-buffer optimisation): constructing,
+//! cloning and dropping them allocates nothing and touches no atomic
+//! refcount. The simulated fabric's per-message payloads are dominated by
+//! empty and tiny protocol messages (acks, control words, crash wake-ups),
+//! so the inline representation removes one heap indirection per message on
+//! the delivery hot path. All read access goes through
+//! `Deref<Target = [u8]>` regardless of representation, and equality,
+//! ordering and hashing follow the viewed bytes, so the two representations
+//! are observably identical apart from allocation behaviour.
 
 use std::ops::Deref;
 use std::sync::Arc;
 
-/// Immutable, reference-counted byte buffer: a shared allocation plus an
-/// (offset, len) window into it.
-#[derive(Clone)]
+/// Maximum payload length stored inline in the [`Bytes`] handle itself.
+/// Chosen so the inline variant fits the same enum footprint as the shared
+/// (Arc + offset + len) variant.
+pub const INLINE_CAP: usize = 32;
+
+enum Repr {
+    /// Small buffer stored in the handle: no allocation, no refcount.
+    Inline { len: u8, data: [u8; INLINE_CAP] },
+    /// Shared allocation plus an (offset, len) window into it.
+    Shared {
+        data: Arc<[u8]>,
+        offset: usize,
+        len: usize,
+    },
+}
+
+/// Immutable, cheaply cloneable byte buffer: inline up to [`INLINE_CAP`]
+/// bytes, a reference-counted shared allocation beyond.
 pub struct Bytes {
-    data: Arc<[u8]>,
-    offset: usize,
-    len: usize,
+    repr: Repr,
 }
 
 impl Bytes {
-    fn from_arc(data: Arc<[u8]>) -> Self {
-        let len = data.len();
+    fn inline_from(bytes: &[u8]) -> Self {
+        debug_assert!(bytes.len() <= INLINE_CAP);
+        let mut data = [0u8; INLINE_CAP];
+        data[..bytes.len()].copy_from_slice(bytes);
         Bytes {
-            data,
-            offset: 0,
-            len,
+            repr: Repr::Inline {
+                len: bytes.len() as u8,
+                data,
+            },
         }
     }
 
-    /// Creates an empty buffer (no allocation is shared, but empty slices are cheap).
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        if data.len() <= INLINE_CAP {
+            return Bytes::inline_from(&data);
+        }
+        let len = data.len();
+        Bytes {
+            repr: Repr::Shared {
+                data,
+                offset: 0,
+                len,
+            },
+        }
+    }
+
+    /// Creates an empty buffer (inline: no allocation at all).
     pub fn new() -> Self {
-        Bytes::from_arc(Arc::from(&[][..]))
+        Bytes::inline_from(&[])
     }
 
-    /// Creates a buffer from a static slice (copied once into shared storage).
+    /// Creates a buffer from a static slice (copied once; inline when small).
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes::from_arc(Arc::from(data))
+        if data.len() <= INLINE_CAP {
+            Bytes::inline_from(data)
+        } else {
+            Bytes::from_arc(Arc::from(data))
+        }
     }
 
-    /// Creates a buffer by copying the given slice.
+    /// Creates a buffer by copying the given slice (inline when small).
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes::from_arc(Arc::from(data))
+        if data.len() <= INLINE_CAP {
+            Bytes::inline_from(data)
+        } else {
+            Bytes::from_arc(Arc::from(data))
+        }
     }
 
     /// Length of the buffer in bytes.
     pub fn len(&self) -> usize {
-        self.len
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Shared { len, .. } => *len,
+        }
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
+    }
+
+    /// True when this buffer is stored inline in the handle (diagnostics and
+    /// tests; inline buffers allocate nothing and share no refcount).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
     }
 
     /// Returns a new `Bytes` viewing the given subrange of this buffer.
     ///
-    /// O(1): the backing `Arc` allocation is shared and only the view's
-    /// offset/length change — no bytes are copied. This matches the real
-    /// `bytes` crate and keeps protocol-layer slicing off the copy path.
+    /// O(1) in both representations: a shared buffer's backing `Arc`
+    /// allocation is shared and only the view's offset/length change — no
+    /// bytes are copied (matching the real `bytes` crate, keeping
+    /// protocol-layer slicing off the copy path) — and an inline buffer
+    /// copies at most [`INLINE_CAP`] bytes into a new inline handle.
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Self {
         use std::ops::Bound;
         let start = match range.start_bound() {
@@ -68,17 +128,42 @@ impl Bytes {
         let end = match range.end_bound() {
             Bound::Included(&n) => n + 1,
             Bound::Excluded(&n) => n,
-            Bound::Unbounded => self.len,
+            Bound::Unbounded => self.len(),
         };
         assert!(
-            start <= end && end <= self.len,
+            start <= end && end <= self.len(),
             "slice range {start}..{end} out of bounds for Bytes of length {}",
-            self.len
+            self.len()
         );
-        Bytes {
-            data: Arc::clone(&self.data),
-            offset: self.offset + start,
-            len: end - start,
+        match &self.repr {
+            Repr::Inline { data, .. } => Bytes::inline_from(&data[start..end]),
+            Repr::Shared { data, offset, .. } => Bytes {
+                repr: Repr::Shared {
+                    data: Arc::clone(data),
+                    offset: offset + start,
+                    len: end - start,
+                },
+            },
+        }
+    }
+}
+
+impl Clone for Bytes {
+    fn clone(&self) -> Self {
+        match &self.repr {
+            Repr::Inline { len, data } => Bytes {
+                repr: Repr::Inline {
+                    len: *len,
+                    data: *data,
+                },
+            },
+            Repr::Shared { data, offset, len } => Bytes {
+                repr: Repr::Shared {
+                    data: Arc::clone(data),
+                    offset: *offset,
+                    len: *len,
+                },
+            },
         }
     }
 }
@@ -92,7 +177,10 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.offset..self.offset + self.len]
+        match &self.repr {
+            Repr::Inline { len, data } => &data[..*len as usize],
+            Repr::Shared { data, offset, len } => &data[*offset..*offset + *len],
+        }
     }
 }
 
@@ -130,19 +218,23 @@ impl std::hash::Hash for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes::from_arc(Arc::from(v.into_boxed_slice()))
+        if v.len() <= INLINE_CAP {
+            Bytes::inline_from(&v)
+        } else {
+            Bytes::from_arc(Arc::from(v.into_boxed_slice()))
+        }
     }
 }
 
 impl From<&'static [u8]> for Bytes {
     fn from(v: &'static [u8]) -> Self {
-        Bytes::from_arc(Arc::from(v))
+        Bytes::from_static(v)
     }
 }
 
 impl From<&'static str> for Bytes {
     fn from(v: &'static str) -> Self {
-        Bytes::from_arc(Arc::from(v.as_bytes()))
+        Bytes::from_static(v.as_bytes())
     }
 }
 
@@ -168,12 +260,54 @@ impl std::fmt::Debug for Bytes {
 mod tests {
     use super::*;
 
+    fn shared_arc(b: &Bytes) -> &Arc<[u8]> {
+        match &b.repr {
+            Repr::Shared { data, .. } => data,
+            Repr::Inline { .. } => panic!("expected a shared representation"),
+        }
+    }
+
     #[test]
     fn clone_shares_storage() {
-        let a = Bytes::from(vec![1, 2, 3]);
+        let a = Bytes::from(vec![1u8; INLINE_CAP + 8]);
         let b = a.clone();
         assert_eq!(&a[..], &b[..]);
-        assert_eq!(a.len(), 3);
+        assert!(Arc::ptr_eq(shared_arc(&a), shared_arc(&b)));
+    }
+
+    #[test]
+    fn small_buffers_are_inline_and_allocation_free() {
+        assert!(Bytes::new().is_inline());
+        assert!(Bytes::from_static(b"ack").is_inline());
+        assert!(Bytes::from(vec![7u8; INLINE_CAP]).is_inline());
+        assert!(!Bytes::from(vec![7u8; INLINE_CAP + 1]).is_inline());
+        let a = Bytes::copy_from_slice(b"hello");
+        assert!(a.is_inline());
+        assert_eq!(&a[..], b"hello");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn inline_and_shared_compare_by_content() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // Same bytes through both representations: a shared buffer's view of
+        // a small range vs the inline copy of the same range.
+        let big = Bytes::from((0..64u8).collect::<Vec<u8>>());
+        assert!(!big.is_inline());
+        let shared_view = big.slice(3..9);
+        assert!(!shared_view.is_inline());
+        let inline = Bytes::copy_from_slice(&big[3..9]);
+        assert!(inline.is_inline());
+        assert_eq!(shared_view, inline);
+        assert_eq!(shared_view.cmp(&inline), std::cmp::Ordering::Equal);
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        shared_view.hash(&mut ha);
+        inline.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
     }
 
     #[test]
@@ -188,21 +322,27 @@ mod tests {
     #[test]
     fn slice_shares_backing_allocation() {
         let a = Bytes::from(vec![9u8; 64]);
-        let before = Arc::strong_count(&a.data);
+        let before = Arc::strong_count(shared_arc(&a));
         let s = a.slice(8..24);
-        assert_eq!(Arc::strong_count(&a.data), before + 1);
-        assert!(Arc::ptr_eq(&a.data, &s.data));
+        assert_eq!(Arc::strong_count(shared_arc(&a)), before + 1);
+        assert!(Arc::ptr_eq(shared_arc(&a), shared_arc(&s)));
         assert_eq!(s.len(), 16);
         assert_eq!(&s[..], &a[8..24]);
     }
 
     #[test]
     fn nested_slices_compose_offsets() {
-        let a = Bytes::from_static(b"abcdefghij");
-        let s = a.slice(2..8); // cdefgh
-        let t = s.slice(1..4); // def
-        assert_eq!(&t[..], b"def");
-        assert!(Arc::ptr_eq(&a.data, &t.data));
+        let a = Bytes::from((0..80u8).collect::<Vec<u8>>());
+        let s = a.slice(2..78);
+        let t = s.slice(1..60);
+        assert_eq!(&t[..], &a[3..62]);
+        assert!(Arc::ptr_eq(shared_arc(&a), shared_arc(&t)));
+        // A small nested slice of an inline buffer stays inline.
+        let small = Bytes::from_static(b"abcdefghij");
+        assert!(small.is_inline());
+        let u = small.slice(2..8).slice(1..4);
+        assert!(u.is_inline());
+        assert_eq!(&u[..], b"def");
     }
 
     #[test]
