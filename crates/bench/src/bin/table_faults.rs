@@ -1,0 +1,57 @@
+//! Runs the Monte Carlo fault campaign: seeded crash and soft-error
+//! injection over the paper's fault model, one seed range per distribution.
+//!
+//! Usage: `table_faults [--ranks N] [--seeds N] [--base-seed N] [--iters N]
+//! [--workers W] [--json PATH]`
+//!
+//! Each case is fully determined by `(config, seed)`: the plan sampling is
+//! pure, so any reported violation can be replayed exactly (and shrunk to a
+//! minimal failing plan with `workloads::campaign::shrink_violation`, which
+//! replays candidates under the deterministic `--workers 1` scheduler).
+//! `--json PATH` writes the machine-readable report that CI uploads as the
+//! `BENCH_faults.json` artifact and gates on: 100% survivability for the
+//! single-replica-loss distributions, 100% prompt aborts for the correlated
+//! pair loss, 100% SDC detection.
+fn main() {
+    let args = sdr_bench::parse_faults_args(std::env::args().skip(1));
+    let rows = sdr_bench::fault_campaign_rows(
+        args.ranks,
+        args.seeds,
+        args.base_seed,
+        args.iterations,
+        args.tuning,
+    );
+    print!(
+        "{}",
+        sdr_bench::format_faults_table(
+            &format!(
+                "Fault campaign: {} seeded cases per distribution (ranks={}, degree=2, \
+                 iters={}, seeds {}..{})",
+                args.seeds,
+                args.ranks,
+                args.iterations,
+                args.base_seed,
+                args.base_seed + args.seeds as u64 - 1
+            ),
+            &rows
+        )
+    );
+    if let Some(path) = &args.json_path {
+        let json = sdr_bench::faults_report_json(
+            "table_faults",
+            args.ranks,
+            args.seeds,
+            args.base_seed,
+            args.iterations,
+            &rows,
+        );
+        std::fs::write(path, json)
+            .unwrap_or_else(|e| panic!("cannot write JSON report to {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
+    let violations: usize = rows.iter().map(|r| r.summary.violations.len()).sum();
+    if violations > 0 {
+        eprintln!("{violations} expectation violation(s) — see the table above");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,303 @@
+//! The Monte Carlo fault campaign: seeded fault-injection sweeps over the
+//! failure distributions of the paper's fault model (exponential MTBF per
+//! rank, correlated node loss taking out both replicas of a pair, crashes
+//! landing mid-collective) plus redMPI-style soft-error injection, aggregated
+//! into the `BENCH_faults.json` CI artifact.
+//!
+//! Every case is fully determined by `(config, seed)`; the planning lives in
+//! `sim_net::campaign` and the execution/judging in `workloads::campaign`.
+//! The CI gate (`faults-smoke`) demands 100% survivability for the
+//! single-replica-loss configurations, a 100% prompt-abort rate for the
+//! correlated pair loss, and 100% SDC detection.
+
+use workloads::campaign::{run_campaign, summarize, CampaignSummary};
+use workloads::runner::RunTuning;
+
+pub use sim_net::campaign::{CampaignConfig, FaultDistribution};
+
+/// One configuration's campaign result.
+#[derive(Debug, Clone)]
+pub struct FaultConfigRow {
+    /// The aggregated campaign outcome.
+    pub summary: CampaignSummary,
+    /// Workload iterations each case ran.
+    pub iterations: u64,
+    /// First seed of the configuration's seed range.
+    pub base_seed: u64,
+}
+
+/// The default campaign configurations: three crash distributions plus the
+/// soft-error class, all at dual replication.
+pub fn default_fault_configs(ranks: usize, iterations: u64) -> Vec<CampaignConfig> {
+    vec![
+        CampaignConfig {
+            ranks,
+            degree: 2,
+            dist: FaultDistribution::ExponentialMtbf {
+                mean_sends: 8,
+                horizon_sends: iterations,
+                max_crashes: 2,
+            },
+        },
+        CampaignConfig {
+            ranks,
+            degree: 2,
+            dist: FaultDistribution::MidCollective { max_phase: 8 },
+        },
+        CampaignConfig {
+            ranks,
+            degree: 2,
+            dist: FaultDistribution::CorrelatedPairLoss {
+                mean_sends: 3,
+                horizon_sends: iterations.max(2),
+            },
+        },
+        CampaignConfig {
+            ranks,
+            degree: 2,
+            dist: FaultDistribution::SoftErrors {
+                flips: 2,
+                max_send: iterations,
+                payload_bits: 8192,
+            },
+        },
+    ]
+}
+
+/// Run the full campaign: `seeds` seeded cases per configuration.
+pub fn fault_campaign_rows(
+    ranks: usize,
+    seeds: usize,
+    base_seed: u64,
+    iterations: u64,
+    tuning: RunTuning,
+) -> Vec<FaultConfigRow> {
+    default_fault_configs(ranks, iterations)
+        .into_iter()
+        .map(|config| {
+            let outcomes = run_campaign(config, base_seed, seeds, iterations, tuning);
+            FaultConfigRow {
+                summary: summarize(config, &outcomes),
+                iterations,
+                base_seed,
+            }
+        })
+        .collect()
+}
+
+/// Format the campaign results as a text table.
+pub fn format_faults_table(title: &str, rows: &[FaultConfigRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<16} {:>6} {:>9} {:>7} {:>8} {:>10} {:>10} {:>12}  {}\n",
+        "distribution",
+        "cases",
+        "survive%",
+        "abort%",
+        "crashes",
+        "sdc inj",
+        "sdc det",
+        "med rec (s)",
+        "violations"
+    ));
+    for row in rows {
+        let s = &row.summary;
+        out.push_str(&format!(
+            "{:<16} {:>6} {:>9.1} {:>7.1} {:>8} {:>10} {:>10} {:>12.6}  {}\n",
+            s.config.dist.name(),
+            s.cases,
+            s.survival_rate() * 100.0,
+            s.abort_rate() * 100.0,
+            s.crashes_injected,
+            s.sdc_injected,
+            s.sdc_detected,
+            s.recovery_latency.median_s,
+            s.violations.len()
+        ));
+    }
+    for row in rows {
+        for (seed, detail) in &row.summary.violations {
+            out.push_str(&format!(
+                "VIOLATION {} seed {}: {}\n",
+                row.summary.config.dist.name(),
+                seed,
+                detail
+            ));
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serialise the campaign as the machine-readable `BENCH_faults.json` report
+/// (same hand-rolled-JSON convention as [`crate::table_report_json`]).
+pub fn faults_report_json(
+    benchmark: &str,
+    ranks: usize,
+    seeds: usize,
+    base_seed: u64,
+    iterations: u64,
+    rows: &[FaultConfigRow],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"benchmark\": \"{benchmark}\",\n"));
+    out.push_str(&format!("  \"ranks\": {ranks},\n"));
+    out.push_str(&format!("  \"degree\": 2,\n"));
+    out.push_str(&format!("  \"seeds_per_config\": {seeds},\n"));
+    out.push_str(&format!("  \"base_seed\": {base_seed},\n"));
+    out.push_str(&format!("  \"iterations\": {iterations},\n"));
+    out.push_str("  \"configs\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let s = &row.summary;
+        let lat = &s.recovery_latency;
+        let violations = s
+            .violations
+            .iter()
+            .map(|(seed, detail)| {
+                format!(
+                    "{{\"seed\": {seed}, \"detail\": \"{}\"}}",
+                    json_escape(detail)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    {{\"dist\": \"{}\", \"cases\": {}, \"survived\": {}, \"aborted\": {}, \
+             \"survival_rate\": {:.4}, \"abort_rate\": {:.4}, \
+             \"crashes_injected\": {}, \"sdc_injected\": {}, \"sdc_detected\": {}, \
+             \"sdc_detection_rate\": {:.4}, \
+             \"recovery_latency\": {{\"samples\": {}, \"min_s\": {:.6}, \"median_s\": {:.6}, \
+             \"p90_s\": {:.6}, \"max_s\": {:.6}}}, \
+             \"violations\": [{violations}]}}{}\n",
+            s.config.dist.name(),
+            s.cases,
+            s.survived,
+            s.aborted,
+            s.survival_rate(),
+            s.abort_rate(),
+            s.crashes_injected,
+            s.sdc_injected,
+            s.sdc_detected,
+            s.sdc_detection_rate(),
+            lat.samples,
+            lat.min_s,
+            lat.median_s,
+            lat.p90_s,
+            lat.max_s,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Parsed command line of the fault-campaign harness.
+#[derive(Debug, Clone)]
+pub struct FaultsArgs {
+    /// Application rank count.
+    pub ranks: usize,
+    /// Seeded cases per configuration.
+    pub seeds: usize,
+    /// First seed.
+    pub base_seed: u64,
+    /// Workload iterations per case.
+    pub iterations: u64,
+    /// Execution-layer tuning.
+    pub tuning: RunTuning,
+    /// Where to write the machine-readable JSON report, if requested.
+    pub json_path: Option<std::path::PathBuf>,
+}
+
+/// CLI parsing for `table_faults`: `--ranks N`, `--seeds N`, `--base-seed N`,
+/// `--iters N`, `--workers N`, `--json PATH`.
+pub fn parse_faults_args<I: Iterator<Item = String>>(args: I) -> FaultsArgs {
+    let mut parsed = FaultsArgs {
+        ranks: 4,
+        seeds: 25,
+        base_seed: 1,
+        iterations: 6,
+        tuning: RunTuning::default(),
+        json_path: None,
+    };
+    fn next_usize<I: Iterator<Item = String>>(args: &mut I, name: &str) -> usize {
+        args.next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("{name} needs a positive integer"))
+    }
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ranks" => parsed.ranks = next_usize(&mut args, "--ranks"),
+            "--seeds" => parsed.seeds = next_usize(&mut args, "--seeds"),
+            "--base-seed" => parsed.base_seed = next_usize(&mut args, "--base-seed") as u64,
+            "--iters" => parsed.iterations = next_usize(&mut args, "--iters") as u64,
+            "--workers" => parsed.tuning.workers = Some(next_usize(&mut args, "--workers")),
+            "--json" => {
+                let path = args.next().expect("--json needs a file path");
+                parsed.json_path = Some(std::path::PathBuf::from(path));
+            }
+            other => panic!("unrecognised argument {other:?}"),
+        }
+    }
+    assert!(parsed.ranks > 0 && parsed.seeds > 0 && parsed.iterations > 0);
+    parsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_rows_have_all_configs_and_json_is_shaped() {
+        let rows = fault_campaign_rows(2, 2, 5, 4, RunTuning::default());
+        assert_eq!(rows.len(), 4);
+        let names: Vec<_> = rows.iter().map(|r| r.summary.config.dist.name()).collect();
+        assert_eq!(
+            names,
+            vec!["exp-mtbf", "mid-collective", "correlated-pair", "sdc"]
+        );
+        for row in &rows {
+            assert_eq!(row.summary.cases, 2);
+            assert!(
+                row.summary.violations.is_empty(),
+                "{}: {:?}",
+                row.summary.config.dist.name(),
+                row.summary.violations
+            );
+        }
+        let text = format_faults_table("Fault campaign", &rows);
+        assert!(text.contains("exp-mtbf") && text.contains("sdc"));
+        let json = faults_report_json("table_faults", 2, 2, 5, 4, &rows);
+        assert!(json.contains("\"dist\": \"correlated-pair\""));
+        assert!(json.contains("\"seeds_per_config\": 2"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn faults_args_parse_round_trip() {
+        let args = parse_faults_args(
+            [
+                "--ranks",
+                "8",
+                "--seeds",
+                "50",
+                "--iters",
+                "10",
+                "--workers",
+                "2",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        assert_eq!(args.ranks, 8);
+        assert_eq!(args.seeds, 50);
+        assert_eq!(args.iterations, 10);
+        assert_eq!(args.tuning.workers, Some(2));
+    }
+}

@@ -14,6 +14,14 @@
 //! | [`fig2_comparison`] | Figure 2: anonymous reception, leader-based vs send-deterministic |
 //! | [`mirror_vs_parallel`] | Section 2.4: `O(q·r²)` vs `O(q·r)` message complexity |
 //! | [`redmpi_detection`] | Section 2.4 / redMPI: SDC detection traffic and coverage |
+//! | [`faults::fault_campaign_rows`] | Monte Carlo fault campaign (`BENCH_faults.json`) |
+
+pub mod faults;
+
+pub use faults::{
+    fault_campaign_rows, faults_report_json, format_faults_table, parse_faults_args,
+    FaultConfigRow, FaultsArgs,
+};
 
 use repl_baselines::{CorruptionSpec, LeaderFactory, MirrorFactory, RedMpiFactory, SdcReport};
 use sdr_core::{native_job, replicated_job, ReplicationConfig};

@@ -53,6 +53,10 @@ pub struct SdcReport {
 struct SdcReportInner {
     comparisons: u64,
     mismatches: u64,
+    /// `(source rank, per-source seq)` keys of the detected corruptions, in
+    /// detection order — the fault-campaign engine matches these against its
+    /// injection plan.
+    detected: Vec<(Rank, u64)>,
 }
 
 impl SdcReport {
@@ -61,11 +65,12 @@ impl SdcReport {
         Arc::new(SdcReport::default())
     }
 
-    fn record(&self, mismatch: bool) {
+    fn record(&self, key: (Rank, u64), mismatch: bool) {
         let mut g = self.inner.lock();
         g.comparisons += 1;
         if mismatch {
             g.mismatches += 1;
+            g.detected.push(key);
         }
     }
 
@@ -77,6 +82,12 @@ impl SdcReport {
     /// Hash mismatches (detected corruptions).
     pub fn mismatches(&self) -> u64 {
         self.inner.lock().mismatches
+    }
+
+    /// `(source rank, per-source seq)` keys of the detected corruptions, in
+    /// detection order (one entry per mismatching comparison).
+    pub fn detected_keys(&self) -> Vec<(Rank, u64)> {
+        self.inner.lock().detected.clone()
     }
 }
 
@@ -125,7 +136,7 @@ impl RedMpiProtocol {
             self.local_digest.get(&key).copied(),
             self.remote_hash.get(&key).copied(),
         ) {
-            self.report.record(local != remote);
+            self.report.record(key, local != remote);
             self.local_digest.remove(&key);
             self.remote_hash.remove(&key);
         }
@@ -382,7 +393,35 @@ mod tests {
         // seen twice (once by each receiver replica of rank 1).
         assert_eq!(report_handle.mismatches(), 2);
         assert!(report_handle.comparisons() >= 8);
+        // Both detections carry the corrupted message's identity.
+        assert_eq!(report_handle.detected_keys(), vec![(0, 2), (0, 2)]);
         // The primary replica set still computed the uncorrupted result.
+        assert_eq!(result.primary_results()[1], &42);
+    }
+
+    #[test]
+    fn pml_level_flip_is_detected_exactly_once() {
+        // The fault-campaign SDC class corrupts the payload *below* the
+        // protocol layer: the sender's hash was computed on the clean copy,
+        // so only the receiver replica that got the flipped copy mismatches
+        // (against the other sender's clean hash) — one detection per flip,
+        // unlike the protocol-level CorruptionSpec which is seen twice.
+        let report_handle = SdcReport::new();
+        let job = redmpi_job(2, RedMpiFactory::dual(Arc::clone(&report_handle)))
+            // Endpoint 2 is replica 1 of rank 0; corrupt its 2nd app send.
+            .sdc_flip(
+                EndpointId(2),
+                sim_mpi::SdcFlip {
+                    nth_send: 2,
+                    bit: 3,
+                },
+            );
+        let result = job.run(exchange_app);
+        assert!(result.all_finished());
+        assert_eq!(result.stats.sdc_flips_injected(), 1);
+        assert_eq!(report_handle.mismatches(), 1);
+        assert_eq!(report_handle.detected_keys(), vec![(0, 1)]);
+        // The primary replica set never saw the corruption.
         assert_eq!(result.primary_results()[1], &42);
     }
 }

@@ -102,6 +102,20 @@ impl Default for PmlConfig {
     }
 }
 
+/// One scheduled soft-error injection: flip `bit` of the payload of this
+/// process's `nth_send`-th application send (1-based), *after* the protocol
+/// layer has seen the clean payload — the wire carries the corrupted copy
+/// while any protocol-level bookkeeping (e.g. redMPI's payload hash) was
+/// computed on the clean one, exactly like a NIC or buffer-memory upset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdcFlip {
+    /// 1-based index of the application send to corrupt.
+    pub nth_send: u64,
+    /// Bit to flip, taken modulo the payload size in bits (empty payloads are
+    /// left untouched).
+    pub bit: u32,
+}
+
 #[derive(Debug)]
 enum ReqState {
     /// Send request: complete as soon as the payload is handed to the fabric.
@@ -124,6 +138,12 @@ pub struct Pml {
     failures_seen: u64,
     pending_events: Vec<PmlEvent>,
     config: PmlConfig,
+    /// Application sends posted so far (all destinations), the index the
+    /// fault-campaign's [`SdcFlip::nth_send`] counts against. Matches the
+    /// fabric's per-endpoint send count used by crash schedules.
+    app_sends: u64,
+    /// Scheduled soft-error injections, armed by the job launcher.
+    sdc_flips: Vec<SdcFlip>,
 }
 
 impl std::fmt::Debug for Pml {
@@ -153,7 +173,16 @@ impl Pml {
             failures_seen: 0,
             pending_events: Vec::new(),
             config,
+            app_sends: 0,
+            sdc_flips: Vec::new(),
         }
+    }
+
+    /// Arm scheduled soft-error injections (fault-campaign SDC class): each
+    /// entry corrupts one future application send of this process. Injected
+    /// flips are counted in [`sim_net::NetStats`] (`sdc_flips_injected`).
+    pub fn arm_sdc_flips(&mut self, flips: Vec<SdcFlip>) {
+        self.sdc_flips = flips;
     }
 
     /// This process's physical identity.
@@ -219,6 +248,8 @@ impl Pml {
         aux: i64,
         payload: Bytes,
     ) -> PmlReqId {
+        self.app_sends += 1;
+        let payload = self.corrupt_if_scheduled(payload);
         let seq_key = (dst, comm);
         let seq = self.send_seq.entry(seq_key).or_insert(0);
         let this_seq = *seq;
@@ -235,6 +266,25 @@ impl Pml {
         ];
         self.ep.send(dst, class::APP, header, payload);
         self.alloc_req(ReqState::SendDone)
+    }
+
+    /// Apply any armed [`SdcFlip`] matching the current send index. The flip
+    /// happens below every protocol layer (they have already read the clean
+    /// payload), modelling corruption in flight.
+    fn corrupt_if_scheduled(&mut self, payload: Bytes) -> Bytes {
+        let nth = self.app_sends;
+        let Some(pos) = self.sdc_flips.iter().position(|f| f.nth_send == nth) else {
+            return payload;
+        };
+        let flip = self.sdc_flips.swap_remove(pos);
+        if payload.is_empty() {
+            return payload;
+        }
+        let mut bytes = payload.to_vec();
+        let bit = flip.bit as usize % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        self.ep.fabric().stats().record_sdc_flip();
+        Bytes::from(bytes)
     }
 
     /// Fire-and-forget protocol message (ack, decision, notification, hash).
@@ -638,6 +688,51 @@ mod tests {
         assert!(p1.now() > before, "unexpected copy must cost time");
         let events = p1.progress();
         assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn armed_sdc_flip_corrupts_exactly_the_nth_send() {
+        let f = fabric(2);
+        let mut p0 = Pml::new(f.endpoint(EndpointId(0)));
+        let mut p1 = Pml::new(f.endpoint(EndpointId(1)));
+        // Flip bit 1 of the 2nd send; bit index wraps modulo payload bits.
+        p0.arm_sdc_flips(vec![SdcFlip {
+            nth_send: 2,
+            bit: 1,
+        }]);
+        for _ in 0..3 {
+            p0.isend(
+                EndpointId(1),
+                CommId::WORLD,
+                7,
+                0,
+                Bytes::from_static(b"\x00\x00"),
+            );
+        }
+        let mut payloads = Vec::new();
+        for _ in 0..3 {
+            let req = p1.irecv(Some(EndpointId(0)), CommId::WORLD, TagSel::Tag(7));
+            while !p1.is_complete(req) {
+                p1.progress_blocking("sdc recv").unwrap();
+            }
+            payloads.push(p1.take_recv(req).unwrap().1);
+        }
+        assert_eq!(&payloads[0][..], b"\x00\x00", "send 1 is clean");
+        assert_eq!(&payloads[1][..], b"\x02\x00", "send 2 has bit 1 flipped");
+        assert_eq!(&payloads[2][..], b"\x00\x00", "send 3 is clean");
+        assert_eq!(f.stats().snapshot().sdc_flips_injected(), 1);
+    }
+
+    #[test]
+    fn sdc_flip_on_empty_payload_is_a_noop() {
+        let f = fabric(2);
+        let mut p0 = Pml::new(f.endpoint(EndpointId(0)));
+        p0.arm_sdc_flips(vec![SdcFlip {
+            nth_send: 1,
+            bit: 5,
+        }]);
+        p0.isend(EndpointId(1), CommId::WORLD, 7, 0, Bytes::new());
+        assert_eq!(f.stats().snapshot().sdc_flips_injected(), 0);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! quantity reported in the paper's tables — is the maximum finish time over
 //! the processes that completed the application.
 
-use crate::pml::{Pml, PmlConfig};
+use crate::pml::{Pml, PmlConfig, SdcFlip};
 use crate::process::Process;
 use crate::protocol::{NativeFactory, ProtocolFactory};
 use crate::types::{MpiError, Rank};
@@ -176,6 +176,7 @@ pub struct JobBuilder {
     placement: Option<Placement>,
     factory: Arc<dyn ProtocolFactory>,
     crash_schedules: Vec<(EndpointId, CrashSchedule)>,
+    sdc_flips: Vec<(EndpointId, SdcFlip)>,
     pml_config: PmlConfig,
     trace: bool,
     recv_timeout: Duration,
@@ -200,6 +201,7 @@ impl JobBuilder {
             placement: None,
             factory: Arc::new(NativeFactory),
             crash_schedules: Vec::new(),
+            sdc_flips: Vec::new(),
             pml_config: PmlConfig::default(),
             trace: false,
             recv_timeout: Duration::from_secs(20),
@@ -243,6 +245,15 @@ impl JobBuilder {
     /// Schedule a crash for a physical process.
     pub fn crash(mut self, endpoint: EndpointId, schedule: CrashSchedule) -> Self {
         self.crash_schedules.push((endpoint, schedule));
+        self
+    }
+
+    /// Schedule a soft-error injection: flip one payload bit of the given
+    /// process's `flip.nth_send`-th application send, below the protocol
+    /// layer (see [`SdcFlip`]). The fault-campaign engine's second fault
+    /// class, next to [`JobBuilder::crash`].
+    pub fn sdc_flip(mut self, endpoint: EndpointId, flip: SdcFlip) -> Self {
+        self.sdc_flips.push((endpoint, flip));
         self
     }
 
@@ -332,6 +343,12 @@ impl JobBuilder {
             let trace = trace.clone();
             let pml_config = self.pml_config;
             let app_ranks = self.app_ranks;
+            let flips: Vec<SdcFlip> = self
+                .sdc_flips
+                .iter()
+                .filter(|(ep, _)| *ep == EndpointId(p))
+                .map(|(_, f)| *f)
+                .collect();
             // Lease a carrier from the process-global pool instead of
             // spawning a fresh OS thread per process per job.
             let (handle, source) =
@@ -346,7 +363,10 @@ impl JobBuilder {
                     // pool's run permits.
                     fabric.scheduler().start(EndpointId(p));
                     let endpoint = fabric.endpoint(EndpointId(p));
-                    let pml = Pml::with_config(endpoint, pml_config);
+                    let mut pml = Pml::with_config(endpoint, pml_config);
+                    if !flips.is_empty() {
+                        pml.arm_sdc_flips(flips);
+                    }
                     let protocol = factory.build(EndpointId(p), app_ranks);
                     let app_rank = protocol.app_rank();
                     let replica = protocol.replica_id();

@@ -38,6 +38,11 @@
 //! * [`stats::NetStats`] counts messages and bytes so protocol-level message
 //!   complexity (e.g. mirror's `O(q·r²)` vs parallel's `O(q·r)`) can be
 //!   measured directly.
+//! * [`campaign`] samples seeded, reproducible fault plans (exponential-MTBF
+//!   crashes, correlated replica-pair loss, mid-collective crashes, soft
+//!   errors) that the upper layers compile into `FailureService` schedules
+//!   and PML corruption hooks, and shrinks failing plans to minimal
+//!   regression cases.
 //!
 //! # Concurrency protocols at a glance
 //!
@@ -57,6 +62,7 @@
 
 #![deny(missing_docs)]
 
+pub mod campaign;
 pub mod carrier;
 pub mod clock;
 pub mod fabric;
@@ -68,6 +74,10 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
+pub use campaign::{
+    sample_plan, shrink_events, CampaignConfig, CampaignRng, FaultDistribution, FaultPlan,
+    PlannedFault,
+};
 pub use carrier::{CarrierHandle, CarrierPool, CarrierSource};
 pub use clock::VirtualClock;
 pub use fabric::{Endpoint, EndpointId, Fabric, RawMessage, RecvError};

@@ -1,0 +1,705 @@
+//! Fault-campaign execution: run sampled [`FaultPlan`]s, judge each case
+//! against its distribution's expectation, and shrink violations to minimal
+//! regression cases.
+//!
+//! This is the execution half of the fault-campaign engine; the planning
+//! half ([`sim_net::campaign`]) samples seeded plans. For every case the
+//! driver:
+//!
+//! 1. samples the plan for `(config, seed)` ([`sim_net::campaign::sample_plan`]),
+//! 2. compiles it into a job — crashes become
+//!    [`sim_mpi::JobBuilder::crash`] schedules (i.e.
+//!    `FailureService::schedule` calls), soft errors become
+//!    [`sim_mpi::JobBuilder::sdc_flip`] PML corruption hooks,
+//! 3. runs the workload and judges the report:
+//!    * single-replica-loss distributions (`exp-mtbf`, `mid-collective`)
+//!      must be **survived** — every non-crashed process finishes with the
+//!      closed-form checksum;
+//!    * `correlated-pair` loss must **abort promptly** with
+//!      `MpiError::RankLost` naming the dead rank;
+//!    * `sdc` flips must be **detected** by the redMPI cross-replica hash
+//!      comparison, exactly once per injected flip.
+//!
+//! Any deviation is a *violation*; [`shrink_violation`] replays the case's
+//! fault list under the deterministic single-worker scheduler and reduces it
+//! to a locally minimal failing subset ([`sim_net::campaign::shrink_events`]),
+//! emitting a ready-to-paste regression-test stanza.
+
+use crate::runner::RunTuning;
+use bytes::Bytes;
+use repl_baselines::{RedMpiFactory, SdcReport};
+use sdr_core::{replicated_job, ReplicationConfig};
+use sim_mpi::{JobBuilder, JobReport, Process, ProcessOutcome, ReduceOp, SdcFlip};
+use sim_net::campaign::{
+    sample_plan, shrink_events, CampaignConfig, FaultDistribution, FaultPlan, PlannedFault,
+};
+use sim_net::{Cluster, CrashSchedule, LogGpModel, Placement};
+use std::sync::Arc;
+
+/// The collective-heavy campaign workload: every iteration mixes a ring
+/// halo exchange (the per-rank send traffic crash schedules count) with an
+/// allreduce, like the mid-collective scenario of `tests/fault_scenarios.rs`.
+/// Returns the accumulated allreduce series as the checksum.
+pub fn collective_app(p: &mut Process, iterations: u64) -> f64 {
+    let world = p.world();
+    let mut acc = 0.0f64;
+    for it in 0..iterations {
+        let peer = (p.rank() + 1) % p.size();
+        let from = (p.rank() + p.size() - 1) % p.size();
+        p.sendrecv_bytes(
+            world,
+            peer,
+            1,
+            Bytes::from(vec![it as u8; 64]),
+            from as i64,
+            1,
+        );
+        acc += p.allreduce_f64(world, ReduceOp::Sum, (p.rank() as u64 + it) as f64);
+    }
+    acc
+}
+
+/// Closed-form checksum of [`collective_app`]: per iteration the allreduce
+/// sums `rank + it` over all ranks, accumulated over iterations.
+pub fn collective_checksum(ranks: usize, iterations: u64) -> f64 {
+    (0..iterations)
+        .map(|it| (0..ranks as u64).map(|r| (r + it) as f64).sum::<f64>())
+        .sum()
+}
+
+/// The SDC campaign workload: a pure ring exchange with kilobyte payloads —
+/// exactly one application send per endpoint per iteration, so a flip's
+/// `nth_send` lands iff it is in `[1, iterations]`, and every payload is
+/// large enough to absorb any sampled bit index.
+pub fn ring_app(p: &mut Process, iterations: u64) -> f64 {
+    let world = p.world();
+    let peer = (p.rank() + 1) % p.size();
+    let from = (p.rank() + p.size() - 1) % p.size();
+    let mut acc = 0.0f64;
+    for it in 0..iterations {
+        let payload = Bytes::from(vec![(it as u8).wrapping_add(p.rank() as u8); 1024]);
+        let (_, data) = p.sendrecv_bytes(world, peer, 1, payload, from as i64, 1);
+        acc += data[0] as f64;
+    }
+    acc
+}
+
+/// The verdict on one campaign case.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// The case seed.
+    pub seed: u64,
+    /// The sampled plan the case ran with.
+    pub plan: FaultPlan,
+    /// Did the job survive (all non-crashed processes finished with the
+    /// expected checksum)? Always false for abort-expected distributions.
+    pub survived: bool,
+    /// Did a survivor report the unrecoverable rank loss (`RankLost`)?
+    pub aborted: bool,
+    /// Crashes that actually fired during the run.
+    pub crashes: usize,
+    /// Survived runs with at least one crash: virtual seconds from the first
+    /// crash to job completion (the recovery latency the campaign
+    /// aggregates).
+    pub recovery_latency_s: Option<f64>,
+    /// Soft-error flips actually injected (a planned flip on a send index
+    /// the endpoint never reached does not fire).
+    pub sdc_injected: u64,
+    /// Flips detected by the redMPI cross-replica comparison.
+    pub sdc_detected: u64,
+    /// Violation of the distribution's expectation, if any.
+    pub violation: Option<String>,
+}
+
+fn apply_faults(mut builder: JobBuilder, faults: &[PlannedFault]) -> JobBuilder {
+    for f in faults {
+        builder = match *f {
+            PlannedFault::Crash { endpoint, schedule } => builder.crash(endpoint, schedule),
+            PlannedFault::BitFlip {
+                endpoint,
+                nth_send,
+                bit,
+            } => builder.sdc_flip(endpoint, SdcFlip { nth_send, bit }),
+        };
+    }
+    builder
+}
+
+fn run_crash_job(
+    config: CampaignConfig,
+    iterations: u64,
+    tuning: RunTuning,
+    faults: &[PlannedFault],
+) -> JobReport<f64> {
+    let builder = replicated_job(config.ranks, ReplicationConfig::with_degree(config.degree))
+        .network(LogGpModel::fast_test_model());
+    apply_faults(tuning.apply(builder), faults).run(move |p| collective_app(p, iterations))
+}
+
+/// Does the crash report describe a fully survived run: every non-crashed
+/// process finished with `expected`?
+fn crash_report_survived(report: &JobReport<f64>, expected: f64) -> Option<String> {
+    for proc in &report.processes {
+        if proc.outcome.is_crashed() {
+            continue;
+        }
+        match &proc.outcome {
+            ProcessOutcome::Finished(v) if *v == expected => {}
+            ProcessOutcome::Finished(v) => {
+                return Some(format!(
+                    "survivor {:?} finished with wrong checksum {v} (expected {expected})",
+                    proc.endpoint
+                ));
+            }
+            other => {
+                return Some(format!(
+                    "survivor {:?} did not finish: {other:?}",
+                    proc.endpoint
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Did a survivor report the unrecoverable rank loss?
+fn rank_loss_reported(report: &JobReport<f64>) -> bool {
+    report.processes.iter().any(|proc| {
+        !proc.outcome.is_crashed()
+            && matches!(&proc.outcome,
+                ProcessOutcome::Panicked(msg) if msg.contains("lost all") && msg.contains("replicas"))
+    })
+}
+
+/// Oracle for the shrinker and the checked-in regression stanzas: does
+/// running [`collective_app`] under `faults` (deterministic single-worker
+/// replay) violate survivability — i.e. some non-crashed process fails to
+/// finish with the closed-form checksum?
+pub fn crash_faults_violate_survival(
+    config: CampaignConfig,
+    iterations: u64,
+    faults: &[PlannedFault],
+) -> bool {
+    let tuning = RunTuning { workers: Some(1) };
+    let report = run_crash_job(config, iterations, tuning, faults);
+    crash_report_survived(&report, collective_checksum(config.ranks, iterations)).is_some()
+}
+
+/// Replay the case's faulted job twice under the deterministic single-worker
+/// scheduler with tracing on, and report whether the two `TraceEvent`
+/// streams (and per-process finish times) are bit-identical. A `false` here
+/// is a determinism violation — exactly what the shrink path minimizes.
+pub fn replay_is_deterministic(config: CampaignConfig, seed: u64, iterations: u64) -> bool {
+    let plan = sample_plan(config, seed);
+    let run = || {
+        let builder = replicated_job(config.ranks, ReplicationConfig::with_degree(config.degree))
+            .network(LogGpModel::fast_test_model())
+            .workers(1)
+            .trace(true);
+        apply_faults(builder, &plan.faults).run(move |p| collective_app(p, iterations))
+    };
+    let a = run();
+    let b = run();
+    a.trace.events() == b.trace.events()
+        && a.processes.len() == b.processes.len()
+        && a.processes
+            .iter()
+            .zip(b.processes.iter())
+            .all(|(pa, pb)| pa.finish_time == pb.finish_time)
+}
+
+fn run_crash_case(
+    config: CampaignConfig,
+    seed: u64,
+    iterations: u64,
+    tuning: RunTuning,
+    expect_abort: bool,
+) -> CaseOutcome {
+    let plan = sample_plan(config, seed);
+    let report = run_crash_job(config, iterations, tuning, &plan.faults);
+    let crashes = report.crashed().len();
+    let not_survived =
+        crash_report_survived(&report, collective_checksum(config.ranks, iterations));
+    let survived = not_survived.is_none();
+    let aborted = rank_loss_reported(&report);
+    let violation = if expect_abort {
+        if aborted {
+            None
+        } else {
+            Some(format!(
+                "correlated loss of both replicas was not reported as RankLost \
+                 (survived={survived}, crashes={crashes})"
+            ))
+        }
+    } else {
+        not_survived
+    };
+    let recovery_latency_s = if survived && crashes > 0 {
+        let first_crash = report
+            .processes
+            .iter()
+            .filter_map(|p| match p.outcome {
+                ProcessOutcome::Crashed { at } => Some(at),
+                _ => None,
+            })
+            .min()
+            .expect("crashes > 0");
+        Some((report.elapsed - first_crash).as_secs_f64())
+    } else {
+        None
+    };
+    CaseOutcome {
+        seed,
+        plan,
+        survived,
+        aborted,
+        crashes,
+        recovery_latency_s,
+        sdc_injected: 0,
+        sdc_detected: 0,
+        violation,
+    }
+}
+
+fn run_sdc_case(
+    config: CampaignConfig,
+    seed: u64,
+    iterations: u64,
+    tuning: RunTuning,
+) -> CaseOutcome {
+    assert!(
+        config.degree == 2,
+        "the redMPI detection baseline is dual-replicated"
+    );
+    let plan = sample_plan(config, seed);
+    let report_handle = SdcReport::new();
+    let builder = JobBuilder::new(config.ranks)
+        .network(LogGpModel::fast_test_model())
+        .protocol(Arc::new(RedMpiFactory::dual(Arc::clone(&report_handle))))
+        .cluster(Cluster::new(config.ranks * 2, 1))
+        .placement(Placement::ReplicaSets {
+            ranks: config.ranks,
+            degree: 2,
+        });
+    let report =
+        apply_faults(tuning.apply(builder), &plan.faults).run(move |p| ring_app(p, iterations));
+    let survived = report.all_finished();
+    let injected = report.stats.sdc_flips_injected();
+    let detected = report_handle.mismatches();
+    let violation = if !survived {
+        Some("SDC run did not finish cleanly".to_string())
+    } else if detected != injected {
+        Some(format!(
+            "SDC detection mismatch: {injected} flips injected, {detected} detected"
+        ))
+    } else {
+        None
+    };
+    CaseOutcome {
+        seed,
+        plan,
+        survived,
+        aborted: false,
+        crashes: 0,
+        recovery_latency_s: None,
+        sdc_injected: injected,
+        sdc_detected: detected,
+        violation,
+    }
+}
+
+/// Run one campaign case: sample the plan for `(config, seed)`, compile it
+/// into a job, run it, and judge the outcome against the distribution's
+/// expectation (see the module docs).
+pub fn run_case(
+    config: CampaignConfig,
+    seed: u64,
+    iterations: u64,
+    tuning: RunTuning,
+) -> CaseOutcome {
+    match config.dist {
+        FaultDistribution::SoftErrors { .. } => run_sdc_case(config, seed, iterations, tuning),
+        FaultDistribution::CorrelatedPairLoss { .. } => {
+            run_crash_case(config, seed, iterations, tuning, true)
+        }
+        FaultDistribution::ExponentialMtbf { .. } | FaultDistribution::MidCollective { .. } => {
+            run_crash_case(config, seed, iterations, tuning, false)
+        }
+    }
+}
+
+/// Run `cases` seeded cases (`base_seed`, `base_seed + 1`, ...) under one
+/// configuration.
+pub fn run_campaign(
+    config: CampaignConfig,
+    base_seed: u64,
+    cases: usize,
+    iterations: u64,
+    tuning: RunTuning,
+) -> Vec<CaseOutcome> {
+    (0..cases as u64)
+        .map(|i| run_case(config, base_seed + i, iterations, tuning))
+        .collect()
+}
+
+/// Order statistics of a latency sample, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub samples: usize,
+    /// Minimum.
+    pub min_s: f64,
+    /// Median (the campaign's central tendency, per the *MPI Benchmarking
+    /// Revisited* guidance: medians over means for skewed distributions).
+    pub median_s: f64,
+    /// 90th percentile.
+    pub p90_s: f64,
+    /// Maximum.
+    pub max_s: f64,
+}
+
+impl LatencyStats {
+    /// Summarize a sample (empty samples give all-zero stats).
+    pub fn from_samples(mut secs: Vec<f64>) -> LatencyStats {
+        if secs.is_empty() {
+            return LatencyStats::default();
+        }
+        secs.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let pick = |q_num: usize, q_den: usize| secs[(secs.len() - 1) * q_num / q_den];
+        LatencyStats {
+            samples: secs.len(),
+            min_s: secs[0],
+            median_s: pick(1, 2),
+            p90_s: pick(9, 10),
+            max_s: *secs.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Aggregates of one configuration's campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignSummary {
+    /// The configuration.
+    pub config: CampaignConfig,
+    /// Cases run.
+    pub cases: usize,
+    /// Cases fully survived.
+    pub survived: usize,
+    /// Cases aborted with a clear `RankLost` report.
+    pub aborted: usize,
+    /// Crashes that actually fired, across all cases.
+    pub crashes_injected: u64,
+    /// Soft-error flips injected across all cases.
+    pub sdc_injected: u64,
+    /// Soft-error flips detected across all cases.
+    pub sdc_detected: u64,
+    /// Recovery-latency distribution over the survived-with-crash cases.
+    pub recovery_latency: LatencyStats,
+    /// `(seed, description)` of every expectation violation.
+    pub violations: Vec<(u64, String)>,
+}
+
+impl CampaignSummary {
+    /// Fraction of cases fully survived.
+    pub fn survival_rate(&self) -> f64 {
+        if self.cases == 0 {
+            return 1.0;
+        }
+        self.survived as f64 / self.cases as f64
+    }
+
+    /// Fraction of cases aborted with a clear `RankLost` report.
+    pub fn abort_rate(&self) -> f64 {
+        if self.cases == 0 {
+            return 0.0;
+        }
+        self.aborted as f64 / self.cases as f64
+    }
+
+    /// Fraction of injected flips detected (1.0 when nothing was injected).
+    pub fn sdc_detection_rate(&self) -> f64 {
+        if self.sdc_injected == 0 {
+            return 1.0;
+        }
+        self.sdc_detected as f64 / self.sdc_injected as f64
+    }
+}
+
+/// Aggregate a configuration's case outcomes.
+pub fn summarize(config: CampaignConfig, outcomes: &[CaseOutcome]) -> CampaignSummary {
+    CampaignSummary {
+        config,
+        cases: outcomes.len(),
+        survived: outcomes.iter().filter(|o| o.survived).count(),
+        aborted: outcomes.iter().filter(|o| o.aborted).count(),
+        crashes_injected: outcomes.iter().map(|o| o.crashes as u64).sum(),
+        sdc_injected: outcomes.iter().map(|o| o.sdc_injected).sum(),
+        sdc_detected: outcomes.iter().map(|o| o.sdc_detected).sum(),
+        recovery_latency: LatencyStats::from_samples(
+            outcomes
+                .iter()
+                .filter_map(|o| o.recovery_latency_s)
+                .collect(),
+        ),
+        violations: outcomes
+            .iter()
+            .filter_map(|o| o.violation.clone().map(|v| (o.seed, v)))
+            .collect(),
+    }
+}
+
+/// Result of shrinking a violating case.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The full sampled plan the violation was found with.
+    pub plan: FaultPlan,
+    /// The locally minimal failing fault subset.
+    pub minimal: Vec<PlannedFault>,
+    /// Oracle replays the search needed.
+    pub probes: usize,
+    /// Ready-to-paste regression test stanza reproducing the violation from
+    /// the minimal plan.
+    pub stanza: String,
+}
+
+fn fault_to_source(f: &PlannedFault) -> String {
+    match *f {
+        PlannedFault::Crash { endpoint, schedule } => {
+            let sched = match schedule {
+                CrashSchedule::Never => "CrashSchedule::Never".to_string(),
+                CrashSchedule::AtTime { at } => format!(
+                    "CrashSchedule::AtTime {{ at: SimTime::from_nanos({}) }}",
+                    at.as_nanos()
+                ),
+                CrashSchedule::BeforeSend { nth } => {
+                    format!("CrashSchedule::BeforeSend {{ nth: {nth} }}")
+                }
+                CrashSchedule::AfterSend { nth } => {
+                    format!("CrashSchedule::AfterSend {{ nth: {nth} }}")
+                }
+            };
+            format!(
+                "PlannedFault::Crash {{ endpoint: EndpointId({}), schedule: {sched} }}",
+                endpoint.0
+            )
+        }
+        PlannedFault::BitFlip {
+            endpoint,
+            nth_send,
+            bit,
+        } => format!(
+            "PlannedFault::BitFlip {{ endpoint: EndpointId({}), nth_send: {nth_send}, bit: {bit} }}",
+            endpoint.0
+        ),
+    }
+}
+
+/// Shrink a survivability violation to a locally minimal fault subset and
+/// emit a regression-test stanza. Returns `None` when the case's full fault
+/// list does not actually violate survivability (nothing to shrink). The
+/// oracle replays candidates under `--workers 1`, so the search is exact.
+pub fn shrink_violation(
+    config: CampaignConfig,
+    seed: u64,
+    iterations: u64,
+) -> Option<ShrinkOutcome> {
+    let plan = sample_plan(config, seed);
+    shrink_fault_list(config, seed, iterations, &plan.faults).map(|(minimal, probes)| {
+        let stanza = regression_stanza(config, seed, iterations, &plan, &minimal, probes);
+        ShrinkOutcome {
+            plan,
+            minimal,
+            probes,
+            stanza,
+        }
+    })
+}
+
+/// Like [`shrink_violation`], but over an explicit fault list instead of a
+/// sampled plan (for violations composed synthetically, e.g. a campaign-found
+/// fatal pair buried in survivable noise). `seed_label` only names the
+/// emitted stanza. Returns `None` when the list does not violate
+/// survivability.
+pub fn shrink_explicit_violation(
+    config: CampaignConfig,
+    seed_label: u64,
+    iterations: u64,
+    faults: &[PlannedFault],
+) -> Option<ShrinkOutcome> {
+    let plan = FaultPlan {
+        config,
+        seed: seed_label,
+        faults: faults.to_vec(),
+    };
+    shrink_fault_list(config, seed_label, iterations, faults).map(|(minimal, probes)| {
+        let stanza = regression_stanza(config, seed_label, iterations, &plan, &minimal, probes);
+        ShrinkOutcome {
+            plan,
+            minimal,
+            probes,
+            stanza,
+        }
+    })
+}
+
+/// Shrink an explicit fault list (used both by [`shrink_violation`] and the
+/// synthetic-violation tests). Returns the minimal failing subset and the
+/// number of oracle probes, or `None` if the full list does not fail.
+pub fn shrink_fault_list(
+    config: CampaignConfig,
+    _seed: u64,
+    iterations: u64,
+    faults: &[PlannedFault],
+) -> Option<(Vec<PlannedFault>, usize)> {
+    let mut probes = 0usize;
+    let oracle =
+        |candidate: &[PlannedFault]| crash_faults_violate_survival(config, iterations, candidate);
+    if !oracle(faults) {
+        return None;
+    }
+    probes += 1;
+    let minimal = shrink_events(faults, |candidate| {
+        probes += 1;
+        oracle(candidate)
+    });
+    Some((minimal, probes))
+}
+
+fn regression_stanza(
+    config: CampaignConfig,
+    seed: u64,
+    iterations: u64,
+    plan: &FaultPlan,
+    minimal: &[PlannedFault],
+    probes: usize,
+) -> String {
+    let mut faults_src = String::new();
+    for f in minimal {
+        faults_src.push_str("        ");
+        faults_src.push_str(&fault_to_source(f));
+        faults_src.push_str(",\n");
+    }
+    format!(
+        r#"#[test]
+fn campaign_{dist}_seed_{seed}_minimal_plan_is_fatal() {{
+    // Auto-generated by workloads::campaign::shrink_violation.
+    // config: ranks={ranks} degree={degree} dist={dist}; seed={seed};
+    // shrunk {full} sampled fault(s) to {min} in {probes} oracle probe(s).
+    use sdr_mpi::sim_net::campaign::{{CampaignConfig, FaultDistribution, PlannedFault}};
+    use sdr_mpi::sim_net::{{CrashSchedule, EndpointId}};
+    use sdr_mpi::workloads::campaign::crash_faults_violate_survival;
+    let config = CampaignConfig {{
+        ranks: {ranks},
+        degree: {degree},
+        dist: FaultDistribution::MidCollective {{ max_phase: 1 }}, // shape only
+    }};
+    let faults = [
+{faults_src}    ];
+    assert!(
+        crash_faults_violate_survival(config, {iterations}, &faults),
+        "the shrunk plan must still violate survivability"
+    );
+    for drop in 0..faults.len() {{
+        let without: Vec<_> = faults
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != drop)
+            .map(|(_, f)| *f)
+            .collect();
+        assert!(
+            !crash_faults_violate_survival(config, {iterations}, &without),
+            "dropping fault {{drop}} should make the job survivable (minimality)"
+        );
+    }}
+}}
+"#,
+        dist = config.dist.name().replace('-', "_"),
+        ranks = config.ranks,
+        degree = config.degree,
+        full = plan.faults.len(),
+        min = minimal.len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn survive_cfg() -> CampaignConfig {
+        CampaignConfig {
+            ranks: 4,
+            degree: 2,
+            dist: FaultDistribution::MidCollective { max_phase: 8 },
+        }
+    }
+
+    #[test]
+    fn mid_collective_cases_are_survived() {
+        let outcomes = run_campaign(survive_cfg(), 100, 5, 6, RunTuning::default());
+        let summary = summarize(survive_cfg(), &outcomes);
+        assert_eq!(summary.cases, 5);
+        assert!(
+            summary.violations.is_empty(),
+            "violations: {:?}",
+            summary.violations
+        );
+        assert_eq!(summary.survival_rate(), 1.0);
+        assert!(summary.crashes_injected >= 1, "some crash must have fired");
+        assert!(summary.recovery_latency.samples >= 1);
+        assert!(summary.recovery_latency.min_s >= 0.0);
+    }
+
+    #[test]
+    fn correlated_pair_cases_abort_with_rank_lost() {
+        let cfg = CampaignConfig {
+            ranks: 2,
+            degree: 2,
+            dist: FaultDistribution::CorrelatedPairLoss {
+                mean_sends: 3,
+                horizon_sends: 3,
+            },
+        };
+        let outcomes = run_campaign(cfg, 7, 4, 6, RunTuning::default());
+        let summary = summarize(cfg, &outcomes);
+        assert!(
+            summary.violations.is_empty(),
+            "violations: {:?}",
+            summary.violations
+        );
+        assert_eq!(summary.abort_rate(), 1.0);
+        assert_eq!(summary.survival_rate(), 0.0);
+    }
+
+    #[test]
+    fn sdc_cases_detect_every_injected_flip() {
+        let cfg = CampaignConfig {
+            ranks: 4,
+            degree: 2,
+            dist: FaultDistribution::SoftErrors {
+                flips: 2,
+                max_send: 6,
+                payload_bits: 8192,
+            },
+        };
+        let outcomes = run_campaign(cfg, 11, 4, 6, RunTuning::default());
+        let summary = summarize(cfg, &outcomes);
+        assert!(
+            summary.violations.is_empty(),
+            "violations: {:?}",
+            summary.violations
+        );
+        assert_eq!(summary.sdc_injected, 8, "2 flips per case, all landing");
+        assert_eq!(summary.sdc_detected, 8);
+        assert_eq!(summary.sdc_detection_rate(), 1.0);
+    }
+
+    #[test]
+    fn latency_stats_order_statistics() {
+        let s = LatencyStats::from_samples(vec![3.0, 1.0, 2.0, 10.0]);
+        assert_eq!(s.samples, 4);
+        assert_eq!(s.min_s, 1.0);
+        assert_eq!(s.median_s, 2.0);
+        assert_eq!(s.max_s, 10.0);
+        assert_eq!(LatencyStats::from_samples(vec![]), LatencyStats::default());
+    }
+}

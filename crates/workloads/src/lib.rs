@@ -23,11 +23,16 @@
 //! comparison used by the Table 1/2 harnesses.
 
 pub mod apps;
+pub mod campaign;
 pub mod determinism;
 pub mod nas;
 pub mod netpipe;
 pub mod runner;
 
+pub use campaign::{
+    run_campaign, run_case, shrink_violation, CampaignSummary, CaseOutcome, LatencyStats,
+    ShrinkOutcome,
+};
 pub use determinism::{check_send_determinism, DeterminismReport, JitterModel};
 pub use netpipe::{netpipe_sweep, NetpipePoint};
 pub use runner::{compare_protocols, ComparisonRow, WorkloadSpec};

@@ -143,6 +143,16 @@ pub struct RunTuning {
     pub workers: Option<usize>,
 }
 
+impl RunTuning {
+    /// Apply the tuning to a builder (`None` fields leave the defaults).
+    pub fn apply(self, builder: JobBuilder) -> JobBuilder {
+        match self.workers {
+            Some(w) => builder.workers(w),
+            None => builder,
+        }
+    }
+}
+
 /// Run `spec` natively and replicated (degree from `cfg`) and build the row.
 pub fn compare_protocols(spec: &WorkloadSpec, cfg: ReplicationConfig) -> ComparisonRow {
     compare_protocols_tuned(spec, cfg, RunTuning::default())
@@ -159,12 +169,9 @@ pub fn compare_protocols_tuned(
 ) -> ComparisonRow {
     let app_native = Arc::clone(&spec.app);
     let app_repl = Arc::clone(&spec.app);
-    let mut native_builder = native_job(spec.ranks).network(LogGpModel::infiniband_20g());
-    let mut repl_builder = replicated_job(spec.ranks, cfg).network(LogGpModel::infiniband_20g());
-    if let Some(w) = tuning.workers {
-        native_builder = native_builder.workers(w);
-        repl_builder = repl_builder.workers(w);
-    }
+    let native_builder = tuning.apply(native_job(spec.ranks).network(LogGpModel::infiniband_20g()));
+    let repl_builder =
+        tuning.apply(replicated_job(spec.ranks, cfg).network(LogGpModel::infiniband_20g()));
     let started = std::time::Instant::now();
     let native = native_builder.run(move |p| (app_native)(p));
     let native_host_secs = started.elapsed().as_secs_f64();

@@ -1,0 +1,76 @@
+//! Shared fixtures for the integration tests: the fast network model, the
+//! Figure 3 communication pattern, the survivor assertions of the fault
+//! scenarios, and the PML/protocol pump of the scripted recovery tests.
+#![allow(dead_code)]
+
+use sim_mpi::pml::Pml;
+use sim_mpi::{JobReport, Process, Protocol, Rank};
+use sim_net::{EndpointId, LogGpModel};
+
+/// The fast test network (low latency/gap so runs finish quickly).
+pub fn fast() -> LogGpModel {
+    LogGpModel::fast_test_model()
+}
+
+/// Figure 3's communication pattern: rank 1 sends to rank 0, then rank 0
+/// sends to rank 1, repeated. Returns `(messages received, payload sum)`.
+pub fn figure3_pattern(p: &mut Process, rounds: u64) -> (u64, u64) {
+    let world = p.world();
+    let mut received = 0u64;
+    let mut sum = 0u64;
+    for round in 0..rounds {
+        if p.rank() == 1 {
+            p.send_u64s(world, 0, 1, &[round * 2]);
+            let (_, v) = p.recv_u64s(world, 0, 2);
+            sum += v[0];
+            received += 1;
+        } else {
+            let (_, v) = p.recv_u64s(world, 1, 1);
+            sum += v[0];
+            received += 1;
+            p.send_u64s(world, 1, 2, &[round * 2 + 1]);
+        }
+    }
+    (received, sum)
+}
+
+/// The per-rank expected `(received, sum)` of [`figure3_pattern`]:
+/// `figure3_expected(rounds).0` for rank 0, `.1` for rank 1.
+pub fn figure3_expected(rounds: u64) -> ((u64, u64), (u64, u64)) {
+    let rank0_sum: u64 = (0..rounds).map(|r| r * 2).sum();
+    let rank1_sum: u64 = (0..rounds).map(|r| r * 2 + 1).sum();
+    ((rounds, rank0_sum), (rounds, rank1_sum))
+}
+
+/// Assert every process that did not crash finished normally; returns the
+/// survivors' `(app_rank, endpoint, result)` triples.
+pub fn survivor_results<R: Clone + std::fmt::Debug>(
+    report: &JobReport<R>,
+) -> Vec<(Rank, EndpointId, R)> {
+    let crashed = report.crashed();
+    report
+        .processes
+        .iter()
+        .filter(|p| !crashed.contains(&p.endpoint))
+        .map(|p| {
+            let r = p.outcome.result().cloned().unwrap_or_else(|| {
+                panic!("survivor {:?} did not finish: {:?}", p.endpoint, p.outcome)
+            });
+            (p.app_rank, p.endpoint, r)
+        })
+        .collect()
+}
+
+/// Drive one PML/protocol pair until it reports no further events — the
+/// single-threaded progress loop of the scripted protocol tests.
+pub fn pump<P: Protocol>(pml: &mut Pml, proto: &mut P) {
+    loop {
+        let events = pml.progress();
+        if events.is_empty() {
+            return;
+        }
+        for ev in events {
+            proto.handle_event(pml, ev);
+        }
+    }
+}

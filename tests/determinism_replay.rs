@@ -34,6 +34,55 @@ fn traced_replay_run() -> (Vec<TraceEvent>, Vec<u64>) {
     (report.trace.events(), finish_times)
 }
 
+/// One traced, replicated single-permit run of the campaign's
+/// collective-heavy workload with a seeded fault plan compiled in.
+fn traced_faulted_run(seed: u64) -> (Vec<TraceEvent>, Vec<u64>) {
+    use sdr_mpi::sim_net::campaign::{sample_plan, CampaignConfig, FaultDistribution};
+    let ranks = 4;
+    let iterations = 6u64;
+    let config = CampaignConfig {
+        ranks,
+        degree: 2,
+        dist: FaultDistribution::MidCollective { max_phase: 6 },
+    };
+    let plan = sample_plan(config, seed);
+    let mut builder = replicated_job(ranks, ReplicationConfig::dual())
+        .network(LogGpModel::fast_test_model())
+        .workers(1)
+        .trace(true);
+    for (endpoint, schedule) in plan.crashes() {
+        builder = builder.crash(endpoint, schedule);
+    }
+    let report = builder.run(move |p| sdr_mpi::workloads::campaign::collective_app(p, iterations));
+    assert!(report.peak_concurrency <= 1);
+    let finish_times = report
+        .processes
+        .iter()
+        .map(|p| p.finish_time.as_nanos())
+        .collect();
+    (report.trace.events(), finish_times)
+}
+
+#[test]
+fn faulted_campaign_case_replays_identical_trace_streams() {
+    // The shrink-to-seed oracle rests on this: a campaign case — fault
+    // injection included — replayed under `workers(1)` must reproduce the
+    // exact `TraceEvent` stream, crash timing and all. Without it, binary
+    // search over injected events could chase schedules that never recur.
+    let seed = 41;
+    let (events_a, times_a) = traced_faulted_run(seed);
+    let (events_b, times_b) = traced_faulted_run(seed);
+    assert!(
+        !events_a.is_empty(),
+        "the traced faulted run must record events"
+    );
+    assert_eq!(
+        events_a, events_b,
+        "single-worker replay of an injected-fault run diverged"
+    );
+    assert_eq!(times_a, times_b, "per-process finish times must replay");
+}
+
 #[test]
 fn two_single_worker_runs_replay_identical_trace_streams() {
     let (events_a, times_a) = traced_replay_run();

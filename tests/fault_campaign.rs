@@ -1,0 +1,238 @@
+//! The Monte Carlo fault campaign end to end: purity of the seeded plan
+//! sampling (property-tested), the per-distribution expectations over real
+//! runs, and the shrink-to-seed path that reduces a violating case to a
+//! minimal fault plan with a ready-to-paste regression stanza.
+
+use proptest::prelude::*;
+use sim_net::campaign::{sample_plan, CampaignConfig, FaultDistribution, FaultPlan, PlannedFault};
+use sim_net::{CrashSchedule, EndpointId};
+use workloads::campaign::{
+    crash_faults_violate_survival, run_campaign, shrink_fault_list, shrink_violation, summarize,
+};
+use workloads::runner::RunTuning;
+
+fn soft_cfg(ranks: usize, flips: usize) -> CampaignConfig {
+    CampaignConfig {
+        ranks,
+        degree: 2,
+        dist: FaultDistribution::SoftErrors {
+            flips,
+            max_send: 8,
+            payload_bits: 4096,
+        },
+    }
+}
+
+proptest! {
+    /// Plan sampling is a pure function of `(config, seed)`: resampling gives
+    /// a byte-identical encoding, and a different seed gives a different one.
+    #[test]
+    fn plan_sampling_is_pure_in_config_and_seed(
+        seed in any::<u64>(),
+        ranks in 2usize..6,
+        flips in 1usize..4,
+    ) {
+        let config = soft_cfg(ranks, flips);
+        let a = sample_plan(config, seed);
+        let b = sample_plan(config, seed);
+        prop_assert_eq!(a.encode(), b.encode(), "same (config, seed) must replay byte-identically");
+        let c = sample_plan(config, seed.wrapping_add(1));
+        prop_assert_ne!(a.encode(), c.encode(), "the seed is part of the plan identity");
+    }
+
+    /// Every sampled plan is well-formed for its configuration: fault
+    /// endpoints exist, crash schedules and flip indices are in range.
+    #[test]
+    fn sampled_plans_are_well_formed(seed in any::<u64>(), dist_pick in 0usize..4) {
+        let ranks = 4;
+        let dist = [
+            FaultDistribution::ExponentialMtbf { mean_sends: 8, horizon_sends: 6, max_crashes: 2 },
+            FaultDistribution::MidCollective { max_phase: 8 },
+            FaultDistribution::CorrelatedPairLoss { mean_sends: 3, horizon_sends: 6 },
+            FaultDistribution::SoftErrors { flips: 2, max_send: 6, payload_bits: 8192 },
+        ][dist_pick];
+        let config = CampaignConfig { ranks, degree: 2, dist };
+        let plan = sample_plan(config, seed);
+        for fault in &plan.faults {
+            match *fault {
+                PlannedFault::Crash { endpoint, schedule } => {
+                    prop_assert!(endpoint.0 < config.endpoints());
+                    match schedule {
+                        CrashSchedule::AfterSend { nth } | CrashSchedule::BeforeSend { nth } => {
+                            prop_assert!(nth >= 1);
+                        }
+                        _ => {}
+                    }
+                }
+                PlannedFault::BitFlip { endpoint, nth_send, bit } => {
+                    prop_assert!(endpoint.0 < config.endpoints());
+                    prop_assert!((1..=6).contains(&nth_send));
+                    prop_assert!(bit < 8192);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exponential_mtbf_campaign_is_fully_survived() {
+    // Single-replica losses drawn from the exponential MTBF model: the
+    // substitution protocol must carry every sampled case.
+    let config = CampaignConfig {
+        ranks: 4,
+        degree: 2,
+        dist: FaultDistribution::ExponentialMtbf {
+            mean_sends: 8,
+            horizon_sends: 6,
+            max_crashes: 2,
+        },
+    };
+    let outcomes = run_campaign(config, 1, 10, 6, RunTuning::default());
+    let summary = summarize(config, &outcomes);
+    assert!(
+        summary.violations.is_empty(),
+        "violations: {:?}",
+        summary.violations
+    );
+    assert_eq!(summary.survival_rate(), 1.0);
+    assert!(
+        summary.crashes_injected >= 1,
+        "the seed range must include at least one case whose crash fires"
+    );
+}
+
+#[test]
+fn correlated_pair_campaign_always_aborts_with_rank_lost() {
+    let config = CampaignConfig {
+        ranks: 2,
+        degree: 2,
+        dist: FaultDistribution::CorrelatedPairLoss {
+            mean_sends: 3,
+            horizon_sends: 4,
+        },
+    };
+    let outcomes = run_campaign(config, 20, 6, 6, RunTuning::default());
+    let summary = summarize(config, &outcomes);
+    assert!(
+        summary.violations.is_empty(),
+        "violations: {:?}",
+        summary.violations
+    );
+    assert_eq!(summary.abort_rate(), 1.0);
+    assert_eq!(summary.survival_rate(), 0.0);
+}
+
+#[test]
+fn sdc_campaign_detects_every_injected_flip() {
+    let config = soft_cfg(4, 2);
+    let outcomes = run_campaign(config, 31, 6, 8, RunTuning::default());
+    let summary = summarize(config, &outcomes);
+    assert!(
+        summary.violations.is_empty(),
+        "violations: {:?}",
+        summary.violations
+    );
+    assert_eq!(summary.sdc_injected, 12, "2 flips per case, all landing");
+    assert_eq!(summary.sdc_detection_rate(), 1.0);
+}
+
+#[test]
+fn shrink_reduces_a_violating_plan_to_the_fatal_pair() {
+    // Synthetic violation: a correlated pair loss of rank 1 (endpoints 1 and
+    // 3 at 2 ranks × dual) buried between survivable single-replica noise
+    // crashes. The shrinker must strip the noise and return exactly the two
+    // crashes that together kill the rank — and dropping either one must make
+    // the job survivable again (local minimality).
+    let config = CampaignConfig {
+        ranks: 2,
+        degree: 2,
+        dist: FaultDistribution::MidCollective { max_phase: 1 }, // shape only
+    };
+    let crash = |ep: usize, nth: u64| PlannedFault::Crash {
+        endpoint: EndpointId(ep),
+        schedule: CrashSchedule::AfterSend { nth },
+    };
+    let faults = vec![
+        crash(2, 2), // noise: replica 1 of rank 0, survivable
+        crash(1, 1), // fatal pair, part 1: replica 0 of rank 1
+        crash(3, 1), // fatal pair, part 2: replica 1 of rank 1
+    ];
+    let (minimal, probes) =
+        shrink_fault_list(config, 0, 6, &faults).expect("the full plan must violate survivability");
+    assert_eq!(minimal, vec![crash(1, 1), crash(3, 1)]);
+    assert!(probes >= 2, "shrinking must actually probe the oracle");
+    assert!(
+        !crash_faults_violate_survival(config, 6, &minimal[..1]),
+        "dropping the second pair crash must make the job survivable"
+    );
+    assert!(
+        !crash_faults_violate_survival(config, 6, &minimal[1..]),
+        "dropping the first pair crash must make the job survivable"
+    );
+}
+
+#[test]
+fn shrink_violation_emits_a_regression_stanza_for_a_seeded_case() {
+    // End-to-end shrink-to-seed: a seeded correlated-pair case violates
+    // survivability; `shrink_violation` replays it under the deterministic
+    // single-worker scheduler, minimizes the plan, and emits a regression
+    // stanza that names the seed and embeds the minimal fault list as
+    // compilable Rust.
+    let config = CampaignConfig {
+        ranks: 2,
+        degree: 2,
+        dist: FaultDistribution::CorrelatedPairLoss {
+            mean_sends: 2,
+            horizon_sends: 4,
+        },
+    };
+    let seed = 3;
+    let shrunk = shrink_violation(config, seed, 6)
+        .expect("a correlated pair loss always violates survivability");
+    assert_eq!(
+        shrunk.minimal.len(),
+        2,
+        "the minimal plan is exactly the two pair crashes: {:?}",
+        shrunk.minimal
+    );
+    assert!(shrunk.probes >= 1);
+    assert!(shrunk.stanza.contains("#[test]"));
+    assert!(shrunk.stanza.contains(&format!("seed_{seed}")));
+    assert!(shrunk.stanza.contains("crash_faults_violate_survival"));
+    assert!(shrunk.stanza.contains("PlannedFault::Crash"));
+    // Sanity: the minimal plan is a subsequence of the sampled plan.
+    let full: Vec<PlannedFault> = shrunk.plan.faults.clone();
+    let mut cursor = full.iter();
+    for f in &shrunk.minimal {
+        assert!(
+            cursor.any(|g| g == f),
+            "minimal fault {f:?} not in sampled order in {full:?}"
+        );
+    }
+}
+
+#[test]
+fn violating_cases_are_recorded_with_their_seed_for_replay() {
+    // The `(config, seed)` pair in every outcome is the replay handle: a
+    // violation report must let a developer re-run the exact case.
+    let config = CampaignConfig {
+        ranks: 2,
+        degree: 2,
+        dist: FaultDistribution::CorrelatedPairLoss {
+            mean_sends: 3,
+            horizon_sends: 4,
+        },
+    };
+    let outcomes = run_campaign(config, 50, 3, 6, RunTuning::default());
+    for (i, outcome) in outcomes.iter().enumerate() {
+        assert_eq!(outcome.seed, 50 + i as u64);
+        assert_eq!(outcome.plan.config, config);
+        assert_eq!(outcome.plan.seed, outcome.seed);
+        let replayed: FaultPlan = sample_plan(config, outcome.seed);
+        assert_eq!(
+            replayed.encode(),
+            outcome.plan.encode(),
+            "the recorded (config, seed) must resample the identical plan"
+        );
+    }
+}

@@ -3,61 +3,33 @@
 //! The protocol substitutes p⁰₁ for the failed replica and every surviving
 //! process finishes with the correct data.
 
+mod common;
+
+use common::{fast, figure3_expected, figure3_pattern, survivor_results};
 use sdr_core::{replicated_job, AckOn, ReplicationConfig};
 use sim_mpi::{Process, ProcessOutcome, ReduceOp};
-use sim_net::{CrashSchedule, EndpointId, LogGpModel};
+use sim_net::campaign::{sample_plan, CampaignConfig, FaultDistribution};
+use sim_net::{CrashSchedule, EndpointId};
 use std::time::Duration;
-
-/// Figure 3's communication pattern: rank 1 sends to rank 0, then rank 0
-/// sends to rank 1, repeated.
-fn figure3_pattern(p: &mut Process, rounds: u64) -> (u64, u64) {
-    let world = p.world();
-    let mut received = 0u64;
-    let mut sum = 0u64;
-    for round in 0..rounds {
-        if p.rank() == 1 {
-            p.send_u64s(world, 0, 1, &[round * 2]);
-            let (_, v) = p.recv_u64s(world, 0, 2);
-            sum += v[0];
-            received += 1;
-        } else {
-            let (_, v) = p.recv_u64s(world, 1, 1);
-            sum += v[0];
-            received += 1;
-            p.send_u64s(world, 1, 2, &[round * 2 + 1]);
-        }
-    }
-    (received, sum)
-}
 
 #[test]
 fn figure3_crash_of_p11_after_first_send() {
     // Physical layout: 0 = p⁰₀, 1 = p⁰₁, 2 = p¹₀, 3 = p¹₁.
     let rounds = 5;
     let report = replicated_job(2, ReplicationConfig::dual())
-        .network(LogGpModel::fast_test_model())
+        .network(fast())
         .crash(EndpointId(3), CrashSchedule::AfterSend { nth: 1 })
         .run(move |p| figure3_pattern(p, rounds));
     assert_eq!(report.crashed(), vec![EndpointId(3)]);
 
-    let expect_rank0: u64 = (0..rounds).map(|r| r * 2).sum();
-    let expect_rank1: u64 = (0..rounds).map(|r| r * 2 + 1).sum();
-    for proc in &report.processes {
-        if proc.endpoint == EndpointId(3) {
-            continue;
-        }
-        let (received, sum) = proc.outcome.result().copied().unwrap_or_else(|| {
-            panic!(
-                "process {:?} did not finish: {:?}",
-                proc.endpoint, proc.outcome
-            )
-        });
-        assert_eq!(received, rounds);
-        if proc.app_rank == 0 {
-            assert_eq!(sum, expect_rank0, "rank 0 data after substitution");
+    let (expect_rank0, expect_rank1) = figure3_expected(rounds);
+    for (app_rank, _, result) in survivor_results(&report) {
+        let expect = if app_rank == 0 {
+            expect_rank0
         } else {
-            assert_eq!(sum, expect_rank1, "rank 1 data after substitution");
-        }
+            expect_rank1
+        };
+        assert_eq!(result, expect, "rank {app_rank} data after substitution");
     }
     // The crash forced at least one re-send (substitution path taken) or the
     // ack cancellation path; either way acks flowed before the crash.
@@ -68,21 +40,11 @@ fn figure3_crash_of_p11_after_first_send() {
 fn figure3_crash_before_any_send_still_completes() {
     let rounds = 4;
     let report = replicated_job(2, ReplicationConfig::dual())
-        .network(LogGpModel::fast_test_model())
+        .network(fast())
         .crash(EndpointId(3), CrashSchedule::BeforeSend { nth: 1 })
         .run(move |p| figure3_pattern(p, rounds));
     assert_eq!(report.crashed(), vec![EndpointId(3)]);
-    for proc in &report.processes {
-        if proc.endpoint == EndpointId(3) {
-            continue;
-        }
-        assert!(
-            proc.outcome.is_finished(),
-            "process {:?} should survive: {:?}",
-            proc.endpoint,
-            proc.outcome
-        );
-    }
+    assert_eq!(survivor_results(&report).len(), 3);
 }
 
 #[test]
@@ -94,7 +56,7 @@ fn crash_of_both_replicas_of_one_rank_is_a_clear_job_failure() {
     let started = std::time::Instant::now();
     let rounds = 6;
     let report = replicated_job(2, ReplicationConfig::dual())
-        .network(LogGpModel::fast_test_model())
+        .network(fast())
         // Endpoints 1 and 3 are replicas 0 and 1 of rank 1.
         .crash(EndpointId(1), CrashSchedule::AfterSend { nth: 1 })
         .crash(EndpointId(3), CrashSchedule::AfterSend { nth: 1 })
@@ -164,7 +126,7 @@ fn ack_on_app_wait_deadlocks_the_exchange_and_quiescence_reports_it() {
     };
     let started = std::time::Instant::now();
     let report = replicated_job(ranks, ReplicationConfig::dual().ack_on(AckOn::AppWait))
-        .network(LogGpModel::fast_test_model())
+        .network(fast())
         .recv_timeout(Duration::from_secs(600))
         .run(exchange);
     assert!(
@@ -197,7 +159,7 @@ fn ack_on_app_wait_deadlocks_the_exchange_and_quiescence_reports_it() {
     }
     // Identical exchange under the paper's irecvComplete acking: completes.
     let report_ok = replicated_job(ranks, ReplicationConfig::dual())
-        .network(LogGpModel::fast_test_model())
+        .network(fast())
         .run(exchange);
     assert!(report_ok.all_finished());
 }
@@ -238,7 +200,7 @@ fn replica_crash_during_collective_is_survived() {
     // sendrecv/allreduce sequence, so the crash lands between the collective's
     // internal point-to-point rounds.
     let report = replicated_job(ranks, ReplicationConfig::dual())
-        .network(LogGpModel::fast_test_model())
+        .network(fast())
         .crash(EndpointId(6), CrashSchedule::AfterSend { nth: 3 })
         .run(app);
     assert_eq!(report.crashed(), vec![EndpointId(6)]);
@@ -278,7 +240,7 @@ fn double_crash_in_different_ranks_is_survived() {
     // replicas substitute for both.
     let rounds = 4;
     let report = replicated_job(2, ReplicationConfig::dual())
-        .network(LogGpModel::fast_test_model())
+        .network(fast())
         .crash(EndpointId(3), CrashSchedule::AfterSend { nth: 1 })
         .crash(EndpointId(0), CrashSchedule::AfterSend { nth: 2 })
         .run(move |p| figure3_pattern(p, rounds));
@@ -286,16 +248,102 @@ fn double_crash_in_different_ranks_is_survived() {
     crashed.sort();
     assert_eq!(crashed, vec![EndpointId(0), EndpointId(3)]);
     // The two survivors (endpoints 1 and 2) finish with full data.
-    for proc in &report.processes {
-        if crashed.contains(&proc.endpoint) {
-            continue;
-        }
-        let (received, _) = proc.outcome.result().copied().unwrap_or_else(|| {
-            panic!(
-                "survivor {:?} did not finish: {:?}",
-                proc.endpoint, proc.outcome
-            )
-        });
+    for (_, _, (received, _)) in survivor_results(&report) {
         assert_eq!(received, rounds);
     }
+}
+
+#[test]
+fn sampled_mid_collective_crashes_are_survived_at_any_phase() {
+    // Campaign scenario: the `mid-collective` distribution samples a crash at
+    // a *randomized* phase of the sendrecv/allreduce sequence (a random
+    // endpoint, a random 1..=8th application send). Whatever phase the seed
+    // lands on, the survivors must finish with the closed-form checksum —
+    // compiled into the job exactly the way the campaign driver does it, one
+    // `FailureService::schedule` call per planned crash.
+    let ranks = 4;
+    let iterations = 6u64;
+    let config = CampaignConfig {
+        ranks,
+        degree: 2,
+        dist: FaultDistribution::MidCollective { max_phase: 8 },
+    };
+    let expect = workloads::campaign::collective_checksum(ranks, iterations);
+    let mut fired = 0usize;
+    for seed in 40..46 {
+        let plan = sample_plan(config, seed);
+        let mut builder = replicated_job(ranks, ReplicationConfig::dual()).network(fast());
+        for (endpoint, schedule) in plan.crashes() {
+            builder = builder.crash(endpoint, schedule);
+        }
+        let report = builder.run(move |p| workloads::campaign::collective_app(p, iterations));
+        fired += report.crashed().len();
+        for (app_rank, endpoint, acc) in survivor_results(&report) {
+            assert_eq!(
+                acc, expect,
+                "seed {seed}: survivor rank {app_rank} ({endpoint:?}) computed a wrong series"
+            );
+        }
+    }
+    assert!(
+        fired >= 1,
+        "across the sampled seeds at least one crash phase must land in-run"
+    );
+}
+
+#[test]
+fn sampled_correlated_pair_loss_surfaces_rank_lost_promptly() {
+    // Campaign scenario: the `correlated-pair` distribution models a node
+    // loss taking out *both* replicas of one rank — unrecoverable by
+    // construction. Whatever rank the seed picks, some survivor must raise
+    // `MpiError::RankLost` naming it, promptly (failure path, not a burnt
+    // receive timeout).
+    let ranks = 2;
+    let config = CampaignConfig {
+        ranks,
+        degree: 2,
+        dist: FaultDistribution::CorrelatedPairLoss {
+            mean_sends: 2,
+            horizon_sends: 4,
+        },
+    };
+    let plan = sample_plan(config, 3);
+    let crashes: Vec<_> = plan.crashes().collect();
+    assert_eq!(crashes.len(), 2, "both replicas of one rank are scheduled");
+    let lost_rank = crashes[0].0 .0 % ranks;
+    assert_eq!(crashes[1].0 .0 % ranks, lost_rank, "same rank, twice");
+
+    let started = std::time::Instant::now();
+    let mut builder = replicated_job(ranks, ReplicationConfig::dual())
+        .network(fast())
+        .recv_timeout(Duration::from_secs(300));
+    for (endpoint, schedule) in plan.crashes() {
+        builder = builder.crash(endpoint, schedule);
+    }
+    let report = builder.run(move |p| figure3_pattern(p, 8));
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "correlated pair loss took {:?} to surface",
+        started.elapsed()
+    );
+    assert_eq!(report.crashed().len(), 2);
+    let needle = format!("rank {lost_rank}");
+    let clear_errors = report
+        .processes
+        .iter()
+        .filter(|p| !p.outcome.is_crashed())
+        .filter(|p| {
+            matches!(&p.outcome,
+                ProcessOutcome::Panicked(msg) if msg.contains(&needle) && msg.contains("replicas"))
+        })
+        .count();
+    assert!(
+        clear_errors >= 1,
+        "no survivor reported the lost rank {lost_rank}: {:?}",
+        report
+            .processes
+            .iter()
+            .map(|p| (p.endpoint, format!("{:?}", p.outcome)))
+            .collect::<Vec<_>>()
+    );
 }

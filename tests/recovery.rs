@@ -16,23 +16,14 @@
 //!    acknowledged by the substitute (seq 1) to the new replica, and
 //!    acknowledgements toward p¹₁ resume for messages received afterwards.
 
+mod common;
+
 use bytes::Bytes;
+use common::{fast, pump};
 use sdr_core::{RecoveryCoordinator, ReplicaLayout, ReplicationConfig, SdrProtocol};
 use sim_mpi::pml::Pml;
 use sim_mpi::{CommId, Protocol, TagSel};
-use sim_net::{Cluster, EndpointId, Fabric, LogGpModel, Placement, SimTime};
-
-fn pump(pml: &mut Pml, proto: &mut SdrProtocol) {
-    loop {
-        let events = pml.progress();
-        if events.is_empty() {
-            return;
-        }
-        for ev in events {
-            proto.handle_event(pml, ev);
-        }
-    }
-}
+use sim_net::{Cluster, EndpointId, Fabric, Placement, SimTime};
 
 #[test]
 fn figure4_recovery_of_p11() {
@@ -41,7 +32,7 @@ fn figure4_recovery_of_p11() {
     let layout = ReplicaLayout::new(ranks, cfg.degree);
     let fabric = Fabric::new(
         4,
-        LogGpModel::fast_test_model(),
+        fast(),
         Cluster::new(4, 1),
         Placement::ReplicaSets { ranks, degree: 2 },
     );

@@ -1,15 +1,14 @@
 //! Cross-crate integration tests: the full stack (sim-net fabric, sim-mpi
 //! runtime, SDR-MPI protocol, workloads) exercised end to end.
 
+mod common;
+
+use common::fast;
 use sdr_core::{native_job, replicated_job, ReplicationConfig};
 use sim_mpi::{Process, ReduceOp, ANY_SOURCE};
 use sim_net::{CrashSchedule, EndpointId, LogGpModel, SimTime};
 use workloads::apps::{run_hpccg, AppConfig};
 use workloads::nas::{run_kernel, NasConfig, NasKernel};
-
-fn fast() -> LogGpModel {
-    LogGpModel::fast_test_model()
-}
 
 #[test]
 fn all_nas_kernels_match_native_under_replication() {
