@@ -3,12 +3,16 @@
 //! departing carrier CASes the peer runnable and signals its seat) against
 //! the cold path (two permits, so every wake of a parked peer acquires an
 //! idle permit through the permit counter, the moral equivalent of the old
-//! global-run-queue condvar handshake). Each iteration runs a full ping-pong
-//! of `ROUNDS` round trips on a fresh scheduler, so the reported time is
-//! `2·ROUNDS` dispatches plus two thread spawns.
+//! global-run-queue condvar handshake), and — the PR 7 comparison — the same
+//! single-permit handoff executed as a coroutine stack switch instead of a
+//! futex wake: both processes live on user-space stacks hosted by one worker
+//! thread, so a round trip is two register-save/restore switches with no
+//! kernel transition. Each iteration runs a full ping-pong of `ROUNDS` round
+//! trips on a fresh scheduler, so the reported time is `2·ROUNDS` dispatches
+//! plus the spawn/teardown of the two carriers.
 use criterion::{criterion_group, criterion_main, Criterion};
 use sim_net::sched::{Park, Scheduler};
-use sim_net::{EndpointId, SimTime};
+use sim_net::{CoroRuntime, EndpointId, NetStats, SimTime};
 use std::sync::Arc;
 
 const ROUNDS: usize = 2_000;
@@ -44,6 +48,43 @@ fn pingpong(workers: usize) -> (u64, u64) {
     (s.peak_running() as u64, s.workers() as u64)
 }
 
+/// The same lock-step ping-pong with both processes on coroutine stacks: one
+/// worker OS thread hosts the pair, and every dispatch after start-up is a
+/// deferred direct handoff consumed as a user-space stack switch.
+fn pingpong_coro() -> u64 {
+    let s = Arc::new(Scheduler::new(2));
+    s.set_workers(1);
+    let rt = CoroRuntime::new(2, 128 * 1024, Arc::new(NetStats::new()));
+    let s2 = Arc::clone(&s);
+    let h0 = rt.spawn(0, move || {
+        s2.start(EndpointId(0));
+        for _ in 0..ROUNDS {
+            s2.wake(EndpointId(1));
+            assert_eq!(s2.park(EndpointId(0), SimTime::ZERO), Park::Woken);
+        }
+        s2.finish(EndpointId(0));
+    });
+    let s3 = Arc::clone(&s);
+    let h1 = rt.spawn(1, move || {
+        s3.start(EndpointId(1));
+        for _ in 0..ROUNDS {
+            assert_eq!(s3.park(EndpointId(1), SimTime::ZERO), Park::Woken);
+            s3.wake(EndpointId(0));
+        }
+        s3.finish(EndpointId(1));
+    });
+    s.attach_coro(Arc::clone(&rt));
+    s.register(EndpointId(0));
+    s.register(EndpointId(1));
+    rt.activate(1);
+    h0.join().unwrap();
+    h1.join().unwrap();
+    let switches = rt.stats().snapshot().stack_switches();
+    rt.shutdown();
+    assert_eq!(s.peak_running(), 1);
+    switches
+}
+
 fn bench_dispatch_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("sched_dispatch");
     group.sample_size(10);
@@ -65,6 +106,17 @@ fn bench_dispatch_paths(c: &mut Criterion) {
             assert!(peak <= workers);
         })
     });
+    // One permit, coroutine carriers: the same dispatch sequence as the
+    // handoff case, but each handoff is a user-space stack switch on a single
+    // host thread instead of a futex signal to a parked peer thread.
+    if sim_net::carrier::coro::supported() {
+        group.bench_function(format!("coro_handoff_pingpong_{ROUNDS}x2"), |b| {
+            b.iter(|| {
+                let switches = pingpong_coro();
+                assert!(switches as usize >= 2 * ROUNDS);
+            })
+        });
+    }
     group.finish();
 }
 

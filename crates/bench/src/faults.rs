@@ -215,7 +215,7 @@ pub struct FaultsArgs {
 }
 
 /// CLI parsing for `table_faults`: `--ranks N`, `--seeds N`, `--base-seed N`,
-/// `--iters N`, `--workers N`, `--json PATH`.
+/// `--iters N`, `--workers N`, `--carrier-mode thread|coro`, `--json PATH`.
 pub fn parse_faults_args<I: Iterator<Item = String>>(args: I) -> FaultsArgs {
     let mut parsed = FaultsArgs {
         ranks: 4,
@@ -238,6 +238,13 @@ pub fn parse_faults_args<I: Iterator<Item = String>>(args: I) -> FaultsArgs {
             "--base-seed" => parsed.base_seed = next_usize(&mut args, "--base-seed") as u64,
             "--iters" => parsed.iterations = next_usize(&mut args, "--iters") as u64,
             "--workers" => parsed.tuning.workers = Some(next_usize(&mut args, "--workers")),
+            "--carrier-mode" => {
+                let name = args.next().expect("--carrier-mode needs a mode name");
+                parsed.tuning.carrier_mode =
+                    Some(sim_net::CarrierMode::parse(&name).unwrap_or_else(|| {
+                        panic!("unknown carrier mode {name:?} (use thread or coro)")
+                    }));
+            }
             "--json" => {
                 let path = args.next().expect("--json needs a file path");
                 parsed.json_path = Some(std::path::PathBuf::from(path));

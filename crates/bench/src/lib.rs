@@ -26,7 +26,7 @@ pub use faults::{
 use repl_baselines::{CorruptionSpec, LeaderFactory, MirrorFactory, RedMpiFactory, SdcReport};
 use sdr_core::{native_job, replicated_job, ReplicationConfig};
 use sim_mpi::{JobBuilder, ANY_SOURCE};
-use sim_net::{Cluster, LogGpModel, Placement};
+use sim_net::{CarrierMode, Cluster, LogGpModel, Placement};
 use std::sync::Arc;
 use workloads::apps::{run_cm1, run_hpccg, AppConfig};
 use workloads::nas::{run_kernel, NasConfig, NasKernel};
@@ -144,9 +144,11 @@ pub struct HarnessArgs {
 }
 
 /// Shared CLI parsing for the table harnesses: `--ranks N`, `--class
-/// s|test|d`, `--workers N`, `--json PATH` (machine-readable report, uploaded
-/// as a CI artifact), plus a bare positional rank count for backwards
-/// compatibility.
+/// s|test|d`, `--workers N`, `--carrier-mode thread|coro` (execution mode;
+/// defaults to coroutine stacks on supported targets, overridable via the
+/// `SDR_CARRIER_MODE` environment variable), `--json PATH` (machine-readable
+/// report, uploaded as a CI artifact), plus a bare positional rank count for
+/// backwards compatibility.
 pub fn parse_harness_args<I: Iterator<Item = String>>(
     args: I,
     default_ranks: usize,
@@ -190,6 +192,12 @@ pub fn parse_harness_args<I: Iterator<Item = String>>(
                     );
                 }
                 parsed.tuning.workers = Some(w);
+            }
+            "--carrier-mode" => {
+                let name = args.next().expect("--carrier-mode needs a mode name");
+                parsed.tuning.carrier_mode = Some(CarrierMode::parse(&name).unwrap_or_else(|| {
+                    panic!("unknown carrier mode {name:?} (use thread or coro)")
+                }));
             }
             "--json" => {
                 let path = args.next().expect("--json needs a file path");
@@ -446,6 +454,17 @@ struct DeliveryTotals {
     heap_fallbacks: u64,
     threads_spawned: u64,
     threads_reused: u64,
+    stack_switches: u64,
+    stacks_allocated: u64,
+    stacks_reused: u64,
+    /// Maximum over the rows — the pool peak is a gauge, not a counter.
+    stack_bytes_peak: u64,
+    /// Maximum worker-pool size over the rows (the runs share one tuning, so
+    /// this is the configured pool for explicit `--workers` runs).
+    workers: u64,
+    /// Mode of the last run folded in; one harness invocation runs every row
+    /// in the same mode.
+    carrier_mode: Option<CarrierMode>,
 }
 
 impl DeliveryTotals {
@@ -477,6 +496,12 @@ fn delivery_totals(rows: &[ComparisonRow]) -> DeliveryTotals {
             t.heap_fallbacks += d.heap_fallbacks;
             t.threads_spawned += d.threads_spawned;
             t.threads_reused += d.threads_reused;
+            t.stack_switches += d.stack_switches;
+            t.stacks_allocated += d.stacks_allocated;
+            t.stacks_reused += d.stacks_reused;
+            t.stack_bytes_peak = t.stack_bytes_peak.max(d.stack_bytes_peak);
+            t.workers = t.workers.max(d.workers);
+            t.carrier_mode = Some(d.carrier_mode);
         }
     }
     t.baseline = t.issued + t.suppressed + (t.flushed_msgs - t.flushes);
@@ -505,7 +530,9 @@ pub fn format_delivery_summary(rows: &[ComparisonRow]) -> String {
          ingest: {} in-order ladder appends vs {} heap fallbacks \
          ({:.1}% single-pass O(1))\n\
          dispatch: {} handoffs + {} steals direct vs {} cold \
-         ({:.1}% direct); threads: {} spawned, {} reused\n",
+         ({:.1}% direct); threads: {} spawned, {} reused\n\
+         carriers: {} mode; {} stack switches, {} stacks leased \
+         ({} fresh, {} reused), pool peak {:.1} MiB\n",
         t.issued,
         t.suppressed,
         t.baseline,
@@ -519,6 +546,12 @@ pub fn format_delivery_summary(rows: &[ComparisonRow]) -> String {
         t.direct_fraction() * 100.0,
         t.threads_spawned,
         t.threads_reused,
+        t.carrier_mode.map_or("none", CarrierMode::as_str),
+        t.stack_switches,
+        t.stacks_allocated + t.stacks_reused,
+        t.stacks_allocated,
+        t.stacks_reused,
+        t.stack_bytes_peak as f64 / (1024.0 * 1024.0),
     )
 }
 
@@ -528,7 +561,11 @@ fn json_delivery(d: &workloads::runner::DeliveryCounters) -> String {
          \"flushed_msgs\": {}, \"mean_flush_batch\": {:.3}, \
          \"handoffs\": {}, \"steals\": {}, \"condvar_waits\": {}, \
          \"deliveries_direct\": {}, \"heap_fallbacks\": {}, \
-         \"threads_spawned\": {}, \"threads_reused\": {}, \"host_secs\": {:.3}}}",
+         \"threads_spawned\": {}, \"threads_reused\": {}, \
+         \"carrier_mode\": \"{}\", \"workers\": {}, \
+         \"stack_switches\": {}, \"stacks_allocated\": {}, \
+         \"stacks_reused\": {}, \"stack_bytes_peak\": {}, \
+         \"host_secs\": {:.3}}}",
         d.wakes_issued,
         d.wakes_suppressed,
         d.flushes,
@@ -541,6 +578,12 @@ fn json_delivery(d: &workloads::runner::DeliveryCounters) -> String {
         d.heap_fallbacks,
         d.threads_spawned,
         d.threads_reused,
+        d.carrier_mode.as_str(),
+        d.workers,
+        d.stack_switches,
+        d.stacks_allocated,
+        d.stacks_reused,
+        d.stack_bytes_peak,
         d.host_secs
     )
 }
@@ -595,7 +638,10 @@ pub fn table_report_json(
          \"direct_dispatch_fraction\": {:.4}, \
          \"deliveries_direct\": {}, \"heap_fallbacks\": {}, \
          \"direct_delivery_fraction\": {:.4}, \
-         \"threads_spawned\": {}, \"threads_reused\": {}}}\n",
+         \"threads_spawned\": {}, \"threads_reused\": {}, \
+         \"carrier_mode\": \"{}\", \"workers\": {}, \
+         \"stack_switches\": {}, \"stacks_allocated\": {}, \
+         \"stacks_reused\": {}, \"stack_bytes_peak\": {}}}\n",
         t.issued,
         t.suppressed,
         t.baseline,
@@ -608,6 +654,12 @@ pub fn table_report_json(
         t.direct_delivery_fraction(),
         t.threads_spawned,
         t.threads_reused,
+        t.carrier_mode.map_or("none", CarrierMode::as_str),
+        t.workers,
+        t.stack_switches,
+        t.stacks_allocated,
+        t.stacks_reused,
+        t.stack_bytes_peak,
     ));
     out.push_str("}\n");
     out

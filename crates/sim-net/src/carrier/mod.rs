@@ -29,7 +29,81 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+pub mod coro;
+pub mod stack;
+
 type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// How simulated-process bodies are hosted on OS threads.
+///
+/// The two modes are observably equivalent at the simulation level — same
+/// [`crate::trace::TraceEvent`] sequences under `workers = 1`, same virtual
+/// times and checksums — and differ only in execution cost and OS-thread
+/// footprint (see `DESIGN.md` §5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CarrierMode {
+    /// One pooled OS thread per live process ([`CarrierPool`]); scheduler
+    /// handoffs park and wake threads through per-slot seats (futexes).
+    Thread,
+    /// One user-space stack per process, hosted by `workers` OS threads
+    /// ([`coro::CoroRuntime`]); a handoff is a register-save/stack-switch
+    /// with no kernel involvement.
+    Coroutine,
+}
+
+impl CarrierMode {
+    /// Stable lowercase name, used in JSON reports and CLI flags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CarrierMode::Thread => "thread",
+            CarrierMode::Coroutine => "coroutine",
+        }
+    }
+
+    /// Parse a mode name as accepted by `--carrier-mode` and the
+    /// `SDR_CARRIER_MODE` environment variable.
+    pub fn parse(s: &str) -> Option<CarrierMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "thread" | "threads" | "os-thread" => Some(CarrierMode::Thread),
+            "coro" | "coroutine" | "coroutines" => Some(CarrierMode::Coroutine),
+            _ => None,
+        }
+    }
+
+    /// The default mode for this build target: coroutines where the
+    /// context-switch primitive exists ([`coro::supported`]), OS threads
+    /// elsewhere. `SDR_CARRIER_MODE=thread|coro` overrides the default at
+    /// run time; an explicit `JobBuilder::carrier_mode` call wins over both.
+    pub fn default_mode() -> CarrierMode {
+        if let Ok(v) = std::env::var("SDR_CARRIER_MODE") {
+            if let Some(m) = CarrierMode::parse(&v) {
+                return m.effective();
+            }
+        }
+        if coro::supported() {
+            CarrierMode::Coroutine
+        } else {
+            CarrierMode::Thread
+        }
+    }
+
+    /// Clamp to what the target supports: requesting coroutines on a target
+    /// without the switch primitive silently degrades to threads (the modes
+    /// are observably equivalent, so this is a performance fallback, not a
+    /// behavior change).
+    pub fn effective(self) -> CarrierMode {
+        match self {
+            CarrierMode::Coroutine if !coro::supported() => CarrierMode::Thread,
+            m => m,
+        }
+    }
+}
+
+impl std::fmt::Display for CarrierMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Whether a carrier request was served by a fresh OS thread or a recycled
 /// one (returned by [`CarrierPool::run`] so job reports can account for

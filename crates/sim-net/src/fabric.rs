@@ -560,10 +560,23 @@ impl Endpoint {
     }
 
     /// Advance the clock by `d` of application computation.
+    ///
+    /// For scheduler-managed endpoints this is also a scheduling boundary
+    /// ([`crate::sched::Scheduler::advance`]): if the computation moved this
+    /// process's clock past a ready peer, the permit is handed to that peer
+    /// so physical dispatch order keeps tracking virtual time. The outbox is
+    /// flushed first — anything staged before the computation must be visible
+    /// to a peer that runs while we wait our turn.
     pub fn compute(&mut self, d: SimTime) {
         self.maybe_crash(false);
         self.clock.compute(d);
         self.maybe_crash(false);
+        if self.managed && d > SimTime::ZERO {
+            self.flush();
+            // `advance` keeps this slot dispatchable (ready, not parked), so
+            // it cannot contribute to a quiescence verdict; see its docs.
+            let _ = self.fabric.sched.advance(self.id, self.clock.now());
+        }
     }
 
     /// Number of application-class messages sent so far.

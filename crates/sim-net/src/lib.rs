@@ -78,7 +78,9 @@ pub use campaign::{
     sample_plan, shrink_events, CampaignConfig, CampaignRng, FaultDistribution, FaultPlan,
     PlannedFault,
 };
-pub use carrier::{CarrierHandle, CarrierPool, CarrierSource};
+pub use carrier::coro::CoroRuntime;
+pub use carrier::stack::StackPool;
+pub use carrier::{CarrierHandle, CarrierMode, CarrierPool, CarrierSource};
 pub use clock::VirtualClock;
 pub use fabric::{Endpoint, EndpointId, Fabric, RawMessage, RecvError};
 pub use failure::{CrashSchedule, FailureEvent, FailureService};

@@ -120,13 +120,14 @@
 //! never assumed anything about *where* the message lives, only that wakes
 //! follow visibility — which the fabric's ingest order (re)establishes.
 
+use crate::carrier::coro::CoroRuntime;
 use crate::fabric::EndpointId;
 use crate::stats::NetStats;
 use crate::time::SimTime;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 /// Hard lower bound on the worker-pool size. A single permit is allowed since
 /// PR 3's yield-streak guard ([`YIELD_STREAK_PARK`]): a busy-poller can no
@@ -259,6 +260,13 @@ pub struct Scheduler {
     /// Serialises quiescence verdicts and last-permit rescues (the cold path).
     verdict_lock: Mutex<()>,
     stats: Arc<NetStats>,
+    /// Coroutine carrier runtime, when the job runs in
+    /// [`crate::carrier::CarrierMode::Coroutine`]. Unset (thread mode), the
+    /// dispatch sites signal per-slot seats; set, the same sites become
+    /// user-space stack switches: hot dispatches defer a direct switch on
+    /// the departing carrier's host thread, cold dispatches queue the target
+    /// for a worker, and blocking becomes [`CoroRuntime::suspend_current`].
+    coro: OnceLock<Arc<CoroRuntime>>,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -321,7 +329,31 @@ impl Scheduler {
             peak_running: AtomicUsize::new(0),
             verdict_lock: Mutex::new(()),
             stats,
+            coro: OnceLock::new(),
         }
+    }
+
+    /// Switch this scheduler to coroutine carriers: dispatches resume
+    /// coroutines in `rt` instead of signalling seats. Must be called before
+    /// any slot blocks, and every registered slot must have been installed
+    /// with [`CoroRuntime::spawn`] — a dispatcher that targets a slot with
+    /// no coroutine would spin forever waiting for its context. Can only be
+    /// attached once per scheduler (one job, one runtime).
+    pub fn attach_coro(&self, rt: Arc<CoroRuntime>) {
+        assert_eq!(
+            rt.capacity(),
+            self.capacity(),
+            "coroutine runtime sized differently from the scheduler"
+        );
+        assert!(
+            self.coro.set(rt).is_ok(),
+            "coroutine runtime already attached"
+        );
+    }
+
+    /// The attached coroutine runtime, if any.
+    pub fn coro_runtime(&self) -> Option<&Arc<CoroRuntime>> {
+        self.coro.get()
     }
 
     fn load_phase(&self, idx: usize) -> Phase {
@@ -509,6 +541,29 @@ impl Scheduler {
         seat.cv.notify_one();
     }
 
+    /// Hot dispatch: deliver a permit the caller is handing off on its own
+    /// blocking boundary. Thread mode signals the target's seat; coroutine
+    /// mode defers a direct stack switch — the departing carrier is about to
+    /// suspend, and its suspension switches straight into `idx` without
+    /// touching the kernel or even the worker loop.
+    fn dispatch_direct(&self, idx: usize) {
+        match self.coro.get() {
+            Some(rt) => rt.defer_switch(idx),
+            None => self.signal_seat(idx),
+        }
+    }
+
+    /// Cold dispatch: deliver a permit from a context that is *not* about to
+    /// suspend (idle-permit grants, verdict wakes, registration). Thread
+    /// mode signals the seat; coroutine mode queues the target for a worker
+    /// thread to switch into.
+    fn dispatch_cold(&self, idx: usize) {
+        match self.coro.get() {
+            Some(rt) => rt.enqueue_resume(idx),
+            None => self.signal_seat(idx),
+        }
+    }
+
     /// A carrier leaves the `Running` phase while still holding its permit
     /// (it has already published its new phase): hand the permit directly to
     /// the best ready slot, or release it — and if it was the last permit,
@@ -526,7 +581,7 @@ impl Scheduler {
                 } else {
                     self.stats.record_steal();
                 }
-                self.signal_seat(target);
+                self.dispatch_direct(target);
                 return;
             }
         }
@@ -559,7 +614,7 @@ impl Scheduler {
                     // rolled back below and must not inflate the peak.
                     self.peak_running.fetch_max(r + 1, Ordering::SeqCst);
                     self.stats.record_cold_dispatch();
-                    self.signal_seat(target);
+                    self.dispatch_cold(target);
                 }
                 None => {
                     let prev = self.running.fetch_sub(1, Ordering::SeqCst);
@@ -607,7 +662,7 @@ impl Scheduler {
             if let Some((target, _)) = self.pop_best() {
                 self.peak_running.fetch_max(1, Ordering::SeqCst);
                 self.stats.record_cold_dispatch();
-                self.signal_seat(target);
+                self.dispatch_cold(target);
                 return;
             }
             self.running.fetch_sub(1, Ordering::SeqCst);
@@ -678,7 +733,7 @@ impl Scheduler {
             }
         }
         for &i in &parked {
-            self.signal_seat(i);
+            self.dispatch_cold(i);
         }
         true
     }
@@ -730,6 +785,56 @@ impl Scheduler {
         }
     }
 
+    /// Coroutine-mode blocking tail: suspend the calling coroutine (which
+    /// also performs any deferred direct handoff) until a dispatcher
+    /// resumes it. Mirrors [`Scheduler::block_on_seat`]'s phase protocol:
+    /// a resume only follows a `Ready → Running` CAS by a dispatcher or a
+    /// committed deadlock verdict, so the post-resume phase decides the
+    /// outcome. There are no spurious wake-ups in this mode — every resume
+    /// was paid for by exactly one dispatch — but the verdict-mutex dance
+    /// for a (possibly transient) `Deadlocked` mark is identical.
+    fn block_on_coro(&self, e: usize) -> Park {
+        let rt = self.coro.get().expect("block_on_coro without a runtime");
+        debug_assert_eq!(
+            rt.hosted_slot(),
+            Some(e),
+            "coroutine-mode block from a foreign context"
+        );
+        loop {
+            rt.suspend_current();
+            match self.load_phase(e) {
+                Phase::Running => return Park::Woken,
+                Phase::Deadlocked => {
+                    // Same transient-mark protocol as block_on_seat: consume
+                    // the mark only if it survives the verdict mutex.
+                    let _v = self
+                        .verdict_lock
+                        .lock()
+                        .unwrap_or_else(|err| err.into_inner());
+                    if self.cas_phase(e, Phase::Deadlocked, Phase::Running) {
+                        self.running.fetch_add(1, Ordering::SeqCst);
+                        return Park::Deadlock;
+                    }
+                    // Rolled back — the job is live; an unpark + dispatch
+                    // will resume us again.
+                }
+                _ => {
+                    // Defensive only: re-suspend and wait for a real
+                    // dispatch (unreachable under the dispatch invariants).
+                }
+            }
+        }
+    }
+
+    /// Blocking tail shared by `park`/`yield_now`, routed by carrier mode.
+    fn block_current(&self, e: usize) -> Park {
+        if self.coro.get().is_some() {
+            self.block_on_coro(e)
+        } else {
+            self.block_on_seat(e)
+        }
+    }
+
     /// Park the calling process: publish the `Parked` phase, hand the permit
     /// to the best ready process (or release it), and block until a wake-up
     /// arrives or the quiescence check declares the job deadlocked. `now` is
@@ -766,10 +871,10 @@ impl Scheduler {
             // back to ourselves via the queue) and wait to be re-dispatched;
             // the consumed token guarantees the caller re-polls on return.
             self.depart(e.0);
-            return self.block_on_seat(e.0);
+            return self.block_current(e.0);
         }
         self.depart(e.0);
-        self.block_on_seat(e.0)
+        self.block_current(e.0)
     }
 
     /// Wake endpoint `e` because a message was just delivered to its queue.
@@ -868,10 +973,10 @@ impl Scheduler {
                     return Park::Woken;
                 }
                 self.depart(e.0);
-                return self.block_on_seat(e.0);
+                return self.block_current(e.0);
             }
             self.depart(e.0);
-            return self.block_on_seat(e.0);
+            return self.block_current(e.0);
         }
         // Requeue-skip fast path: if no ready slot would outrank us — our
         // hypothetical entry gets the next (largest) sequence number, so an
@@ -899,14 +1004,79 @@ impl Scheduler {
                 } else {
                     self.stats.record_steal();
                 }
-                self.signal_seat(target);
-                self.block_on_seat(e.0)
+                self.dispatch_direct(target);
+                self.block_current(e.0)
             }
             None => {
                 // Our own entry is gone: a concurrent dispatcher claimed it
                 // and is delivering us a fresh permit. Ours is surplus.
                 self.depart(e.0);
-                self.block_on_seat(e.0)
+                self.block_current(e.0)
+            }
+        }
+    }
+
+    /// Virtual-time advance boundary: the process's clock just moved forward
+    /// to `now` (it modelled a computation). If a *ready* process is strictly
+    /// earlier in virtual time, requeue the caller at `now` and hand the
+    /// permit over, so dispatch order keeps tracking virtual time across
+    /// compute phases; otherwise keep running.
+    ///
+    /// Without this boundary a wake chain can monopolise the permits: a
+    /// departing carrier hands its permit directly to the process it just
+    /// woke, and a ready-but-never-woken process — for example a worker whose
+    /// request the master has not matched yet — can sit at virtual time zero
+    /// while the chain runs arbitrarily far ahead. That starvation is
+    /// invisible under OS-thread carriers on a multi-core host (preemption
+    /// eventually runs the straggler) but is deterministic under coroutine
+    /// carriers, where nothing preempts a handoff chain.
+    ///
+    /// Unlike [`Scheduler::yield_now`] this never parks the caller: advancing
+    /// the clock *is* progress, so the no-progress streak is reset, not
+    /// counted. The caller stays dispatchable (its ready-queue entry keeps
+    /// the quiescence check off), so a [`Park::Deadlock`] verdict cannot
+    /// legitimately be produced here; callers may ignore the return value.
+    ///
+    /// Cost when nothing outranks the caller: one atomic load of the ready
+    /// count (processes blocked in receives are parked, not ready, so
+    /// blocking-heavy applications take that fast path on almost every call).
+    pub fn advance(&self, e: EndpointId, now: SimTime) -> Park {
+        if self.load_phase(e.0) != Phase::Running {
+            return Park::Woken;
+        }
+        self.vtime[e.0].store(now.as_nanos(), Ordering::Relaxed);
+        self.streak[e.0].store(0, Ordering::Relaxed);
+        if self.token[e.0].load(Ordering::SeqCst) {
+            // A delivery already arrived; keep the permit and let the next
+            // blocking boundary consume the token and re-poll the inbox.
+            return Park::Woken;
+        }
+        match self.best_ready_entry() {
+            Some(((vt, _, _), _)) if vt < now => {}
+            _ => return Park::Woken,
+        }
+        self.phase[e.0].store(Phase::Ready as u8, Ordering::SeqCst);
+        self.push_ready(e.0, now);
+        match self.pop_best() {
+            Some((target, _)) if target == e.0 => {
+                // Raced: the outranking entry was claimed by another
+                // dispatcher and we popped our own entry back.
+                Park::Woken
+            }
+            Some((target, shard)) => {
+                if shard == self.shard_of(e.0) {
+                    self.stats.record_handoff();
+                } else {
+                    self.stats.record_steal();
+                }
+                self.dispatch_direct(target);
+                self.block_current(e.0)
+            }
+            None => {
+                // Our entry was claimed by a concurrent dispatcher delivering
+                // us a fresh permit; ours is surplus.
+                self.depart(e.0);
+                self.block_current(e.0)
             }
         }
     }
@@ -1415,5 +1585,128 @@ mod tests {
             "cold dispatches should be limited to startup, got {}",
             snap.condvar_waits()
         );
+    }
+
+    #[test]
+    fn coroutine_mode_single_permit_ping_pong_is_pure_stack_switches() {
+        // The coroutine twin of single_worker_pool_is_allowed_and_makes
+        // _progress: one permit, one hosting thread, every wake dispatched
+        // by a deferred direct switch (no seats involved at all).
+        if !crate::carrier::coro::supported() {
+            return;
+        }
+        let stats = Arc::new(NetStats::new());
+        let s = Arc::new(Scheduler::with_stats(2, Arc::clone(&stats)));
+        s.set_workers(1);
+        let rt = CoroRuntime::new(2, 192 * 1024, Arc::clone(&stats));
+        s.attach_coro(Arc::clone(&rt));
+        let rounds = 100u64;
+        let s2 = Arc::clone(&s);
+        let h0 = rt.spawn(0, move || {
+            s2.start(ep(0));
+            for _ in 0..rounds {
+                s2.wake(ep(1));
+                assert_eq!(s2.park(ep(0), SimTime::ZERO), Park::Woken);
+            }
+            s2.finish(ep(0));
+        });
+        let s3 = Arc::clone(&s);
+        let h1 = rt.spawn(1, move || {
+            s3.start(ep(1));
+            for _ in 0..rounds {
+                assert_eq!(s3.park(ep(1), SimTime::ZERO), Park::Woken);
+                s3.wake(ep(0));
+            }
+            s3.finish(ep(1));
+        });
+        s.register(ep(0));
+        s.register(ep(1));
+        rt.activate(1);
+        h0.join().unwrap();
+        h1.join().unwrap();
+        rt.shutdown();
+        assert_eq!(s.peak_running(), 1, "one permit must never become two");
+        let snap = stats.snapshot();
+        assert!(
+            snap.handoffs() + snap.steals() >= 2 * rounds - 2,
+            "ping-pong dispatches must be direct: {} handoffs + {} steals",
+            snap.handoffs(),
+            snap.steals()
+        );
+        assert!(
+            snap.stack_switches() >= 2 * rounds,
+            "every dispatch should be a user-space switch, got {}",
+            snap.stack_switches()
+        );
+    }
+
+    #[test]
+    fn coroutine_mode_detects_deadlock_by_quiescence() {
+        if !crate::carrier::coro::supported() {
+            return;
+        }
+        let stats = Arc::new(NetStats::new());
+        let s = Arc::new(Scheduler::with_stats(2, Arc::clone(&stats)));
+        let rt = CoroRuntime::new(2, 192 * 1024, stats);
+        s.attach_coro(Arc::clone(&rt));
+        let mut handles = Vec::new();
+        for i in 0..2usize {
+            let s = Arc::clone(&s);
+            handles.push(rt.spawn(i, move || {
+                s.start(ep(i));
+                let verdict = s.park(ep(i), SimTime::ZERO);
+                s.finish(ep(i));
+                verdict
+            }));
+        }
+        s.register(ep(0));
+        s.register(ep(1));
+        rt.activate(2);
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Park::Deadlock);
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn coroutine_mode_yield_streak_still_parks_spinners() {
+        // The busy-poll quiescence guard must behave identically under
+        // coroutine carriers: a wakeless spinner is parked after
+        // YIELD_STREAK_PARK yields and then declared deadlocked together
+        // with its parked peer.
+        if !crate::carrier::coro::supported() {
+            return;
+        }
+        let stats = Arc::new(NetStats::new());
+        let s = Arc::new(Scheduler::with_stats(2, Arc::clone(&stats)));
+        let rt = CoroRuntime::new(2, 192 * 1024, stats);
+        s.attach_coro(Arc::clone(&rt));
+        let s2 = Arc::clone(&s);
+        let spinner = rt.spawn(0, move || {
+            s2.start(ep(0));
+            let mut yields = 0u32;
+            loop {
+                yields += 1;
+                match s2.yield_now(ep(0), SimTime::ZERO) {
+                    Park::Woken => assert!(yields < 10_000, "spinner was never parked"),
+                    Park::Deadlock => break,
+                }
+            }
+            s2.finish(ep(0));
+            yields
+        });
+        let s3 = Arc::clone(&s);
+        let parker = rt.spawn(1, move || {
+            s3.start(ep(1));
+            let verdict = s3.park(ep(1), SimTime::ZERO);
+            s3.finish(ep(1));
+            verdict
+        });
+        s.register(ep(0));
+        s.register(ep(1));
+        rt.activate(2);
+        assert!(spinner.join().unwrap() >= YIELD_STREAK_PARK);
+        assert_eq!(parker.join().unwrap(), Park::Deadlock);
+        rt.shutdown();
     }
 }

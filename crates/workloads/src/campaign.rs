@@ -180,7 +180,10 @@ pub fn crash_faults_violate_survival(
     iterations: u64,
     faults: &[PlannedFault],
 ) -> bool {
-    let tuning = RunTuning { workers: Some(1) };
+    let tuning = RunTuning {
+        workers: Some(1),
+        ..RunTuning::default()
+    };
     let report = run_crash_job(config, iterations, tuning, faults);
     crash_report_survived(&report, collective_checksum(config.ranks, iterations)).is_some()
 }

@@ -88,9 +88,20 @@ impl DeterminismReport {
     }
 }
 
-/// Run `app` `runs` times with different jitter seeds and compare per-rank
+/// Run `app` `runs` times under different perturbations and compare per-rank
 /// send sequences. `make_builder` must produce identical job configurations
 /// (the function enables tracing and installs the jitter model itself).
+///
+/// Each perturbed run (every run but the reference) samples a different
+/// *correct execution* along two axes: seeded wire-latency jitter (changing
+/// virtual arrival orders) and a seeded per-rank start-time stagger
+/// (changing which process reaches each communication point first). The
+/// stagger matters under the coroutine carriers, whose dispatch is fully
+/// deterministic: without it, every run would schedule identically and a
+/// timing-dependent pattern (the master–worker counter-example) would look
+/// deterministic even though *other* correct executions order its sends
+/// differently. A genuinely send-deterministic application must emit the
+/// same sends whatever the timing, so neither axis may change its sequences.
 pub fn check_send_determinism<F, A, R>(
     ranks: usize,
     runs: usize,
@@ -111,9 +122,28 @@ where
                 0xC0FFEE ^ (run as u64 * 7919),
                 if run == 0 { 0 } else { 5_000 },
             ))
+            // Single-permit replay mode: each run is then one reproducible
+            // execution uniquely determined by the jitter seed and stagger —
+            // dispatch follows virtual time (`Scheduler::advance`), so the
+            // perturbations translate into reception-order changes instead of
+            // being washed out (or frozen) by host-level thread timing.
+            .workers(1)
             .trace(true);
         let app = app.clone();
-        let report = builder.run(move |p| app(p));
+        let run_salt = run as u64;
+        let report = builder.run(move |p| {
+            if run_salt > 0 {
+                // Stagger this rank's start by up to 20 µs (seeded, per run
+                // and per rank) so perturbed runs really are different
+                // executions, not replays of the reference schedule.
+                let mut z = (0xA5A5_5A5A_u64 ^ run_salt.wrapping_mul(0x9E3779B97F4A7C15))
+                    .wrapping_add((p.rank() as u64).wrapping_mul(0xD1B54A32D192ED03));
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z ^= z >> 27;
+                p.compute(SimTime::from_nanos(z % 20_000));
+            }
+            app(p)
+        });
         assert!(
             report.all_finished(),
             "determinism-check run {run} did not finish"
@@ -251,6 +281,9 @@ mod tests {
             !report.is_send_deterministic(),
             "the master-worker pattern should be flagged as non-send-deterministic"
         );
-        assert!(report.divergent_ranks.contains(&0), "the master diverges");
+        assert!(
+            report.divergent_ranks.contains(&0),
+            "the master diverges: {report:?}"
+        );
     }
 }

@@ -8,7 +8,7 @@
 
 use sdr_core::{native_job, replicated_job, ReplicationConfig};
 use sim_mpi::{JobBuilder, Process};
-use sim_net::LogGpModel;
+use sim_net::{CarrierMode, LogGpModel};
 use std::sync::Arc;
 
 /// A workload packaged for comparison runs.
@@ -46,8 +46,11 @@ impl WorkloadSpec {
 /// baseline exactly. `handoffs`/`steals` vs `condvar_waits` split dispatches
 /// into the direct-handoff fast path and the cold idle-permit path, and the
 /// `threads_*` counters account for carrier churn against the process-global
-/// [`sim_net::CarrierPool`].
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+/// [`sim_net::CarrierPool`]. In coroutine mode (`carrier_mode`), the
+/// `stack_*` counters account for the user-space execution layer instead:
+/// context switches performed, stacks leased fresh vs recycled from the
+/// [`sim_net::StackPool`], and the pool's peak resident bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeliveryCounters {
     /// Scheduler wakes that unparked the target (moved it to the ready
     /// queues).
@@ -77,6 +80,18 @@ pub struct DeliveryCounters {
     pub threads_spawned: u64,
     /// Carrier threads recycled from the process-global pool.
     pub threads_reused: u64,
+    /// Execution mode the run used (coroutine stacks vs OS threads).
+    pub carrier_mode: CarrierMode,
+    /// Scheduler worker-pool size the run executed with.
+    pub workers: u64,
+    /// User-space context switches performed (coroutine mode; 0 otherwise).
+    pub stack_switches: u64,
+    /// Coroutine stacks freshly mapped for the run.
+    pub stacks_allocated: u64,
+    /// Coroutine stacks recycled from the process-global stack pool.
+    pub stacks_reused: u64,
+    /// Peak resident bytes of the stack pool observed during the run.
+    pub stack_bytes_peak: u64,
     /// Host (real) seconds the run took, as opposed to simulated seconds.
     pub host_secs: f64,
 }
@@ -96,6 +111,12 @@ impl DeliveryCounters {
             heap_fallbacks: report.stats.heap_fallbacks(),
             threads_spawned: report.threads_spawned as u64,
             threads_reused: report.threads_reused as u64,
+            carrier_mode: report.carrier_mode,
+            workers: report.workers as u64,
+            stack_switches: report.stats.stack_switches(),
+            stacks_allocated: report.stats.stacks_allocated(),
+            stacks_reused: report.stats.stacks_reused(),
+            stack_bytes_peak: report.stats.stack_bytes_peak(),
             host_secs,
         }
     }
@@ -141,13 +162,20 @@ pub struct RunTuning {
     /// Scheduler worker-pool size (how many simulated processes execute
     /// concurrently). Defaults to `min(host cores, physical processes)`.
     pub workers: Option<usize>,
+    /// Execution mode: coroutine stacks (the default on supported targets)
+    /// or one pooled OS thread per process.
+    pub carrier_mode: Option<CarrierMode>,
 }
 
 impl RunTuning {
     /// Apply the tuning to a builder (`None` fields leave the defaults).
     pub fn apply(self, builder: JobBuilder) -> JobBuilder {
-        match self.workers {
+        let builder = match self.workers {
             Some(w) => builder.workers(w),
+            None => builder,
+        };
+        match self.carrier_mode {
+            Some(m) => builder.carrier_mode(m),
             None => builder,
         }
     }
@@ -252,11 +280,26 @@ mod tests {
             d.deliveries_direct,
             d.heap_fallbacks
         );
-        assert_eq!(
-            d.threads_spawned + d.threads_reused,
-            8,
-            "4 ranks at dual replication need exactly 8 carriers"
-        );
+        match d.carrier_mode {
+            CarrierMode::Thread => assert_eq!(
+                d.threads_spawned + d.threads_reused,
+                8,
+                "4 ranks at dual replication need exactly 8 carrier threads"
+            ),
+            CarrierMode::Coroutine => {
+                assert_eq!(
+                    d.stacks_allocated + d.stacks_reused,
+                    8,
+                    "4 ranks at dual replication need exactly 8 coroutine stacks"
+                );
+                assert!(d.stack_switches > 0, "the run must have stack-switched");
+                assert_eq!(
+                    d.threads_spawned + d.threads_reused,
+                    d.workers,
+                    "coroutine mode hosts the whole job on the worker pool"
+                );
+            }
+        }
         assert!(d.host_secs > 0.0);
         assert!(
             row.overhead_pct > -2.0 && row.overhead_pct < 50.0,
