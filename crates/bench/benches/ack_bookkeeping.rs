@@ -3,7 +3,7 @@
 //! send log, the two hot per-message data structures of the replication layer.
 use criterion::{criterion_group, criterion_main, Criterion};
 use sdr_core::{replicated_job, ReplicationConfig, SeqTracker};
-use sim_net::LogGpModel;
+use sim_net::{LogGpModel, NetFaultConfig};
 
 fn bench_seq_tracker(c: &mut Criterion) {
     let mut group = c.benchmark_group("ack_bookkeeping");
@@ -73,5 +73,54 @@ fn bench_send_log_gc(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_seq_tracker, bench_send_log_gc);
+/// Same boundedness claim under a lossy transport: dropped acks keep their
+/// send-log entries alive until the retransmission path re-earns the ack, so
+/// the bound widens to the loss-in-flight window — but must stay independent
+/// of the round count.
+fn bench_send_log_gc_lossy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ack_bookkeeping");
+    group.bench_function("send_log_bounded_128_rounds_dual_lossy", |b| {
+        b.iter(|| {
+            let rounds = 128u64;
+            let report = replicated_job(2, ReplicationConfig::dual())
+                .network(LogGpModel::fast_test_model())
+                .net_faults(NetFaultConfig::lossy_links(), 0x105)
+                .run(move |p| {
+                    let world = p.world();
+                    let peer = 1 - p.rank();
+                    for i in 0..rounds {
+                        let (_, v) = p.sendrecv_bytes(
+                            world,
+                            peer,
+                            0,
+                            bytes::Bytes::from(vec![(i % 256) as u8; 256]),
+                            peer as i64,
+                            0,
+                        );
+                        assert_eq!(v.len(), 256);
+                        let log = p.protocol().send_log_len();
+                        assert!(
+                            log <= 32,
+                            "send log grew to {log} entries after {i} lossy rounds: GC failed"
+                        );
+                    }
+                    p.protocol().send_log_len()
+                });
+            assert!(report.all_finished());
+            assert_eq!(
+                report.stats.dups_suppressed(),
+                report.stats.msgs_duplicated()
+            );
+            report.elapsed
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_seq_tracker,
+    bench_send_log_gc,
+    bench_send_log_gc_lossy
+);
 criterion_main!(benches);

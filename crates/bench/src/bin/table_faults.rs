@@ -11,7 +11,10 @@
 //! `--json PATH` writes the machine-readable report that CI uploads as the
 //! `BENCH_faults.json` artifact and gates on: 100% survivability for the
 //! single-replica-loss distributions, 100% prompt aborts for the correlated
-//! pair loss, 100% SDC detection.
+//! pair loss, 100% SDC detection, and 100% masked survival with exact
+//! duplicate accounting for the lossy-transport distributions. The report
+//! also carries the fixed-rate lossy sweep (survivability and
+//! masked-delivery overhead vs drop rate, 1%–10%).
 fn main() {
     let args = sdr_bench::parse_faults_args(std::env::args().skip(1));
     let rows = sdr_bench::fault_campaign_rows(
@@ -36,6 +39,24 @@ fn main() {
             &rows
         )
     );
+    let sweep_cases = (args.seeds / 5).max(3);
+    let sweep = sdr_bench::lossy_rate_sweep(
+        args.ranks,
+        sweep_cases,
+        args.base_seed,
+        args.iterations,
+        args.tuning,
+    );
+    print!(
+        "{}",
+        sdr_bench::format_lossy_sweep_table(
+            &format!(
+                "Lossy-link sweep: {sweep_cases} cases per fixed drop rate \
+                 (dup/delay at half the drop rate, delay 20us)"
+            ),
+            &sweep
+        )
+    );
     if let Some(path) = &args.json_path {
         let json = sdr_bench::faults_report_json(
             "table_faults",
@@ -44,14 +65,19 @@ fn main() {
             args.base_seed,
             args.iterations,
             &rows,
+            &sweep,
         );
         std::fs::write(path, json)
             .unwrap_or_else(|e| panic!("cannot write JSON report to {}: {e}", path.display()));
         eprintln!("wrote {}", path.display());
     }
-    let violations: usize = rows.iter().map(|r| r.summary.violations.len()).sum();
+    let violations: usize = rows
+        .iter()
+        .map(|r| r.summary.violations.len())
+        .chain(sweep.iter().map(|r| r.summary.violations.len()))
+        .sum();
     if violations > 0 {
-        eprintln!("{violations} expectation violation(s) — see the table above");
+        eprintln!("{violations} expectation violation(s) — see the tables above");
         std::process::exit(1);
     }
 }

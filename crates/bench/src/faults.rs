@@ -8,9 +8,19 @@
 //! `sim_net::campaign` and the execution/judging in `workloads::campaign`.
 //! The CI gate (`faults-smoke`) demands 100% survivability for the
 //! single-replica-loss configurations, a 100% prompt-abort rate for the
-//! correlated pair loss, and 100% SDC detection.
+//! correlated pair loss, 100% SDC detection, and — for the lossy-transport
+//! distributions — 100% masked survival with exact duplicate accounting
+//! (`dups_suppressed == msgs_duplicated`) and at least one retransmission.
+//!
+//! [`lossy_rate_sweep`] adds the survivability/masked-delivery-overhead
+//! curve: fixed drop rates from 1% to 10%, each row aggregating seeded cases
+//! that rotate through the NAS kernels.
 
-use workloads::campaign::{run_campaign, summarize, CampaignSummary};
+use sim_net::campaign::{FaultPlan, PlannedFault};
+use sim_net::NetFaultConfig;
+use workloads::campaign::{
+    run_campaign, run_lossy_explicit_case, summarize, CampaignSummary, CaseOutcome,
+};
 use workloads::runner::RunTuning;
 
 pub use sim_net::campaign::{CampaignConfig, FaultDistribution};
@@ -26,8 +36,10 @@ pub struct FaultConfigRow {
     pub base_seed: u64,
 }
 
-/// The default campaign configurations: three crash distributions plus the
-/// soft-error class, all at dual replication.
+/// The default campaign configurations: three crash distributions, the
+/// soft-error class, and the two lossy-transport distributions (frame
+/// drop/duplicate/delay up to ~5% per class, and heavy ack-only delays
+/// always outlasting the retransmission timer), all at dual replication.
 pub fn default_fault_configs(ranks: usize, iterations: u64) -> Vec<CampaignConfig> {
     vec![
         CampaignConfig {
@@ -61,7 +73,93 @@ pub fn default_fault_configs(ranks: usize, iterations: u64) -> Vec<CampaignConfi
                 payload_bits: 8192,
             },
         },
+        CampaignConfig {
+            ranks,
+            degree: 2,
+            dist: FaultDistribution::LossyLinks {
+                max_drop_per_64k: 3277,
+                max_dup_per_64k: 3277,
+                max_delay_per_64k: 3277,
+            },
+        },
+        CampaignConfig {
+            ranks,
+            degree: 2,
+            dist: FaultDistribution::DelayedAcks {
+                max_delay_per_64k: 32_768,
+                max_delay_ns: 400_000,
+            },
+        },
     ]
+}
+
+/// The drop rates (per-64k, i.e. 1%, 2.5%, 5%, 10%) of the fixed-rate lossy
+/// sweep. Duplicate and delay rates ride along at half the drop rate.
+pub const LOSSY_SWEEP_RATES: [u32; 4] = [655, 1638, 3277, 6554];
+
+/// One row of the survivability / masked-delivery-overhead vs fault-rate
+/// sweep: seeded cases (rotating through the NAS kernels) at one fixed
+/// [`NetFaultConfig`], judged with the same masking oracle as the campaign.
+#[derive(Debug, Clone)]
+pub struct LossySweepRow {
+    /// The fixed fault configuration of the row.
+    pub config: NetFaultConfig,
+    /// Aggregated case outcomes (cases, survival, net counters, overhead).
+    pub summary: CampaignSummary,
+}
+
+/// Run the fixed-rate lossy sweep: `cases` seeded cases per rate in
+/// [`LOSSY_SWEEP_RATES`]. Unlike the campaign configurations (which sample
+/// rates up to a maximum), every case of a row runs the exact same
+/// [`NetFaultConfig`] — only the policy seed and the workload rotate — so the
+/// row is a true point on the overhead-vs-rate curve.
+pub fn lossy_rate_sweep(
+    ranks: usize,
+    cases: usize,
+    base_seed: u64,
+    iterations: u64,
+    tuning: RunTuning,
+) -> Vec<LossySweepRow> {
+    LOSSY_SWEEP_RATES
+        .iter()
+        .map(|&rate| {
+            let net_config = NetFaultConfig {
+                drop_per_64k: rate,
+                dup_per_64k: rate / 2,
+                delay_per_64k: rate / 2,
+                delay_ns: 20_000,
+                ack_only: false,
+            };
+            net_config.validate();
+            let campaign_config = CampaignConfig {
+                ranks,
+                degree: 2,
+                dist: FaultDistribution::LossyLinks {
+                    max_drop_per_64k: rate,
+                    max_dup_per_64k: (rate / 2).max(1),
+                    max_delay_per_64k: (rate / 2).max(1),
+                },
+            };
+            let outcomes: Vec<CaseOutcome> = (0..cases as u64)
+                .map(|i| {
+                    let seed = base_seed + i;
+                    let plan = FaultPlan {
+                        config: campaign_config,
+                        seed,
+                        faults: vec![PlannedFault::LossyTransport {
+                            config: net_config,
+                            policy_seed: seed,
+                        }],
+                    };
+                    run_lossy_explicit_case(campaign_config, seed, iterations, tuning, plan)
+                })
+                .collect();
+            LossySweepRow {
+                config: net_config,
+                summary: summarize(campaign_config, &outcomes),
+            }
+        })
+        .collect()
 }
 
 /// Run the full campaign: `seeds` seeded cases per configuration.
@@ -90,7 +188,7 @@ pub fn format_faults_table(title: &str, rows: &[FaultConfigRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{title}\n"));
     out.push_str(&format!(
-        "{:<16} {:>6} {:>9} {:>7} {:>8} {:>10} {:>10} {:>12}  {}\n",
+        "{:<16} {:>6} {:>9} {:>7} {:>8} {:>10} {:>10} {:>12} {:>8} {:>8} {:>9} {:>9}  {}\n",
         "distribution",
         "cases",
         "survive%",
@@ -99,12 +197,16 @@ pub fn format_faults_table(title: &str, rows: &[FaultConfigRow]) -> String {
         "sdc inj",
         "sdc det",
         "med rec (s)",
+        "dropped",
+        "retx",
+        "dup=sup",
+        "med ovh%",
         "violations"
     ));
     for row in rows {
         let s = &row.summary;
         out.push_str(&format!(
-            "{:<16} {:>6} {:>9.1} {:>7.1} {:>8} {:>10} {:>10} {:>12.6}  {}\n",
+            "{:<16} {:>6} {:>9.1} {:>7.1} {:>8} {:>10} {:>10} {:>12.6} {:>8} {:>8} {:>9} {:>9.2}  {}\n",
             s.config.dist.name(),
             s.cases,
             s.survival_rate() * 100.0,
@@ -113,6 +215,13 @@ pub fn format_faults_table(title: &str, rows: &[FaultConfigRow]) -> String {
             s.sdc_injected,
             s.sdc_detected,
             s.recovery_latency.median_s,
+            s.net.msgs_dropped,
+            s.net.retransmits,
+            format!(
+                "{}/{}",
+                s.net.dups_suppressed, s.net.msgs_duplicated
+            ),
+            s.masked_overhead_median_pct,
             s.violations.len()
         ));
     }
@@ -129,8 +238,67 @@ pub fn format_faults_table(title: &str, rows: &[FaultConfigRow]) -> String {
     out
 }
 
+/// Format the fixed-rate lossy sweep as a text table.
+pub fn format_lossy_sweep_table(title: &str, rows: &[LossySweepRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<10} {:>6} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9}  {}\n",
+        "drop/64k",
+        "cases",
+        "survive%",
+        "dropped",
+        "retx",
+        "delayed",
+        "dup=sup",
+        "med ovh%",
+        "p90 ovh%",
+        "violations"
+    ));
+    for row in rows {
+        let s = &row.summary;
+        out.push_str(&format!(
+            "{:<10} {:>6} {:>9.1} {:>8} {:>8} {:>8} {:>9} {:>9.2} {:>9.2}  {}\n",
+            row.config.drop_per_64k,
+            s.cases,
+            s.survival_rate() * 100.0,
+            s.net.msgs_dropped,
+            s.net.retransmits,
+            s.net.msgs_delayed,
+            format!("{}/{}", s.net.dups_suppressed, s.net.msgs_duplicated),
+            s.masked_overhead_median_pct,
+            s.masked_overhead_p90_pct,
+            s.violations.len()
+        ));
+    }
+    for row in rows {
+        for (seed, detail) in &row.summary.violations {
+            out.push_str(&format!(
+                "VIOLATION drop/64k={} seed {}: {}\n",
+                row.config.drop_per_64k, seed, detail
+            ));
+        }
+    }
+    out
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn summary_net_json(s: &CampaignSummary) -> String {
+    format!(
+        "\"msgs_dropped\": {}, \"msgs_duplicated\": {}, \"msgs_delayed\": {}, \
+         \"retransmits\": {}, \"dups_suppressed\": {}, \
+         \"masked_overhead_median_pct\": {:.4}, \"masked_overhead_p90_pct\": {:.4}",
+        s.net.msgs_dropped,
+        s.net.msgs_duplicated,
+        s.net.msgs_delayed,
+        s.net.retransmits,
+        s.net.dups_suppressed,
+        s.masked_overhead_median_pct,
+        s.masked_overhead_p90_pct
+    )
 }
 
 /// Serialise the campaign as the machine-readable `BENCH_faults.json` report
@@ -142,6 +310,7 @@ pub fn faults_report_json(
     base_seed: u64,
     iterations: u64,
     rows: &[FaultConfigRow],
+    sweep: &[LossySweepRow],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -173,6 +342,7 @@ pub fn faults_report_json(
              \"sdc_detection_rate\": {:.4}, \
              \"recovery_latency\": {{\"samples\": {}, \"min_s\": {:.6}, \"median_s\": {:.6}, \
              \"p90_s\": {:.6}, \"max_s\": {:.6}}}, \
+             {}, \
              \"violations\": [{violations}]}}{}\n",
             s.config.dist.name(),
             s.cases,
@@ -189,7 +359,39 @@ pub fn faults_report_json(
             lat.median_s,
             lat.p90_s,
             lat.max_s,
+            summary_net_json(s),
             if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"lossy_sweep\": [\n");
+    for (i, row) in sweep.iter().enumerate() {
+        let s = &row.summary;
+        let violations = s
+            .violations
+            .iter()
+            .map(|(seed, detail)| {
+                format!(
+                    "{{\"seed\": {seed}, \"detail\": \"{}\"}}",
+                    json_escape(detail)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    {{\"drop_per_64k\": {}, \"dup_per_64k\": {}, \"delay_per_64k\": {}, \
+             \"delay_ns\": {}, \"cases\": {}, \"survived\": {}, \"survival_rate\": {:.4}, \
+             {}, \
+             \"violations\": [{violations}]}}{}\n",
+            row.config.drop_per_64k,
+            row.config.dup_per_64k,
+            row.config.delay_per_64k,
+            row.config.delay_ns,
+            s.cases,
+            s.survived,
+            s.survival_rate(),
+            summary_net_json(s),
+            if i + 1 == sweep.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n");
@@ -263,11 +465,18 @@ mod tests {
     #[test]
     fn small_campaign_rows_have_all_configs_and_json_is_shaped() {
         let rows = fault_campaign_rows(2, 2, 5, 4, RunTuning::default());
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 6);
         let names: Vec<_> = rows.iter().map(|r| r.summary.config.dist.name()).collect();
         assert_eq!(
             names,
-            vec!["exp-mtbf", "mid-collective", "correlated-pair", "sdc"]
+            vec![
+                "exp-mtbf",
+                "mid-collective",
+                "correlated-pair",
+                "sdc",
+                "lossy-links",
+                "delayed-acks"
+            ]
         );
         for row in &rows {
             assert_eq!(row.summary.cases, 2);
@@ -278,10 +487,35 @@ mod tests {
                 row.summary.violations
             );
         }
+        let sweep = lossy_rate_sweep(2, 2, 5, 4, RunTuning::default());
+        assert_eq!(sweep.len(), LOSSY_SWEEP_RATES.len());
+        for row in &sweep {
+            assert_eq!(
+                row.summary.survival_rate(),
+                1.0,
+                "drop/64k={}: {:?}",
+                row.config.drop_per_64k,
+                row.summary.violations
+            );
+            assert_eq!(
+                row.summary.net.dups_suppressed,
+                row.summary.net.msgs_duplicated
+            );
+        }
+        assert!(
+            sweep.last().expect("non-empty").summary.net.msgs_dropped
+                > sweep.first().expect("non-empty").summary.net.msgs_dropped,
+            "a 10x drop rate must drop more frames than 1%"
+        );
         let text = format_faults_table("Fault campaign", &rows);
-        assert!(text.contains("exp-mtbf") && text.contains("sdc"));
-        let json = faults_report_json("table_faults", 2, 2, 5, 4, &rows);
+        assert!(text.contains("exp-mtbf") && text.contains("lossy-links"));
+        let sweep_text = format_lossy_sweep_table("Lossy sweep", &sweep);
+        assert!(sweep_text.contains("655") && sweep_text.contains("6554"));
+        let json = faults_report_json("table_faults", 2, 2, 5, 4, &rows, &sweep);
         assert!(json.contains("\"dist\": \"correlated-pair\""));
+        assert!(json.contains("\"dist\": \"delayed-acks\""));
+        assert!(json.contains("\"lossy_sweep\""));
+        assert!(json.contains("\"dups_suppressed\""));
         assert!(json.contains("\"seeds_per_config\": 2"));
         assert!(json.ends_with("}\n"));
     }

@@ -19,8 +19,9 @@
 pub mod faults;
 
 pub use faults::{
-    fault_campaign_rows, faults_report_json, format_faults_table, parse_faults_args,
-    FaultConfigRow, FaultsArgs,
+    fault_campaign_rows, faults_report_json, format_faults_table, format_lossy_sweep_table,
+    lossy_rate_sweep, parse_faults_args, FaultConfigRow, FaultsArgs, LossySweepRow,
+    LOSSY_SWEEP_RATES,
 };
 
 use repl_baselines::{CorruptionSpec, LeaderFactory, MirrorFactory, RedMpiFactory, SdcReport};

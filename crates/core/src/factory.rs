@@ -74,7 +74,7 @@ mod tests {
     use crate::config::AckOn;
     use bytes::Bytes;
     use sim_mpi::{ReduceOp, ANY_SOURCE};
-    use sim_net::{CrashSchedule, LogGpModel, SimTime};
+    use sim_net::{CrashSchedule, LogGpModel, NetFaultConfig, SimTime};
     use std::time::Duration;
 
     fn fast() -> LogGpModel {
@@ -356,6 +356,169 @@ mod tests {
                 let _ = p.wait(world, rreq);
             });
         assert!(report_ok.all_finished());
+    }
+
+    #[test]
+    fn lossy_links_masked_end_to_end() {
+        // The tentpole smoke: dual replication over a transport that drops,
+        // duplicates and delays ~2.5% of app/ack deliveries each. SDR-MPI's
+        // retransmission timer plus the PML wire-seq dedup window must mask
+        // every fault: all processes finish, every accumulated checksum is
+        // bit-correct, and the fabric counters prove faults actually fired.
+        let rounds = 8u64;
+        let report = replicated_job(2, ReplicationConfig::dual())
+            .network(fast())
+            .net_faults(NetFaultConfig::lossy_links(), 0x10551_1105)
+            .recv_timeout(Duration::from_secs(30))
+            .run(move |p| {
+                let world = p.world();
+                let peer = 1 - p.rank();
+                let mut acc = 0u64;
+                for round in 0..rounds {
+                    if p.rank() == 0 {
+                        p.send_u64s(world, peer, 1, &[round * 3 + 1]);
+                        let (_, v) = p.recv_u64s(world, peer as i64, 2);
+                        acc = acc.wrapping_mul(31).wrapping_add(v[0]);
+                    } else {
+                        let (_, v) = p.recv_u64s(world, peer as i64, 1);
+                        acc = acc.wrapping_mul(31).wrapping_add(v[0]);
+                        p.send_u64s(world, peer, 2, &[round * 7 + 2]);
+                    }
+                }
+                acc
+            });
+        assert!(
+            report.all_finished(),
+            "lossy transport must be fully masked: {:?}",
+            report
+                .processes
+                .iter()
+                .map(|p| (p.endpoint, p.outcome.is_finished()))
+                .collect::<Vec<_>>()
+        );
+        // Both replicas of each rank computed the identical checksum.
+        let mut expect0 = 0u64;
+        let mut expect1 = 0u64;
+        for round in 0..rounds {
+            expect1 = expect1.wrapping_mul(31).wrapping_add(round * 3 + 1);
+            expect0 = expect0.wrapping_mul(31).wrapping_add(round * 7 + 2);
+        }
+        for proc in &report.processes {
+            let expect = if proc.app_rank == 0 { expect0 } else { expect1 };
+            assert_eq!(proc.outcome.result(), Some(&expect));
+        }
+        // The faults really fired, and masking really worked.
+        assert!(report.stats.msgs_dropped() > 0, "no drops sampled");
+        assert!(report.stats.retransmits() > 0, "drops imply retransmits");
+        assert_eq!(
+            report.stats.dups_suppressed(),
+            report.stats.msgs_duplicated(),
+            "every duplicated frame must be suppressed exactly once"
+        );
+    }
+
+    #[test]
+    fn delayed_acks_masked_end_to_end() {
+        // The second preset: 25% of ack deliveries delayed by 200µs — far
+        // past the 50µs retransmission base — provoking spurious retransmits
+        // that the receive window must absorb without double delivery.
+        let report = replicated_job(2, ReplicationConfig::dual())
+            .network(fast())
+            .net_faults(NetFaultConfig::delayed_acks(), 0xACDC)
+            .recv_timeout(Duration::from_secs(30))
+            .run(|p| {
+                let world = p.world();
+                let peer = 1 - p.rank();
+                let mut total = 0u64;
+                for round in 0..6u64 {
+                    let (_, v) = p.sendrecv_bytes(
+                        world,
+                        peer,
+                        1,
+                        Bytes::from((round + p.rank() as u64).to_le_bytes().to_vec()),
+                        peer as i64,
+                        1,
+                    );
+                    total += u64::from_le_bytes(v[..8].try_into().unwrap());
+                }
+                total
+            });
+        assert!(
+            report.all_finished(),
+            "delayed acks must be fully masked: {:?}",
+            report
+                .processes
+                .iter()
+                .map(|p| (p.endpoint, &p.outcome))
+                .collect::<Vec<_>>()
+        );
+        let expect_r0: u64 = (0..6).map(|r| r + 1).sum();
+        let expect_r1: u64 = (0..6).sum();
+        for proc in &report.processes {
+            let expect = if proc.app_rank == 0 {
+                expect_r0
+            } else {
+                expect_r1
+            };
+            assert_eq!(proc.outcome.result(), Some(&expect));
+        }
+        assert!(report.stats.msgs_delayed() > 0, "no ack delays sampled");
+        assert_eq!(report.stats.msgs_dropped(), 0, "delayed-acks never drops");
+        assert_eq!(
+            report.stats.dups_suppressed(),
+            report.stats.msgs_duplicated()
+        );
+    }
+
+    #[test]
+    fn send_log_stays_bounded_under_sustained_loss() {
+        // Ack-driven GC must keep working when acks themselves get dropped:
+        // an unacked entry survives only until its retransmission is
+        // re-acked, so the log tracks the (drop rate × retransmission
+        // latency) window, not total traffic. 384 synchronous rounds at the
+        // lossy-links preset; the bound is far below the round count but
+        // generously above the handful of entries a ~2.5% drop rate can keep
+        // in flight across one 50µs retransmission window.
+        let rounds = 384u64;
+        let report = replicated_job(2, ReplicationConfig::dual())
+            .network(fast())
+            .net_faults(NetFaultConfig::lossy_links(), 0xB0B)
+            .recv_timeout(Duration::from_secs(30))
+            .run(move |p| {
+                let world = p.world();
+                let peer = 1 - p.rank();
+                let mut peak = 0usize;
+                for i in 0..rounds {
+                    let (_, v) = p.sendrecv_bytes(
+                        world,
+                        peer,
+                        0,
+                        Bytes::from(vec![(i % 256) as u8; 64]),
+                        peer as i64,
+                        0,
+                    );
+                    assert_eq!(v.len(), 64);
+                    let log = p.protocol().send_log_len();
+                    peak = peak.max(log);
+                    assert!(
+                        log <= 32,
+                        "send log grew to {log} entries after {i} rounds: \
+                         GC broke under loss"
+                    );
+                }
+                peak as u64
+            });
+        assert!(report.all_finished());
+        assert!(
+            report.stats.msgs_dropped() > 0 && report.stats.retransmits() > 0,
+            "the run must actually have exercised loss: {} dropped, {} retx",
+            report.stats.msgs_dropped(),
+            report.stats.retransmits()
+        );
+        assert_eq!(
+            report.stats.dups_suppressed(),
+            report.stats.msgs_duplicated()
+        );
     }
 
     #[test]

@@ -37,12 +37,47 @@ type HashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<KeyHashe
 
 /// Control-message kinds carried in `header[0]` of SDR-MPI protocol traffic.
 pub mod ctl {
-    /// Acknowledgement of an application message (class `ACK`).
+    /// Acknowledgement of an application message (class `ACK`, or class
+    /// `CONTROL` when re-emitted reliably in response to an
+    /// [`ACK_PROBE`] under a lossy transport).
     pub const ACK: i64 = 1;
     /// Recovery notification broadcast by the substitute after forking a new
     /// replica (class `CONTROL`), Section 3.4.
     pub const RECOVERY_NOTIFY: i64 = 2;
+    /// Self-addressed retransmission timer (class `CONTROL`): fires the
+    /// timeout/backoff check for one send-log entry under a lossy transport.
+    pub const RETX_TIMER: i64 = 3;
+    /// "Have you seen sequence `s` from my rank?" probe (class `CONTROL`)
+    /// sent to a *cross* replica whose acknowledgement is overdue — the
+    /// sender cannot retransmit the payload on that link (the replica
+    /// receives its copy from its own counterpart), but a dropped ack can be
+    /// re-requested reliably.
+    pub const ACK_PROBE: i64 = 4;
+    /// Cumulative "everything below `upto` from your rank is received and
+    /// acknowledged" notice (class `CONTROL`), flushed at `MPI_Finalize` so
+    /// a process can exit without stranding senders whose per-message acks
+    /// were dropped after the receiver's last chance to re-emit them.
+    pub const FIN_ACK: i64 = 5;
 }
+
+/// Virtual-time base of the lossy-transport retransmission timer (50 µs —
+/// comfortably above any one-message round trip of the bundled network
+/// models, so a timer firing almost always means real loss).
+pub const RETX_BASE_NS: u64 = 50_000;
+
+/// A send-log entry still unacknowledged after this many doubled timeouts
+/// aborts the process: at the default campaign fault rates the probability of
+/// that many consecutive losses on one link is negligible, so hitting the cap
+/// indicates a protocol bug rather than bad luck.
+pub const RETX_MAX_ATTEMPTS: u32 = 32;
+
+/// Attempt count from which each retransmission timeout additionally sleeps
+/// a short *real-time* interval. Virtual timer pops are instantaneous in
+/// real time, so repeated timeouts usually mean the peer's carrier thread is
+/// starved of physical CPU (single-core or loaded hosts), not that the
+/// network lost every copy; sleeping lets already-emitted acknowledgements
+/// physically arrive long before [`RETX_MAX_ATTEMPTS`] can be reached.
+pub const RETX_REAL_BACKOFF_ATTEMPTS: u32 = 8;
 
 /// Tracks which application-level sequence numbers have already been delivered
 /// from one sender rank, so duplicates created by post-failure re-sends can be
@@ -91,6 +126,13 @@ pub(crate) struct SendEntry {
     /// Retained until all acks are in, so the substitute logic can re-send it.
     pub(crate) payload: Bytes,
     pub(crate) pml_reqs: Vec<PmlReqId>,
+    /// Wire (stream) sequence of each direct send, per target, so the lossy
+    /// retransmission path can replay the payload under the *same* sequence
+    /// and the receiver's window dedups/reorders it correctly. Empty on
+    /// reliable transports.
+    pub(crate) wire_sends: Vec<(EndpointId, u64)>,
+    /// Retransmission-timer firings for this entry so far (lossy mode).
+    pub(crate) retx_attempts: u32,
     pub(crate) acks_expected: BTreeSet<EndpointId>,
     pub(crate) acks_received: BTreeSet<EndpointId>,
     /// Latest arrival time among the acknowledgements collected so far; the
@@ -170,6 +212,17 @@ pub struct SdrProtocol {
     next_req: u64,
     pml_to_recv: HashMap<PmlReqId, u64>,
     early_acks: HashMap<(Rank, u64), Vec<(EndpointId, SimTime)>>,
+    /// Cumulative pre-acknowledgements from peers' `FIN_ACK` notices:
+    /// `(dst_rank, acker) → upto` means `acker` has received every
+    /// application sequence `< upto` addressed to `dst_rank`. Folded into new
+    /// send entries at `isend` time, covering the replica-skew case where a
+    /// slow replica posts a send after its fast counterpart's receiver has
+    /// already finalized.
+    fin_acked: HashMap<(Rank, EndpointId), u64>,
+    /// Lossy-transport masking mode: captured from the PML at `init` (true
+    /// iff a `NetFaultPolicy` is installed on the fabric). Switches on
+    /// ack-everyone, the retransmission timer and the finalize drain.
+    lossy: bool,
     counters: SdrCounters,
 }
 
@@ -216,6 +269,8 @@ impl SdrProtocol {
             next_req: 1,
             pml_to_recv: HashMap::default(),
             early_acks: HashMap::default(),
+            fin_acked: HashMap::default(),
+            lossy: false,
             counters: SdrCounters::default(),
         }
     }
@@ -278,7 +333,12 @@ impl SdrProtocol {
         not_before: SimTime,
     ) {
         for rep in 0..self.cfg.degree {
-            if rep == src_replica {
+            if rep == src_replica && !self.lossy {
+                // Crossed-ack topology: the direct sender learns of delivery
+                // from the *other* replicas. Under a lossy transport the
+                // direct sender is acked too — it owns the only link the
+                // payload can be retransmitted on, so it must be the one to
+                // detect a dropped direct delivery (DESIGN.md §5.5).
                 continue;
             }
             let target = self.layout.endpoint(src_rank, rep);
@@ -341,6 +401,10 @@ impl SdrProtocol {
             // Duplicate delivery caused by a post-failure re-send: drop the
             // payload and re-arm the receive with the same filter.
             self.counters.duplicates_dropped += 1;
+            if self.lossy {
+                // The sender evidently lost our acknowledgement: re-emit it.
+                self.send_acks_for(pml, src_rank, src_replica, seq, meta.arrival);
+            }
             let _ = pml.take_recv(pml_req);
             self.pml_to_recv.remove(&pml_req);
             let (new_pml_req, _) = {
@@ -353,17 +417,25 @@ impl SdrProtocol {
             self.pml_to_recv.insert(new_pml_req, proto_id);
             return;
         }
-        // Record completion metadata for status translation.
+        // Record completion metadata for status translation. A lossy
+        // transport forces ack-at-receipt: the deferred (AppWait) and
+        // disabled (Never) ablations would let the sender's retransmission
+        // timer fire on messages that were in fact delivered.
+        let ack_on = if self.lossy {
+            AckOn::RecvComplete
+        } else {
+            self.cfg.ack_on
+        };
         if let Some(entry) = self.recvs.get_mut(&proto_id) {
             entry.meta = Some(meta.clone());
-            match self.cfg.ack_on {
+            match ack_on {
                 AckOn::RecvComplete | AckOn::Never => {}
                 AckOn::AppWait => {
                     entry.deferred_ack = Some((src_rank, src_replica, seq, meta.arrival));
                 }
             }
         }
-        if self.cfg.ack_on == AckOn::RecvComplete {
+        if ack_on == AckOn::RecvComplete {
             // The paper's design: acknowledge on the library-level
             // irecvComplete event (Algorithm 1, lines 15-17).
             let before = pml.now();
@@ -579,6 +651,147 @@ impl SdrProtocol {
     fn collect_send_log_garbage(&mut self) {
         self.sends.retain(|_, e| !(e.app_freed && e.fully_acked()));
     }
+
+    /// Arm (or re-arm) the retransmission timer for send-log entry `id`: a
+    /// self-addressed CONTROL message whose virtual arrival is the timeout
+    /// deadline. Self-sends bypass the outbox, so the timer is queued in this
+    /// process's own inbox immediately — a process with an unacked send can
+    /// therefore never be judged quiescent, which is what keeps deadlock
+    /// detection exact under message loss (DESIGN.md §5.5).
+    fn arm_retx_timer(&mut self, pml: &mut Pml, id: u64, deadline: SimTime) {
+        let me = pml.endpoint_id();
+        pml.send_control_at(
+            me,
+            class::CONTROL,
+            [ctl::RETX_TIMER, id as i64, 0, 0, 0, 0, 0, 0],
+            Bytes::new(),
+            deadline,
+        );
+    }
+
+    /// A retransmission timer fired for send-log entry `id` at virtual time
+    /// `now`. If the entry is still missing acknowledgements, chase each
+    /// missing one — replay the payload on direct links (same wire sequence,
+    /// so the receiver's window dedups it), probe cross replicas reliably —
+    /// and re-arm the timer with doubled backoff.
+    fn handle_retx_timer(&mut self, pml: &mut Pml, id: u64, now: SimTime) {
+        let Some(entry) = self.sends.get_mut(&id) else {
+            return; // already acked and collected: stale timer
+        };
+        if entry.fully_acked() {
+            return;
+        }
+        entry.retx_attempts += 1;
+        let attempts = entry.retx_attempts;
+        // The deadline has been reached in *virtual* time only — popping a
+        // self-addressed timer is instantaneous in real time. Before judging
+        // the timeout, sync our clock to the deadline and cross the
+        // scheduler's advance boundary, handing the run permit to any ready
+        // process earlier in virtual time. Without this, a process whose
+        // inbox the timer keeps warm never parks and never yields, starving
+        // the very peers whose acknowledgements would cancel the timer while
+        // the attempt counter races to its cap (DESIGN.md §5.5).
+        pml.wait_until(now);
+        // The boundary above yields only within the scheduler's permit pool;
+        // on a loaded (or single-core) host the peer's *carrier thread* may
+        // still be waiting for physical CPU while this process — whose timer
+        // pops cost nanoseconds of real time each — races through backoff
+        // rounds. A timeout is a slow path: give the OS a scheduling point
+        // every attempt, and once attempts pile up, a short real sleep, so
+        // acknowledgements already emitted get physical time to arrive
+        // before the attempt cap can possibly be reached.
+        std::thread::yield_now();
+        if attempts >= RETX_REAL_BACKOFF_ATTEMPTS {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        assert!(
+            attempts <= RETX_MAX_ATTEMPTS,
+            "send to rank {} seq {} still unacked after {} retransmission timeouts",
+            entry.dst_rank,
+            entry.seq,
+            RETX_MAX_ATTEMPTS,
+        );
+        let missing: Vec<EndpointId> = entry
+            .acks_expected
+            .difference(&entry.acks_received)
+            .copied()
+            .collect();
+        let (comm, tag, seq, payload) = (entry.comm, entry.tag, entry.seq, entry.payload.clone());
+        let wire_sends = entry.wire_sends.clone();
+        for target in missing {
+            if !self.is_alive(target) {
+                continue;
+            }
+            if let Some(&(_, wire_seq)) = wire_sends.iter().find(|(e, _)| *e == target) {
+                pml.resend_app(target, comm, tag, seq as i64, wire_seq, payload.clone());
+            } else {
+                pml.send_control_at(
+                    target,
+                    class::CONTROL,
+                    [
+                        ctl::ACK_PROBE,
+                        self.my_rank as i64,
+                        seq as i64,
+                        0,
+                        0,
+                        0,
+                        0,
+                        0,
+                    ],
+                    Bytes::new(),
+                    now,
+                );
+            }
+        }
+        let backoff = SimTime::from_nanos(RETX_BASE_NS << (attempts - 1).min(16));
+        self.arm_retx_timer(pml, id, now.saturating_add(backoff));
+        // The timer fires outside the normal send→wait flow; push the staged
+        // retransmits now so the receivers are woken promptly.
+        pml.flush();
+    }
+
+    /// A peer probes whether application sequence `seq` from `sender_rank`
+    /// has been delivered here. If it has, re-emit the acknowledgement — on
+    /// the reliable CONTROL class, so a probe/re-ack exchange always
+    /// terminates regardless of the fault rates on the ACK class.
+    fn handle_ack_probe(
+        &mut self,
+        pml: &mut Pml,
+        prober: EndpointId,
+        sender_rank: Rank,
+        seq: u64,
+        arrival: SimTime,
+    ) {
+        if self.recv_seen[sender_rank].seen(seq) {
+            pml.send_control_at(
+                prober,
+                class::CONTROL,
+                Self::ack_header(sender_rank, self.my_rank, seq),
+                Bytes::new(),
+                arrival,
+            );
+            self.counters.acks_sent += 1;
+        }
+        // Not seen yet: our own direct sender's retransmission timer is in
+        // charge of getting the payload here; we will ack on delivery.
+    }
+
+    /// A peer's finalize-time cumulative acknowledgement: `acker` (a replica
+    /// of rank `rank_of(acker)`) has received everything this rank ever sent
+    /// it below `upto`. Acks every matching live entry and is remembered for
+    /// sends this (possibly slower) replica has not posted yet.
+    fn handle_fin_ack(&mut self, acker: EndpointId, upto: u64, arrival: SimTime) {
+        let acker_rank = self.layout.rank_of(acker);
+        for entry in self.sends.values_mut() {
+            if entry.dst_rank == acker_rank && entry.seq < upto {
+                entry.acks_received.insert(acker);
+                entry.completion_floor = entry.completion_floor.max(arrival);
+            }
+        }
+        let slot = self.fin_acked.entry((acker_rank, acker)).or_insert(0);
+        *slot = (*slot).max(upto);
+        self.collect_send_log_garbage();
+    }
 }
 
 impl Protocol for SdrProtocol {
@@ -596,6 +809,13 @@ impl Protocol for SdrProtocol {
 
     fn is_primary(&self) -> bool {
         self.my_replica == self.cfg.primary_replica
+    }
+
+    fn init(&mut self, pml: &mut Pml) {
+        // Capture the transport mode once: the fault policy is installed on
+        // the fabric before any process starts, so this cannot change
+        // mid-run.
+        self.lossy = pml.lossy_transport();
     }
 
     fn isend(
@@ -620,6 +840,8 @@ impl Protocol for SdrProtocol {
             seq,
             payload: payload.clone(),
             pml_reqs: Vec::new(),
+            wire_sends: Vec::new(),
+            retx_attempts: 0,
             acks_expected: BTreeSet::new(),
             acks_received: BTreeSet::new(),
             completion_floor: SimTime::ZERO,
@@ -631,14 +853,27 @@ impl Protocol for SdrProtocol {
         // whole fan-out lands in the endpoint's staged outbox, so the
         // replication degree multiplies neither copies nor channel/wake
         // operations beyond one per distinct destination.
+        //
+        // Under a lossy transport the ack set widens to *every* alive replica
+        // of the destination rank, direct targets included: the direct sender
+        // owns the only link a dropped payload can be retransmitted on, so it
+        // must learn of delivery (or the lack of it) itself.
         for rep in 0..self.cfg.degree {
             let target = self.layout.endpoint(dst, rep);
             if self.physical_dests[dst].contains(&target) {
                 if self.is_alive(target) {
-                    let req = pml.isend(target, comm, tag, seq as i64, payload.clone());
-                    entry.pml_reqs.push(req);
+                    if self.lossy {
+                        let (req, wire_seq) =
+                            pml.isend_tracked(target, comm, tag, seq as i64, payload.clone());
+                        entry.pml_reqs.push(req);
+                        entry.wire_sends.push((target, wire_seq));
+                        entry.acks_expected.insert(target);
+                    } else {
+                        let req = pml.isend(target, comm, tag, seq as i64, payload.clone());
+                        entry.pml_reqs.push(req);
+                    }
                 }
-            } else if self.is_alive(target) && self.cfg.ack_on != AckOn::Never {
+            } else if self.is_alive(target) && (self.lossy || self.cfg.ack_on != AckOn::Never) {
                 entry.acks_expected.insert(target);
             }
         }
@@ -649,9 +884,28 @@ impl Protocol for SdrProtocol {
                 entry.completion_floor = entry.completion_floor.max(arrival);
             }
         }
+        // Fold in cumulative finalize-time acks from peers that already
+        // exited (replica skew: their counterpart sent — and they received —
+        // this sequence before we posted it).
+        if self.lossy {
+            for target in entry.acks_expected.clone() {
+                if self
+                    .fin_acked
+                    .get(&(dst, target))
+                    .is_some_and(|&upto| seq < upto)
+                {
+                    entry.acks_received.insert(target);
+                }
+            }
+        }
         let id = self.next_req;
         self.next_req += 1;
+        let armed = self.lossy && !entry.fully_acked();
         self.sends.insert(id, entry);
+        if armed {
+            let deadline = pml.now().saturating_add(SimTime::from_nanos(RETX_BASE_NS));
+            self.arm_retx_timer(pml, id, deadline);
+        }
         ProtoSendReq(id)
     }
 
@@ -771,7 +1025,10 @@ impl Protocol for SdrProtocol {
                 arrival,
                 ..
             } => {
-                if cls == class::ACK && header[0] == ctl::ACK {
+                // Acks normally travel on the (faultable) ACK class; probe
+                // responses re-emit them on the reliable CONTROL class, so the
+                // ack branch accepts both.
+                if (cls == class::ACK || cls == class::CONTROL) && header[0] == ctl::ACK {
                     let sender_rank = header[1] as usize;
                     debug_assert_eq!(sender_rank, self.my_rank, "ack routed to the wrong rank");
                     let acker_rank = header[2] as usize;
@@ -781,9 +1038,73 @@ impl Protocol for SdrProtocol {
                 } else if cls == class::CONTROL && header[0] == ctl::RECOVERY_NOTIFY {
                     let recovered = EndpointId(header[1] as usize);
                     self.handle_recovery_notification(pml, recovered);
+                } else if cls == class::CONTROL && header[0] == ctl::RETX_TIMER {
+                    self.handle_retx_timer(pml, header[1] as u64, arrival);
+                } else if cls == class::CONTROL && header[0] == ctl::ACK_PROBE {
+                    self.handle_ack_probe(pml, src, header[1] as usize, header[2] as u64, arrival);
+                } else if cls == class::CONTROL && header[0] == ctl::FIN_ACK {
+                    self.handle_fin_ack(src, header[1] as u64, arrival);
                 }
             }
+            PmlEvent::DuplicateSuppressed {
+                src, aux, arrival, ..
+            } => {
+                // The PML's wire window discarded a retransmit whose original
+                // made it through after all: the sender is still missing our
+                // acknowledgement, so re-emit it.
+                let (src_rank, src_replica) = self.layout.locate(src);
+                self.counters.duplicates_dropped += 1;
+                self.send_acks_for(pml, src_rank, src_replica, aux as u64, arrival);
+            }
             PmlEvent::ProcessFailed(ev) => self.handle_failure(pml, ev),
+        }
+    }
+
+    fn finalize(&mut self, pml: &mut Pml) {
+        if !self.lossy {
+            return;
+        }
+        // Termination under loss, two steps (DESIGN.md §5.5):
+        //
+        // 1. Flush cumulative acknowledgements on the reliable CONTROL class.
+        //    At finalize this process has received *everything* any peer will
+        //    ever send it (the app completed all its receives, and the wire
+        //    window admits no gaps), so one `upto` per sender rank covers
+        //    every per-message ack a fault may have eaten — senders can
+        //    complete even after we exit.
+        let me = pml.endpoint_id();
+        for src_rank in 0..self.layout.ranks {
+            let upto = self.recv_seen[src_rank].next_expected;
+            if upto == 0 {
+                continue;
+            }
+            for rep in 0..self.cfg.degree {
+                let target = self.layout.endpoint(src_rank, rep);
+                if target != me && self.is_alive(target) {
+                    pml.send_control_at(
+                        target,
+                        class::CONTROL,
+                        [ctl::FIN_ACK, upto as i64, 0, 0, 0, 0, 0, 0],
+                        Bytes::new(),
+                        pml.now(),
+                    );
+                }
+            }
+        }
+        pml.flush();
+        // 2. Drain the send log: keep progressing (retransmission timers,
+        //    probe responses, peers' FIN_ACKs) until every entry is fully
+        //    acknowledged — exiting earlier would strand a receiver whose
+        //    copy of a payload was dropped.
+        while self.sends.values().any(|e| !e.fully_acked()) {
+            match pml.progress_blocking("SDR-MPI finalize: draining unacked send log") {
+                Ok(events) => {
+                    for ev in events {
+                        self.handle_event(pml, ev);
+                    }
+                }
+                Err(err) => std::panic::panic_any(err),
+            }
         }
     }
 

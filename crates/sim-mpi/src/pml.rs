@@ -75,6 +75,22 @@ pub enum PmlEvent {
         /// finishes when its acknowledgements are in).
         arrival: SimTime,
     },
+    /// The PML's lossy-transport sequence window suppressed a duplicate
+    /// application message (a retransmit whose original eventually arrived,
+    /// or a fabric-injected duplicate that escaped the sweep-time filter).
+    /// The payload never reaches matching — protocols only need this to
+    /// re-emit acknowledgements the sender is evidently still missing.
+    DuplicateSuppressed {
+        /// Sending physical process.
+        src: EndpointId,
+        /// Communicator of the suppressed duplicate.
+        comm: CommId,
+        /// Protocol auxiliary word of the duplicate (SDR-MPI's app-level
+        /// sequence number, which identifies the send-log entry to re-ack).
+        aux: i64,
+        /// Virtual arrival time of the duplicate.
+        arrival: SimTime,
+    },
     /// The failure-detection service reports a crashed process.
     ProcessFailed(FailureEvent),
 }
@@ -144,6 +160,20 @@ pub struct Pml {
     app_sends: u64,
     /// Scheduled soft-error injections, armed by the job launcher.
     sdc_flips: Vec<SdcFlip>,
+    /// Next expected wire sequence per (src, comm) stream. Only maintained
+    /// when a lossy-transport policy is installed on the fabric — reliable
+    /// fabrics deliver per-link FIFO, so the window would be pure overhead.
+    recv_cursor: HashMap<(EndpointId, CommId), u64>,
+    /// Messages that arrived ahead of a wire-sequence gap (a dropped original
+    /// whose retransmit has not landed yet), held back so matching sees the
+    /// stream in wire order.
+    reorder: std::collections::HashMap<
+        (EndpointId, CommId),
+        std::collections::BTreeMap<u64, IncomingMsg>,
+        BuildHasherDefault<KeyHasher>,
+    >,
+    /// Wire-level duplicates discarded by the sequence window.
+    wire_dups_suppressed: u64,
 }
 
 impl std::fmt::Debug for Pml {
@@ -175,7 +205,24 @@ impl Pml {
             config,
             app_sends: 0,
             sdc_flips: Vec::new(),
+            recv_cursor: HashMap::default(),
+            reorder: std::collections::HashMap::default(),
+            wire_dups_suppressed: 0,
         }
+    }
+
+    /// Is a lossy-transport fault policy installed on this process's fabric?
+    /// When true the PML runs its receive-side sequence window (reorder +
+    /// dedup below matching) and protocols are expected to retransmit
+    /// unacknowledged sends (see `DESIGN.md` §5.5).
+    pub fn lossy_transport(&self) -> bool {
+        self.ep.fabric().net_fault_policy().is_some()
+    }
+
+    /// Wire-level duplicate messages the receive sequence window has
+    /// discarded (retransmits whose original also arrived).
+    pub fn wire_dups_suppressed(&self) -> u64 {
+        self.wire_dups_suppressed
     }
 
     /// Arm scheduled soft-error injections (fault-campaign SDC class): each
@@ -225,6 +272,14 @@ impl Pml {
         self.ep.flush();
     }
 
+    /// Synchronise the clock to a virtual deadline the process waited out
+    /// (e.g. a protocol retransmission timeout) and yield the run permit to
+    /// any ready process that is earlier in virtual time — see
+    /// [`sim_net::fabric::Endpoint::wait_until`].
+    pub fn wait_until(&mut self, deadline: SimTime) {
+        self.ep.wait_until(deadline);
+    }
+
     fn alloc_req(&mut self, state: ReqState) -> PmlReqId {
         let id = PmlReqId(self.next_req);
         self.next_req += 1;
@@ -248,6 +303,21 @@ impl Pml {
         aux: i64,
         payload: Bytes,
     ) -> PmlReqId {
+        self.isend_tracked(dst, comm, tag, aux, payload).0
+    }
+
+    /// [`Pml::isend`] that also returns the wire (stream) sequence number the
+    /// send was stamped with, so a protocol retransmitting from its send log
+    /// can replay the message under the *same* sequence — the receiver's
+    /// lossy-transport window then dedups and reorders it correctly.
+    pub fn isend_tracked(
+        &mut self,
+        dst: EndpointId,
+        comm: CommId,
+        tag: Tag,
+        aux: i64,
+        payload: Bytes,
+    ) -> (PmlReqId, u64) {
         self.app_sends += 1;
         let payload = self.corrupt_if_scheduled(payload);
         let seq_key = (dst, comm);
@@ -265,7 +335,36 @@ impl Pml {
             0,
         ];
         self.ep.send(dst, class::APP, header, payload);
-        self.alloc_req(ReqState::SendDone)
+        (self.alloc_req(ReqState::SendDone), this_seq)
+    }
+
+    /// Retransmit a logged application payload under its original wire
+    /// sequence (`wire_seq` from [`Pml::isend_tracked`]). Unlike a fresh
+    /// send this does not advance the stream sequence, does not count as a
+    /// new application send for SDC/crash schedules, and does not re-apply
+    /// scheduled corruptions — the wire carries exactly what the send log
+    /// retained. Counted in [`sim_net::NetStats`] (`retransmits`).
+    pub fn resend_app(
+        &mut self,
+        dst: EndpointId,
+        comm: CommId,
+        tag: Tag,
+        aux: i64,
+        wire_seq: u64,
+        payload: Bytes,
+    ) {
+        let header = [
+            comm.0 as i64,
+            tag,
+            wire_seq as i64,
+            aux,
+            payload.len() as i64,
+            0,
+            0,
+            0,
+        ];
+        self.ep.fabric().stats().record_retransmit();
+        self.ep.send(dst, class::APP, header, payload);
     }
 
     /// Apply any armed [`SdcFlip`] matching the current send index. The flip
@@ -469,9 +568,6 @@ impl Pml {
             let tag = raw.header[1];
             let seq = raw.header[2] as u64;
             let aux = raw.header[3];
-            self.ep
-                .clock_mut()
-                .charge_comm(SimTime::from_nanos(self.config.match_overhead_ns));
             let msg = IncomingMsg {
                 src: raw.src,
                 comm,
@@ -481,8 +577,10 @@ impl Pml {
                 payload: raw.payload,
                 arrival: raw.arrival,
             };
-            if let Some((req, msg)) = self.engine.incoming(msg) {
-                self.complete_recv(req, msg);
+            if self.lossy_transport() {
+                self.window_ingest(msg);
+            } else {
+                self.deliver_to_matching(msg);
             }
         } else {
             self.pending_events.push(PmlEvent::Control {
@@ -492,6 +590,70 @@ impl Pml {
                 payload: raw.payload,
                 arrival: raw.arrival,
             });
+        }
+    }
+
+    /// Hand one in-window application message to the matching engine,
+    /// charging the per-message matching cost.
+    fn deliver_to_matching(&mut self, msg: IncomingMsg) {
+        self.ep
+            .clock_mut()
+            .charge_comm(SimTime::from_nanos(self.config.match_overhead_ns));
+        if let Some((req, msg)) = self.engine.incoming(msg) {
+            self.complete_recv(req, msg);
+        }
+    }
+
+    /// The lossy-transport receive window: deliver application messages to
+    /// matching strictly in wire-sequence order per (src, comm) stream.
+    ///
+    /// * A duplicate (sequence below the cursor, or already buffered) is
+    ///   discarded before matching ever sees it — exactly-once delivery —
+    ///   and surfaced as [`PmlEvent::DuplicateSuppressed`] so the protocol
+    ///   can re-acknowledge it.
+    /// * A message ahead of the cursor (its predecessor was dropped and the
+    ///   retransmit is still in flight) is held back; without the hold-back a
+    ///   posted receive would match the wrong payload, because MPI matching
+    ///   binds messages to receives in posting order.
+    /// * The in-order message advances the cursor and drains any buffered
+    ///   successors.
+    fn window_ingest(&mut self, msg: IncomingMsg) {
+        let key = (msg.src, msg.comm);
+        let cursor = self.recv_cursor.entry(key).or_insert(0);
+        if msg.seq < *cursor
+            || self
+                .reorder
+                .get(&key)
+                .is_some_and(|buf| buf.contains_key(&msg.seq))
+        {
+            self.wire_dups_suppressed += 1;
+            self.pending_events.push(PmlEvent::DuplicateSuppressed {
+                src: msg.src,
+                comm: msg.comm,
+                aux: msg.aux,
+                arrival: msg.arrival,
+            });
+            return;
+        }
+        if msg.seq > *cursor {
+            self.reorder.entry(key).or_default().insert(msg.seq, msg);
+            return;
+        }
+        *cursor += 1;
+        self.deliver_to_matching(msg);
+        loop {
+            let next = *self.recv_cursor.get(&key).expect("cursor exists");
+            let Some(buf) = self.reorder.get_mut(&key) else {
+                break;
+            };
+            let Some(msg) = buf.remove(&next) else {
+                if buf.is_empty() {
+                    self.reorder.remove(&key);
+                }
+                break;
+            };
+            *self.recv_cursor.get_mut(&key).expect("cursor exists") += 1;
+            self.deliver_to_matching(msg);
         }
     }
 
@@ -519,6 +681,17 @@ impl Pml {
     /// the bounded worker pool.
     pub fn progress(&mut self) -> Vec<PmlEvent> {
         self.poll_failures();
+        // Under lossy transport, push staged sends out *now* instead of
+        // waiting for a parking boundary. A process whose inbox is kept warm
+        // by its own retransmission timer (and by inbound retransmits) never
+        // parks, so the boundary-only flush would strand the very
+        // acknowledgements — and the timer-guarded payloads themselves — that
+        // its peers need to stop retransmitting: a livelock that ends at the
+        // retransmission-attempt cap. Reliable mode keeps the batched
+        // boundary-only flush (and its traces) untouched.
+        if self.lossy_transport() {
+            self.ep.flush();
+        }
         let mut drained_any = false;
         // Batch drain: one crash check and one inbox sweep
         // (`Endpoint::poll_ready`), then pop every already-ingested message —
@@ -859,6 +1032,121 @@ mod tests {
             seqs.push(p1.take_recv(req).unwrap().0.seq);
         }
         assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn lossy_window_reorders_and_dedups_below_matching() {
+        use sim_net::NetFaultConfig;
+        let f = fabric(2);
+        // Zero rates: the policy faults nothing, but its presence switches the
+        // receive path onto the sequence window.
+        f.install_net_faults(
+            NetFaultConfig {
+                drop_per_64k: 0,
+                dup_per_64k: 0,
+                delay_per_64k: 0,
+                delay_ns: 0,
+                ack_only: false,
+            },
+            1,
+        );
+        let mut p0 = Pml::new(f.endpoint(EndpointId(0)));
+        let mut p1 = Pml::new(f.endpoint(EndpointId(1)));
+        assert!(p0.lossy_transport());
+        let r1 = p1.irecv(Some(EndpointId(0)), CommId::WORLD, TagSel::Tag(7));
+        let r2 = p1.irecv(Some(EndpointId(0)), CommId::WORLD, TagSel::Tag(7));
+        // Wire seq 1 arrives first (its predecessor was "dropped"): held back.
+        p0.resend_app(
+            EndpointId(1),
+            CommId::WORLD,
+            7,
+            0,
+            1,
+            Bytes::from_static(b"second"),
+        );
+        p0.flush();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(p1.progress().is_empty(), "ahead-of-order message held back");
+        assert!(!p1.is_complete(r1));
+        // The "retransmit" of wire seq 0 fills the gap: both deliver, in
+        // posting order, with the right payloads.
+        p0.resend_app(
+            EndpointId(1),
+            CommId::WORLD,
+            7,
+            0,
+            0,
+            Bytes::from_static(b"first"),
+        );
+        p0.flush();
+        while !(p1.is_complete(r1) && p1.is_complete(r2)) {
+            p1.progress_blocking("gap fill").unwrap();
+        }
+        assert_eq!(&p1.take_recv(r1).unwrap().1[..], b"first");
+        assert_eq!(&p1.take_recv(r2).unwrap().1[..], b"second");
+        // A second copy of wire seq 0 is suppressed before matching and
+        // surfaced as a DuplicateSuppressed event.
+        p0.resend_app(
+            EndpointId(1),
+            CommId::WORLD,
+            7,
+            42,
+            0,
+            Bytes::from_static(b"first"),
+        );
+        p0.flush();
+        let events = p1.progress_blocking("dup").unwrap();
+        assert!(matches!(
+            events[0],
+            PmlEvent::DuplicateSuppressed { src, aux, .. }
+                if src == EndpointId(0) && aux == 42
+        ));
+        assert_eq!(p1.wire_dups_suppressed(), 1);
+        assert_eq!(
+            p1.matching().unexpected_len(),
+            0,
+            "dup never reached matching"
+        );
+        assert_eq!(f.stats().snapshot().retransmits(), 3);
+    }
+
+    #[test]
+    fn lossy_window_keeps_independent_streams_per_comm() {
+        use sim_net::NetFaultConfig;
+        let f = fabric(2);
+        f.install_net_faults(
+            NetFaultConfig {
+                drop_per_64k: 0,
+                dup_per_64k: 0,
+                delay_per_64k: 0,
+                delay_ns: 0,
+                ack_only: false,
+            },
+            1,
+        );
+        let mut p0 = Pml::new(f.endpoint(EndpointId(0)));
+        let mut p1 = Pml::new(f.endpoint(EndpointId(1)));
+        // A gap on comm 9 must not hold back comm WORLD traffic.
+        p0.resend_app(
+            EndpointId(1),
+            CommId(9),
+            1,
+            0,
+            1,
+            Bytes::from_static(b"gap"),
+        );
+        p0.isend(
+            EndpointId(1),
+            CommId::WORLD,
+            1,
+            0,
+            Bytes::from_static(b"ok"),
+        );
+        let req = p1.irecv(Some(EndpointId(0)), CommId::WORLD, TagSel::Tag(1));
+        while !p1.is_complete(req) {
+            p1.progress_blocking("cross-comm").unwrap();
+        }
+        assert_eq!(&p1.take_recv(req).unwrap().1[..], b"ok");
     }
 
     #[test]

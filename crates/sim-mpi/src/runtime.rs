@@ -38,8 +38,8 @@ use sim_net::failure::CrashSignal;
 use sim_net::stats::StatsSnapshot;
 use sim_net::trace::EventTrace;
 use sim_net::{
-    CarrierMode, Cluster, CoroRuntime, CrashSchedule, EndpointId, Fabric, LogGpModel, NetworkModel,
-    Placement, SimTime,
+    CarrierMode, Cluster, CoroRuntime, CrashSchedule, EndpointId, Fabric, LogGpModel,
+    NetFaultConfig, NetworkModel, Placement, SimTime,
 };
 use std::sync::{Arc, Once};
 use std::time::Duration;
@@ -188,6 +188,7 @@ pub struct JobBuilder {
     factory: Arc<dyn ProtocolFactory>,
     crash_schedules: Vec<(EndpointId, CrashSchedule)>,
     sdc_flips: Vec<(EndpointId, SdcFlip)>,
+    net_faults: Option<(NetFaultConfig, u64)>,
     pml_config: PmlConfig,
     trace: bool,
     recv_timeout: Duration,
@@ -214,6 +215,7 @@ impl JobBuilder {
             factory: Arc::new(NativeFactory),
             crash_schedules: Vec::new(),
             sdc_flips: Vec::new(),
+            net_faults: None,
             pml_config: PmlConfig::default(),
             trace: false,
             recv_timeout: Duration::from_secs(20),
@@ -267,6 +269,22 @@ impl JobBuilder {
     /// class, next to [`JobBuilder::crash`].
     pub fn sdc_flip(mut self, endpoint: EndpointId, flip: SdcFlip) -> Self {
         self.sdc_flips.push((endpoint, flip));
+        self
+    }
+
+    /// Make the transport lossy: install a seeded [`sim_net::NetFaultPolicy`]
+    /// that drops, duplicates or delays application and ack deliveries at the
+    /// rates in `config` (see [`NetFaultConfig::lossy_links`] and
+    /// [`NetFaultConfig::delayed_acks`]). The fault-campaign engine's third
+    /// fault class, next to [`JobBuilder::crash`] and [`JobBuilder::sdc_flip`].
+    /// The policy is a pure function of `(config, seed)` and the per-link
+    /// message indices, so identical jobs replay identical fault decisions.
+    /// Protocols discover the lossy transport through
+    /// [`Pml::lossy_transport`](crate::pml::Pml::lossy_transport) at init and
+    /// are expected to mask it (SDR-MPI retransmits on a virtual-time timer
+    /// and suppresses duplicates; see DESIGN.md §5.5).
+    pub fn net_faults(mut self, config: NetFaultConfig, seed: u64) -> Self {
+        self.net_faults = Some((config, seed));
         self
     }
 
@@ -342,6 +360,11 @@ impl JobBuilder {
         let placement = self.placement.unwrap_or(Placement::Packed);
         let fabric = Fabric::new_shared(physical, Arc::clone(&self.model), cluster, placement);
         fabric.set_recv_timeout(self.recv_timeout);
+        // Install before anything runs: protocols read the policy's presence
+        // at init time, and per-link fault indices must start at zero.
+        if let Some((config, seed)) = self.net_faults {
+            fabric.install_net_faults(config, seed);
+        }
         for (ep, schedule) in &self.crash_schedules {
             fabric.failure().schedule(*ep, *schedule);
         }
@@ -483,6 +506,10 @@ impl JobBuilder {
             rt.shutdown();
         }
         processes.sort_by_key(|p| p.endpoint);
+        // Sweep unclaimed duplicate frames (receiver exited before its inbox
+        // was drained) into the suppressed count, so the campaign invariant
+        // `dups_suppressed == msgs_duplicated` is exact in the snapshot below.
+        fabric.reconcile_net_faults();
         let elapsed = processes
             .iter()
             .filter(|p| p.outcome.is_finished())

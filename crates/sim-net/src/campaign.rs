@@ -36,6 +36,7 @@
 
 use crate::fabric::EndpointId;
 use crate::failure::CrashSchedule;
+use crate::netfault::NetFaultConfig;
 
 /// Deterministic splitmix64 generator used for plan sampling.
 ///
@@ -108,6 +109,18 @@ pub enum PlannedFault {
         /// Bit to flip, taken modulo the payload size in bits.
         bit: u32,
     },
+    /// Lossy transport: a fabric-wide [`crate::netfault::NetFaultPolicy`]
+    /// installed before launch, dropping/duplicating/delaying app and ack
+    /// deliveries at the sampled rates. Unlike crashes and bit flips this
+    /// fault is not tied to one endpoint — it degrades every link — and the
+    /// job is expected to *mask* it completely (retransmission + duplicate
+    /// suppression), not merely survive it.
+    LossyTransport {
+        /// The fault rates and delay to install.
+        config: NetFaultConfig,
+        /// Seed of the policy's per-link splitmix64 verdict stream.
+        policy_seed: u64,
+    },
 }
 
 /// Parameterized fault distributions a campaign can draw plans from.
@@ -160,6 +173,30 @@ pub enum FaultDistribution {
         /// Exclusive upper bound on the flipped bit position.
         payload_bits: u32,
     },
+    /// Lossy links: one fabric-wide [`PlannedFault::LossyTransport`] whose
+    /// drop/duplicate/delay rates are drawn uniformly in `[1, max]` per
+    /// fault kind (per 65 536), with a short sampled delay (5–50 µs). The
+    /// protocol must mask every sampled policy: bit-correct results, zero
+    /// violations, `dups_suppressed == msgs_duplicated`.
+    LossyLinks {
+        /// Inclusive upper bound on the sampled drop rate, per 65 536.
+        max_drop_per_64k: u32,
+        /// Inclusive upper bound on the sampled duplication rate, per 65 536.
+        max_dup_per_64k: u32,
+        /// Inclusive upper bound on the sampled delay rate, per 65 536.
+        max_delay_per_64k: u32,
+    },
+    /// Delayed acknowledgements: no loss, but an ack-only delay policy whose
+    /// rate is drawn in `[1, max_delay_per_64k]` and whose delay is drawn
+    /// past the retransmission timeout base (60 µs up to `max_delay_ns`),
+    /// so sender-side timers demonstrably fire and the receive windows must
+    /// absorb the spurious retransmits without double delivery.
+    DelayedAcks {
+        /// Inclusive upper bound on the sampled ack-delay rate, per 65 536.
+        max_delay_per_64k: u32,
+        /// Upper bound on the sampled virtual delay, nanoseconds.
+        max_delay_ns: u64,
+    },
 }
 
 impl FaultDistribution {
@@ -170,6 +207,8 @@ impl FaultDistribution {
             FaultDistribution::CorrelatedPairLoss { .. } => 2,
             FaultDistribution::MidCollective { .. } => 3,
             FaultDistribution::SoftErrors { .. } => 4,
+            FaultDistribution::LossyLinks { .. } => 5,
+            FaultDistribution::DelayedAcks { .. } => 6,
         }
     }
 
@@ -192,6 +231,22 @@ impl FaultDistribution {
                 max_send,
                 payload_bits,
             } => [flips as u64, max_send, payload_bits as u64],
+            // The three 16-bit rate bounds pack into one canonical word.
+            FaultDistribution::LossyLinks {
+                max_drop_per_64k,
+                max_dup_per_64k,
+                max_delay_per_64k,
+            } => [
+                (max_drop_per_64k as u64)
+                    | (max_dup_per_64k as u64) << 16
+                    | (max_delay_per_64k as u64) << 32,
+                0,
+                0,
+            ],
+            FaultDistribution::DelayedAcks {
+                max_delay_per_64k,
+                max_delay_ns,
+            } => [max_delay_per_64k as u64, max_delay_ns, 0],
         }
     }
 
@@ -202,6 +257,8 @@ impl FaultDistribution {
             FaultDistribution::CorrelatedPairLoss { .. } => "correlated-pair",
             FaultDistribution::MidCollective { .. } => "mid-collective",
             FaultDistribution::SoftErrors { .. } => "sdc",
+            FaultDistribution::LossyLinks { .. } => "lossy-links",
+            FaultDistribution::DelayedAcks { .. } => "delayed-acks",
         }
     }
 }
@@ -295,6 +352,20 @@ impl FaultPlan {
                     out.extend(&nth_send.to_le_bytes());
                     out.extend(&(bit as u64).to_le_bytes());
                 }
+                PlannedFault::LossyTransport {
+                    config,
+                    policy_seed,
+                } => {
+                    out.push(2u8);
+                    // Three 16-bit rates plus the ack-only flag in one word.
+                    let rates = (config.drop_per_64k as u64)
+                        | (config.dup_per_64k as u64) << 16
+                        | (config.delay_per_64k as u64) << 32
+                        | (config.ack_only as u64) << 48;
+                    out.extend(&rates.to_le_bytes());
+                    out.extend(&config.delay_ns.to_le_bytes());
+                    out.extend(&policy_seed.to_le_bytes());
+                }
             }
         }
         out
@@ -304,7 +375,7 @@ impl FaultPlan {
     pub fn crashes(&self) -> impl Iterator<Item = (EndpointId, CrashSchedule)> + '_ {
         self.faults.iter().filter_map(|f| match *f {
             PlannedFault::Crash { endpoint, schedule } => Some((endpoint, schedule)),
-            PlannedFault::BitFlip { .. } => None,
+            _ => None,
         })
     }
 
@@ -316,7 +387,20 @@ impl FaultPlan {
                 nth_send,
                 bit,
             } => Some((endpoint, nth_send, bit)),
-            PlannedFault::Crash { .. } => None,
+            _ => None,
+        })
+    }
+
+    /// The lossy-transport faults of the plan, in order (at most one per
+    /// plan under the bundled distributions — the fabric accepts a single
+    /// installed policy per job).
+    pub fn lossy_transports(&self) -> impl Iterator<Item = (NetFaultConfig, u64)> + '_ {
+        self.faults.iter().filter_map(|f| match *f {
+            PlannedFault::LossyTransport {
+                config,
+                policy_seed,
+            } => Some((config, policy_seed)),
+            _ => None,
         })
     }
 }
@@ -398,6 +482,49 @@ pub fn sample_plan(config: CampaignConfig, seed: u64) -> FaultPlan {
                     });
                 }
             }
+        }
+        FaultDistribution::LossyLinks {
+            max_drop_per_64k,
+            max_dup_per_64k,
+            max_delay_per_64k,
+        } => {
+            // One fabric-wide policy per plan; each rate is drawn in
+            // [1, max] so every sampled case actually exercises all three
+            // fault kinds (a zero-rate case would test nothing).
+            let mut draw = |max: u32| 1 + rng.below(max.max(1) as u64) as u32;
+            let config = NetFaultConfig {
+                drop_per_64k: draw(max_drop_per_64k),
+                dup_per_64k: draw(max_dup_per_64k),
+                delay_per_64k: draw(max_delay_per_64k),
+                // 5–50 µs: around and below the 50 µs retransmission base,
+                // so delays sometimes look like losses to the sender.
+                delay_ns: 5_000 + rng.below(45_001),
+                ack_only: false,
+            };
+            config.validate();
+            faults.push(PlannedFault::LossyTransport {
+                config,
+                policy_seed: rng.next_u64(),
+            });
+        }
+        FaultDistribution::DelayedAcks {
+            max_delay_per_64k,
+            max_delay_ns,
+        } => {
+            let config = NetFaultConfig {
+                drop_per_64k: 0,
+                dup_per_64k: 0,
+                delay_per_64k: 1 + rng.below(max_delay_per_64k.max(1) as u64) as u32,
+                // Always past the 50 µs retransmission base, so the
+                // sender-side timer demonstrably fires.
+                delay_ns: 60_000 + rng.below(max_delay_ns.saturating_sub(60_000).max(1)),
+                ack_only: true,
+            };
+            config.validate();
+            faults.push(PlannedFault::LossyTransport {
+                config,
+                policy_seed: rng.next_u64(),
+            });
         }
     }
     FaultPlan {
@@ -483,6 +610,15 @@ mod tests {
                 flips: 3,
                 max_send: 6,
                 payload_bits: 8192,
+            },
+            FaultDistribution::LossyLinks {
+                max_drop_per_64k: 3277,
+                max_dup_per_64k: 3277,
+                max_delay_per_64k: 3277,
+            },
+            FaultDistribution::DelayedAcks {
+                max_delay_per_64k: 32_768,
+                max_delay_ns: 400_000,
             },
         ] {
             for seed in 0..32 {
@@ -581,6 +717,54 @@ mod tests {
                 assert!((1..=6).contains(&nth));
                 assert!(bit < 64);
             }
+        }
+    }
+
+    #[test]
+    fn lossy_links_plans_are_well_formed() {
+        let dist = FaultDistribution::LossyLinks {
+            max_drop_per_64k: 3277,
+            max_dup_per_64k: 3277,
+            max_delay_per_64k: 3277,
+        };
+        let mut distinct = std::collections::BTreeSet::new();
+        for seed in 0..100 {
+            let plan = sample_plan(cfg(dist), seed);
+            let lossy: Vec<_> = plan.lossy_transports().collect();
+            assert_eq!(lossy.len(), 1, "one fabric-wide policy per plan");
+            assert!(plan.crashes().next().is_none());
+            let (config, policy_seed) = lossy[0];
+            config.validate();
+            assert!((1..=3277).contains(&config.drop_per_64k));
+            assert!((1..=3277).contains(&config.dup_per_64k));
+            assert!((1..=3277).contains(&config.delay_per_64k));
+            assert!((5_000..=50_000).contains(&config.delay_ns));
+            assert!(!config.ack_only);
+            distinct.insert((config.drop_per_64k, config.delay_ns, policy_seed));
+        }
+        assert!(distinct.len() > 90, "seeds must spread the sampled rates");
+    }
+
+    #[test]
+    fn delayed_acks_plans_always_outlast_the_retx_base() {
+        let dist = FaultDistribution::DelayedAcks {
+            max_delay_per_64k: 32_768,
+            max_delay_ns: 400_000,
+        };
+        for seed in 0..100 {
+            let plan = sample_plan(cfg(dist), seed);
+            let (config, _) = plan.lossy_transports().next().expect("one policy");
+            config.validate();
+            assert!(config.ack_only, "delayed-acks must not touch payloads");
+            assert_eq!(config.drop_per_64k, 0);
+            assert_eq!(config.dup_per_64k, 0);
+            assert!((1..=32_768).contains(&config.delay_per_64k));
+            assert!(
+                config.delay_ns >= 60_000,
+                "sampled delay {} must exceed the 50 µs retx base",
+                config.delay_ns
+            );
+            assert!(config.delay_ns < 400_000);
         }
     }
 

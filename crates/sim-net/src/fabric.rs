@@ -89,6 +89,7 @@
 use crate::clock::VirtualClock;
 use crate::failure::{CrashSignal, FailureService};
 use crate::model::NetworkModel;
+use crate::netfault::{FaultVerdict, NetFaultConfig, NetFaultPolicy};
 use crate::sched::{Park, Scheduler};
 use crate::stats::{class, NetStats};
 use crate::time::SimTime;
@@ -133,6 +134,13 @@ pub struct RawMessage {
     pub injected_at: SimTime,
     /// Virtual time at which the message becomes visible to the receiver.
     pub arrival: SimTime,
+    /// Marks a *policy-injected duplicate copy* (see [`crate::netfault`]).
+    /// The receiver-side sweep discards marked frames before they can reach
+    /// the protocol layer, counting them as `dups_suppressed`; legitimate
+    /// traffic always carries `false`. Keeping the marker on the frame makes
+    /// `dups_suppressed == msgs_duplicated` structurally exact rather than a
+    /// content-matching heuristic.
+    pub dup: bool,
 }
 
 impl RawMessage {
@@ -314,6 +322,10 @@ pub struct Fabric {
     failure: FailureService,
     sched: Scheduler,
     recv_timeout_ms: AtomicU64,
+    /// The job's lossy-transport fault policy, if one was installed (see
+    /// [`crate::netfault`]). Installed once before any process starts;
+    /// fault-free runs pay one atomic load per delivery for the `None` check.
+    net_faults: std::sync::OnceLock<NetFaultPolicy>,
 }
 
 impl std::fmt::Debug for Fabric {
@@ -365,6 +377,7 @@ impl Fabric {
             failure: FailureService::new(n),
             sched,
             recv_timeout_ms: AtomicU64::new(20_000),
+            net_faults: std::sync::OnceLock::new(),
         })
     }
 
@@ -396,25 +409,129 @@ impl Fabric {
         &self.sched
     }
 
+    /// Install a lossy-transport fault policy for this job (see
+    /// [`crate::netfault`]): every subsequent `Fabric::deliver` /
+    /// `Fabric::deliver_batch` routes application and ack traffic through
+    /// it. Must be installed at most once, before any process starts, so
+    /// that the per-link message indices are identical across replays.
+    pub fn install_net_faults(&self, config: NetFaultConfig, seed: u64) {
+        let policy = NetFaultPolicy::new(config, seed, self.n);
+        assert!(
+            self.net_faults.set(policy).is_ok(),
+            "a net-fault policy was already installed on this fabric"
+        );
+    }
+
+    /// The installed lossy-transport policy, if any.
+    pub fn net_fault_policy(&self) -> Option<&NetFaultPolicy> {
+        self.net_faults.get()
+    }
+
+    /// Run one message through the installed policy, appending the surviving
+    /// frame(s) to `out`: the message itself (arrival clamped to the link
+    /// floor, pushed on a delay), plus a marked duplicate copy on a
+    /// [`FaultVerdict::Duplicate`]; nothing on a drop. The duplicate is
+    /// appended *after* the original so it takes a later ingest sequence —
+    /// the pop order then always hands the real frame to the receiver first.
+    fn route_faulted(
+        &self,
+        policy: &NetFaultPolicy,
+        mut msg: RawMessage,
+        out: &mut Vec<RawMessage>,
+    ) {
+        let (verdict, arrival) = policy.route(msg.src.0, msg.dst.0, msg.class, msg.arrival);
+        msg.arrival = arrival;
+        match verdict {
+            FaultVerdict::Deliver => out.push(msg),
+            FaultVerdict::Delay => {
+                self.stats.record_msg_delayed();
+                out.push(msg);
+            }
+            FaultVerdict::Drop => self.stats.record_msg_dropped(),
+            FaultVerdict::Duplicate => {
+                self.stats.record_msg_duplicated();
+                let mut copy = msg.clone();
+                copy.dup = true;
+                out.push(msg);
+                out.push(copy);
+            }
+        }
+    }
+
     /// Ingest a single message into its destination inbox and wake the
     /// destination's scheduler slot. Every delivery — application traffic,
     /// protocol control messages and crash wake-ups — must go through here or
     /// through [`Fabric::deliver_batch`] so that no parked process can miss a
     /// message.
+    ///
+    /// With a fault policy installed the message may be dropped, duplicated
+    /// or delayed first; the destination is *always* woken, even for a full
+    /// drop — a spurious wake is a harmless re-poll, while skipping the wake
+    /// would make the no-lost-wake argument depend on the fault plan.
     fn deliver(&self, msg: RawMessage) {
         let dst = msg.dst;
-        self.inboxes[dst.0].ingest(msg, Vec::new());
+        if let Some(policy) = self.net_faults.get() {
+            let mut routed = Vec::with_capacity(2);
+            self.route_faulted(policy, msg, &mut routed);
+            let mut frames = routed.into_iter();
+            if let Some(first) = frames.next() {
+                self.inboxes[dst.0].ingest(first, frames.collect());
+            }
+        } else {
+            self.inboxes[dst.0].ingest(msg, Vec::new());
+        }
         self.stats.record_wake(self.sched.wake(dst));
     }
 
     /// Ingest one endpoint's staged batch for `dst`: a single stripe-lock
     /// acquisition and a single wake, however many messages the batch
-    /// carries.
+    /// carries. Like [`Fabric::deliver`], routes each message through the
+    /// fault policy when one is installed, and wakes the destination even if
+    /// the whole batch was dropped.
     fn deliver_batch(&self, first: RawMessage, rest: Vec<RawMessage>) {
         let dst = first.dst;
         self.stats.record_flush(1 + rest.len() as u64);
-        self.inboxes[dst.0].ingest(first, rest);
+        if let Some(policy) = self.net_faults.get() {
+            let mut routed = Vec::with_capacity(2 + rest.len());
+            self.route_faulted(policy, first, &mut routed);
+            for msg in rest {
+                self.route_faulted(policy, msg, &mut routed);
+            }
+            let mut frames = routed.into_iter();
+            if let Some(first) = frames.next() {
+                self.inboxes[dst.0].ingest(first, frames.collect());
+            }
+        } else {
+            self.inboxes[dst.0].ingest(first, rest);
+        }
         self.stats.record_wake(self.sched.wake(dst));
+    }
+
+    /// Job-end reconciliation of the fault policy's duplicate accounting:
+    /// any policy-injected duplicate copy still sitting unswept in a
+    /// fabric-owned inbox (its receiver exited or crashed before sweeping
+    /// it) is counted as suppressed here and removed, so the campaign gate
+    /// `dups_suppressed == msgs_duplicated` is exact by construction. The
+    /// job launcher calls this after every process has joined and before it
+    /// snapshots the stats. A no-op without an installed policy.
+    pub fn reconcile_net_faults(&self) {
+        if self.net_faults.get().is_none() {
+            return;
+        }
+        for inbox in &self.inboxes {
+            for stripe in &inbox.stripes {
+                let mut msgs = stripe.lock();
+                let before = msgs.len();
+                msgs.retain(|(_, m)| !m.dup);
+                let removed = (before - msgs.len()) as u64;
+                if removed > 0 {
+                    inbox.queued.fetch_sub(removed, Ordering::SeqCst);
+                    for _ in 0..removed {
+                        self.stats.record_dup_suppressed();
+                    }
+                }
+            }
+        }
     }
 
     /// The node hosting endpoint `e`.
@@ -579,6 +696,37 @@ impl Endpoint {
         }
     }
 
+    /// Synchronise the clock to a virtual deadline the process has
+    /// conceptually waited out — e.g. a protocol retransmission timeout —
+    /// and treat the jump as a scheduling boundary, exactly like
+    /// [`Endpoint::compute`].
+    ///
+    /// This matters for self-addressed virtual timers: the timer message is
+    /// queued immediately, so *popping* it is instantaneous in real time
+    /// even though its arrival is far ahead in virtual time. A process that
+    /// judged the timeout without crossing this boundary would keep its run
+    /// permit while racing arbitrarily far ahead of ready peers — the very
+    /// peers whose traffic would cancel the timer (see
+    /// [`crate::sched::Scheduler::advance`] on wake-chain starvation).
+    /// Syncing the clock and yielding to any earlier-in-virtual-time ready
+    /// process keeps dispatch order tracking virtual time. Earlier clocks
+    /// are left untouched (`sync_to` is monotone).
+    pub fn wait_until(&mut self, deadline: SimTime) {
+        self.maybe_crash(false);
+        if self.clock.now() >= deadline {
+            return;
+        }
+        self.clock.sync_to(deadline);
+        if self.managed {
+            self.flush();
+            // `wait_boundary` consumes the stale wake token the timer's own
+            // delivery left behind (a plain `advance` would treat it as
+            // fresh work and never hand off); it keeps this slot
+            // dispatchable, so it cannot contribute to a quiescence verdict.
+            let _ = self.fabric.sched.wait_boundary(self.id, self.clock.now());
+        }
+    }
+
     /// Number of application-class messages sent so far.
     pub fn app_sends(&self) -> u64 {
         self.app_sends
@@ -617,6 +765,7 @@ impl Endpoint {
                     payload: Bytes::new(),
                     injected_at: ev.at,
                     arrival: ev.at,
+                    dup: false,
                 };
                 self.fabric.deliver(wakeup);
             }
@@ -673,6 +822,7 @@ impl Endpoint {
             payload,
             injected_at,
             arrival,
+            dup: false,
         };
         self.fabric.stats.record_send(cls, msg.len());
         if self.managed && dst != self.id {
@@ -743,7 +893,17 @@ impl Endpoint {
 
     /// Place one swept message into the ladder (in-order fast path) or the
     /// fallback heap (arrival behind the ladder tail).
+    ///
+    /// Policy-injected duplicate copies are discarded right here, before
+    /// they can enter the ladder: the protocol layer above therefore never
+    /// observes a transport-level duplicate, and `has_pending` / pop order
+    /// are computed over real frames only. Each discard counts toward
+    /// `dups_suppressed` (the campaign gate pairs it with `msgs_duplicated`).
     fn enqueue_pending(&mut self, seq: u64, msg: RawMessage) {
+        if msg.dup {
+            self.fabric.stats.record_dup_suppressed();
+            return;
+        }
         self.fabric.stats.record_delivery(msg.class);
         let key = (msg.arrival, seq);
         match self.ladder.back() {
@@ -1508,5 +1668,126 @@ mod tests {
         for _ in 0..4 {
             b.recv_blocking().unwrap();
         }
+    }
+
+    fn uniform_fault(drop: u32, dup: u32, delay: u32, delay_ns: u64) -> NetFaultConfig {
+        NetFaultConfig {
+            drop_per_64k: drop,
+            dup_per_64k: dup,
+            delay_per_64k: delay,
+            delay_ns,
+            ack_only: false,
+        }
+    }
+
+    #[test]
+    fn duplicate_policy_copies_never_reach_the_receiver_twice() {
+        let fabric = Fabric::with_defaults(2, LogGpModel::fast_test_model());
+        fabric.install_net_faults(uniform_fault(0, 65_536, 0, 0), 11);
+        let mut a = fabric.endpoint(EndpointId(0));
+        let mut b = fabric.endpoint(EndpointId(1));
+        for i in 0..10 {
+            a.send(EndpointId(1), class::APP, hdr(i), Bytes::new());
+        }
+        let mut got = Vec::new();
+        for _ in 0..10 {
+            got.push(b.recv_blocking().unwrap().header[0]);
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>(), "exactly-once, in order");
+        assert!(!b.has_pending(), "no duplicate frame may survive the sweep");
+        let snap = fabric.stats().snapshot();
+        assert_eq!(snap.msgs_duplicated(), 10);
+        assert_eq!(
+            snap.dups_suppressed(),
+            snap.msgs_duplicated(),
+            "every injected copy is suppressed at the sweep"
+        );
+    }
+
+    #[test]
+    fn drop_policy_drops_faultable_classes_but_not_exempt_ones() {
+        let fabric = Fabric::with_defaults(2, LogGpModel::fast_test_model());
+        fabric.set_recv_timeout(Duration::from_millis(30));
+        fabric.install_net_faults(uniform_fault(65_536, 0, 0, 0), 5);
+        let mut a = fabric.endpoint(EndpointId(0));
+        let mut b = fabric.endpoint(EndpointId(1));
+        a.send(EndpointId(1), class::APP, hdr(1), Bytes::new());
+        a.send(EndpointId(1), class::ACK, hdr(2), Bytes::new());
+        a.send(EndpointId(1), class::CONTROL, hdr(3), Bytes::new());
+        let msg = b.recv_blocking().expect("control traffic is exempt");
+        assert_eq!(msg.header[0], 3);
+        assert_eq!(
+            b.recv_blocking().unwrap_err(),
+            RecvError::Timeout,
+            "app and ack frames were dropped"
+        );
+        assert_eq!(fabric.stats().snapshot().msgs_dropped(), 2);
+    }
+
+    #[test]
+    fn delay_policy_pushes_arrivals_and_keeps_link_fifo() {
+        let fabric = Fabric::with_defaults(2, LogGpModel::fast_test_model());
+        fabric.install_net_faults(uniform_fault(0, 0, 65_536, 1_000_000), 3);
+        let mut a = fabric.endpoint(EndpointId(0));
+        let mut b = fabric.endpoint(EndpointId(1));
+        for i in 0..5 {
+            a.send(EndpointId(1), class::APP, hdr(i), Bytes::new());
+        }
+        let mut last = SimTime::ZERO;
+        for i in 0..5 {
+            let msg = b.recv_blocking().unwrap();
+            assert_eq!(msg.header[0], i, "delays must not reorder a link");
+            assert!(msg.arrival >= SimTime::from_millis(1), "arrival was pushed");
+            assert!(msg.arrival >= last);
+            last = msg.arrival;
+        }
+        assert_eq!(fabric.stats().snapshot().msgs_delayed(), 5);
+    }
+
+    #[test]
+    fn reconcile_counts_unswept_duplicate_copies() {
+        let fabric = Fabric::with_defaults(2, LogGpModel::fast_test_model());
+        fabric.install_net_faults(uniform_fault(0, 65_536, 0, 0), 7);
+        let mut a = fabric.endpoint(EndpointId(0));
+        a.send(EndpointId(1), class::APP, hdr(0), Bytes::new());
+        // The receiver never sweeps; the job-end reconcile must still pair
+        // the injected copy with a suppression (and leave the real frame).
+        fabric.reconcile_net_faults();
+        let snap = fabric.stats().snapshot();
+        assert_eq!(snap.msgs_duplicated(), 1);
+        assert_eq!(snap.dups_suppressed(), 1);
+        let mut b = fabric.endpoint(EndpointId(1));
+        assert!(b.recv_blocking().is_ok(), "the real frame survives");
+        assert!(!b.has_pending());
+    }
+
+    #[test]
+    fn policy_verdicts_are_identical_across_runs() {
+        let run = || {
+            let fabric = Fabric::with_defaults(2, LogGpModel::fast_test_model());
+            fabric.set_recv_timeout(Duration::from_millis(30));
+            fabric.install_net_faults(uniform_fault(20_000, 20_000, 20_000, 1_000), 99);
+            let mut a = fabric.endpoint(EndpointId(0));
+            let mut b = fabric.endpoint(EndpointId(1));
+            for i in 0..64 {
+                a.send(EndpointId(1), class::APP, hdr(i), Bytes::new());
+            }
+            let mut got = Vec::new();
+            while let Ok(msg) = b.recv_blocking() {
+                got.push((msg.header[0], msg.arrival));
+            }
+            let snap = fabric.stats().snapshot();
+            (
+                got,
+                snap.msgs_dropped(),
+                snap.msgs_duplicated(),
+                snap.msgs_delayed(),
+            )
+        };
+        assert_eq!(
+            run(),
+            run(),
+            "seeded fault routing must replay bit-identically"
+        );
     }
 }

@@ -40,9 +40,16 @@
 //!   measured directly.
 //! * [`campaign`] samples seeded, reproducible fault plans (exponential-MTBF
 //!   crashes, correlated replica-pair loss, mid-collective crashes, soft
-//!   errors) that the upper layers compile into `FailureService` schedules
-//!   and PML corruption hooks, and shrinks failing plans to minimal
-//!   regression cases.
+//!   errors, lossy links and delayed acks) that the upper layers compile into
+//!   `FailureService` schedules, PML corruption hooks and fabric-level
+//!   [`netfault::NetFaultPolicy`] installations, and shrinks failing plans to
+//!   minimal regression cases.
+//! * [`netfault`] is the lossy-transport injection layer: a seeded per-job
+//!   policy that drops, duplicates or delays application/ack deliveries at
+//!   configured per-link rates, deterministically, while preserving per-link
+//!   FIFO (delays raise a link arrival floor). The replication protocol is
+//!   expected to *mask* these faults (retransmit/timeout/backoff + duplicate
+//!   suppression); see DESIGN.md §5.5.
 //!
 //! # Concurrency protocols at a glance
 //!
@@ -68,6 +75,7 @@ pub mod clock;
 pub mod fabric;
 pub mod failure;
 pub mod model;
+pub mod netfault;
 pub mod sched;
 pub mod stats;
 pub mod time;
@@ -85,6 +93,7 @@ pub use clock::VirtualClock;
 pub use fabric::{Endpoint, EndpointId, Fabric, RawMessage, RecvError};
 pub use failure::{CrashSchedule, FailureEvent, FailureService};
 pub use model::{HockneyModel, LogGpModel, NetworkModel};
+pub use netfault::{FaultVerdict, NetFaultConfig, NetFaultPolicy};
 pub use sched::{Park, Scheduler, WakeOutcome};
 pub use stats::{NetStats, StatsSnapshot};
 pub use time::SimTime;

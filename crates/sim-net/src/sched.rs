@@ -1081,6 +1081,28 @@ impl Scheduler {
         }
     }
 
+    /// Timer boundary: like [`Scheduler::advance`], but for a process that
+    /// just waited out a virtual deadline delivered through its own inbox
+    /// (a self-addressed timer message, e.g. a protocol retransmission
+    /// timeout). Such a delivery necessarily left a wake token behind, and
+    /// by the time the process judges the timeout it has already drained
+    /// the message — the token is *stale*, yet it would make `advance`
+    /// keep the permit on every call. A timer-driven process would then
+    /// never yield: each re-arm re-sets its own token, and a ready peer
+    /// earlier in virtual time (often the very peer whose traffic would
+    /// cancel the timer) starves. Consuming the token before the advance
+    /// restores honest handoff; a token set *after* the consume (a racing
+    /// real delivery) is still honoured by the inner `advance`, and a
+    /// consumed-but-fresh token is safe because the caller returns to a
+    /// progress loop that re-polls the inbox before any park.
+    pub fn wait_boundary(&self, e: EndpointId, now: SimTime) -> Park {
+        if self.load_phase(e.0) != Phase::Running {
+            return Park::Woken;
+        }
+        self.token[e.0].swap(false, Ordering::SeqCst);
+        self.advance(e, now)
+    }
+
     /// Mark endpoint `e` finished (application returned, crashed or
     /// panicked), passing its permit on. Idempotent.
     pub fn finish(&self, e: EndpointId) {

@@ -20,11 +20,24 @@
 //!    * `sdc` flips must be **detected** by the redMPI cross-replica hash
 //!      comparison, exactly once per injected flip.
 //!
+//! Lossy-transport distributions (`lossy-links`, `delayed-acks`) compile
+//! into a [`sim_mpi::JobBuilder::net_faults`] policy install instead: the
+//! fabric drops/duplicates/delays frames per the sampled
+//! [`sim_net::NetFaultConfig`], and the case must be **masked** — every
+//! process finishes, the results are bit-identical to a fault-free reference
+//! run of the same workload, every injected duplicate is suppressed
+//! (`dups_suppressed == msgs_duplicated`), and any drop forces at least one
+//! retransmission. Lossy cases rotate through the five NAS kernels plus the
+//! collective-heavy app ([`lossy_workload`]), so the masking claim covers
+//! halo exchanges, all-to-all transposes and pipelined sweeps, not just one
+//! traffic shape.
+//!
 //! Any deviation is a *violation*; [`shrink_violation`] replays the case's
 //! fault list under the deterministic single-worker scheduler and reduces it
 //! to a locally minimal failing subset ([`sim_net::campaign::shrink_events`]),
 //! emitting a ready-to-paste regression-test stanza.
 
+use crate::nas::{run_kernel, NasConfig, NasKernel};
 use crate::runner::RunTuning;
 use bytes::Bytes;
 use repl_baselines::{RedMpiFactory, SdcReport};
@@ -84,6 +97,43 @@ pub fn ring_app(p: &mut Process, iterations: u64) -> f64 {
     acc
 }
 
+/// Transport-level fault and masking counters of one case, lifted from the
+/// job's [`sim_net::StatsSnapshot`]. All zero for crash and SDC
+/// distributions (no network fault policy installed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetCounters {
+    /// Frames the fault policy dropped at deliver time.
+    pub msgs_dropped: u64,
+    /// Frames the policy injected an extra copy of.
+    pub msgs_duplicated: u64,
+    /// Frames the policy stalled on their link.
+    pub msgs_delayed: u64,
+    /// Payload retransmissions the send-log timeout path issued.
+    pub retransmits: u64,
+    /// Duplicate copies suppressed before reaching the application.
+    pub dups_suppressed: u64,
+}
+
+impl NetCounters {
+    fn from_report<R>(report: &JobReport<R>) -> Self {
+        NetCounters {
+            msgs_dropped: report.stats.msgs_dropped(),
+            msgs_duplicated: report.stats.msgs_duplicated(),
+            msgs_delayed: report.stats.msgs_delayed(),
+            retransmits: report.stats.retransmits(),
+            dups_suppressed: report.stats.dups_suppressed(),
+        }
+    }
+
+    fn accumulate(&mut self, other: &NetCounters) {
+        self.msgs_dropped += other.msgs_dropped;
+        self.msgs_duplicated += other.msgs_duplicated;
+        self.msgs_delayed += other.msgs_delayed;
+        self.retransmits += other.retransmits;
+        self.dups_suppressed += other.dups_suppressed;
+    }
+}
+
 /// The verdict on one campaign case.
 #[derive(Debug, Clone)]
 pub struct CaseOutcome {
@@ -107,6 +157,15 @@ pub struct CaseOutcome {
     pub sdc_injected: u64,
     /// Flips detected by the redMPI cross-replica comparison.
     pub sdc_detected: u64,
+    /// Transport fault/masking counters (lossy-transport cases).
+    pub net: NetCounters,
+    /// Virtual-time overhead of the masked lossy run relative to its
+    /// fault-free reference of the same workload, in percent. `None` for
+    /// non-lossy distributions.
+    pub masked_overhead_pct: Option<f64>,
+    /// Workload the case ran ("collective", "ring", or a NAS kernel name —
+    /// lossy cases rotate through the kernels by seed).
+    pub workload: &'static str,
     /// Violation of the distribution's expectation, if any.
     pub violation: Option<String>,
 }
@@ -120,9 +179,34 @@ fn apply_faults(mut builder: JobBuilder, faults: &[PlannedFault]) -> JobBuilder 
                 nth_send,
                 bit,
             } => builder.sdc_flip(endpoint, SdcFlip { nth_send, bit }),
+            PlannedFault::LossyTransport {
+                config,
+                policy_seed,
+            } => builder.net_faults(config, policy_seed),
         };
     }
     builder
+}
+
+/// The workload a lossy-transport case runs, rotated by case seed: the five
+/// NAS kernels (class-S sizing) plus the collective-heavy campaign app. The
+/// returned name labels the case in reports.
+pub fn lossy_workload(
+    seed: u64,
+    iterations: u64,
+) -> (&'static str, Arc<dyn Fn(&mut Process) -> f64 + Send + Sync>) {
+    let cfg = NasConfig::class_s();
+    match seed % 6 {
+        0 => ("BT", Arc::new(move |p| run_kernel(NasKernel::Bt, p, &cfg))),
+        1 => ("CG", Arc::new(move |p| run_kernel(NasKernel::Cg, p, &cfg))),
+        2 => ("FT", Arc::new(move |p| run_kernel(NasKernel::Ft, p, &cfg))),
+        3 => ("MG", Arc::new(move |p| run_kernel(NasKernel::Mg, p, &cfg))),
+        4 => ("SP", Arc::new(move |p| run_kernel(NasKernel::Sp, p, &cfg))),
+        _ => (
+            "collective",
+            Arc::new(move |p| collective_app(p, iterations)),
+        ),
+    }
 }
 
 fn run_crash_job(
@@ -193,13 +277,40 @@ pub fn crash_faults_violate_survival(
 /// streams (and per-process finish times) are bit-identical. A `false` here
 /// is a determinism violation — exactly what the shrink path minimizes.
 pub fn replay_is_deterministic(config: CampaignConfig, seed: u64, iterations: u64) -> bool {
+    replay_is_deterministic_tuned(config, seed, iterations, RunTuning::default())
+}
+
+/// Like [`replay_is_deterministic`], with an explicit carrier mode (the
+/// `workers` field of the tuning is ignored — replay always pins a single
+/// run permit). Lossy distributions replay the case's actual rotated
+/// workload, so the injected drop/duplicate/delay decisions — pure functions
+/// of the per-link frame counters — recur at the exact same frames.
+pub fn replay_is_deterministic_tuned(
+    config: CampaignConfig,
+    seed: u64,
+    iterations: u64,
+    tuning: RunTuning,
+) -> bool {
     let plan = sample_plan(config, seed);
+    let lossy = matches!(
+        config.dist,
+        FaultDistribution::LossyLinks { .. } | FaultDistribution::DelayedAcks { .. }
+    );
     let run = || {
-        let builder = replicated_job(config.ranks, ReplicationConfig::with_degree(config.degree))
-            .network(LogGpModel::fast_test_model())
-            .workers(1)
-            .trace(true);
-        apply_faults(builder, &plan.faults).run(move |p| collective_app(p, iterations))
+        let app: Arc<dyn Fn(&mut Process) -> f64 + Send + Sync> = if lossy {
+            lossy_workload(seed, iterations).1
+        } else {
+            Arc::new(move |p: &mut Process| collective_app(p, iterations))
+        };
+        let mut builder =
+            replicated_job(config.ranks, ReplicationConfig::with_degree(config.degree))
+                .network(LogGpModel::fast_test_model())
+                .workers(1)
+                .trace(true);
+        if let Some(mode) = tuning.carrier_mode {
+            builder = builder.carrier_mode(mode);
+        }
+        apply_faults(builder, &plan.faults).run(move |p| (app)(p))
     };
     let a = run();
     let b = run();
@@ -260,8 +371,113 @@ fn run_crash_case(
         recovery_latency_s,
         sdc_injected: 0,
         sdc_detected: 0,
+        net: NetCounters::default(),
+        masked_overhead_pct: None,
+        workload: "collective",
         violation,
     }
+}
+
+fn run_lossy_job(
+    config: CampaignConfig,
+    app: Arc<dyn Fn(&mut Process) -> f64 + Send + Sync>,
+    tuning: RunTuning,
+    faults: &[PlannedFault],
+) -> JobReport<f64> {
+    let builder = replicated_job(config.ranks, ReplicationConfig::with_degree(config.degree))
+        .network(LogGpModel::fast_test_model());
+    apply_faults(tuning.apply(builder), faults).run(move |p| (app)(p))
+}
+
+/// Per-process results as exact bit patterns (`None` for a process that did
+/// not finish). "Bit-correct" in the masking judgement means these vectors —
+/// every replica of every rank — are identical between the faulted run and
+/// its fault-free reference.
+fn result_bits(report: &JobReport<f64>) -> Vec<Option<u64>> {
+    report
+        .processes
+        .iter()
+        .map(|p| match &p.outcome {
+            ProcessOutcome::Finished(v) => Some(v.to_bits()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Run a lossy-transport case over an explicit (possibly hand-built) plan:
+/// one fault-free reference run of the seed's workload, one faulted run, and
+/// the masking judgement. Used by [`run_case`] for sampled plans and by the
+/// bench harness's fixed-rate sweep.
+pub fn run_lossy_explicit_case(
+    config: CampaignConfig,
+    seed: u64,
+    iterations: u64,
+    tuning: RunTuning,
+    plan: FaultPlan,
+) -> CaseOutcome {
+    let (workload, app) = lossy_workload(seed, iterations);
+    let reference = run_lossy_job(config, Arc::clone(&app), tuning, &[]);
+    assert!(
+        reference.all_finished(),
+        "{workload}: the fault-free reference run must finish"
+    );
+    let report = run_lossy_job(config, app, tuning, &plan.faults);
+    let net = NetCounters::from_report(&report);
+    let violation = if !report.all_finished() {
+        Some(format!(
+            "{workload}: lossy run did not finish cleanly: {:?}",
+            report
+                .processes
+                .iter()
+                .map(|p| (p.endpoint, &p.outcome))
+                .collect::<Vec<_>>()
+        ))
+    } else if result_bits(&report) != result_bits(&reference) {
+        Some(format!(
+            "{workload}: masked run diverged from the fault-free reference \
+             ({:?} vs {:?})",
+            result_bits(&report),
+            result_bits(&reference)
+        ))
+    } else if net.dups_suppressed != net.msgs_duplicated {
+        Some(format!(
+            "{workload}: duplicate accounting broken: {} copies injected, {} suppressed",
+            net.msgs_duplicated, net.dups_suppressed
+        ))
+    } else if net.msgs_dropped > 0 && net.retransmits == 0 {
+        Some(format!(
+            "{workload}: {} frames dropped but no retransmission fired",
+            net.msgs_dropped
+        ))
+    } else {
+        None
+    };
+    let ref_secs = reference.elapsed.as_secs_f64();
+    let masked_overhead_pct =
+        (ref_secs > 0.0).then(|| (report.elapsed.as_secs_f64() - ref_secs) / ref_secs * 100.0);
+    CaseOutcome {
+        seed,
+        survived: violation.is_none(),
+        aborted: false,
+        crashes: 0,
+        recovery_latency_s: None,
+        sdc_injected: 0,
+        sdc_detected: 0,
+        net,
+        masked_overhead_pct,
+        workload,
+        violation,
+        plan,
+    }
+}
+
+fn run_lossy_case(
+    config: CampaignConfig,
+    seed: u64,
+    iterations: u64,
+    tuning: RunTuning,
+) -> CaseOutcome {
+    run_lossy_explicit_case(config, seed, iterations, tuning, sample_plan(config, seed))
 }
 
 fn run_sdc_case(
@@ -307,6 +523,9 @@ fn run_sdc_case(
         recovery_latency_s: None,
         sdc_injected: injected,
         sdc_detected: detected,
+        net: NetCounters::default(),
+        masked_overhead_pct: None,
+        workload: "ring",
         violation,
     }
 }
@@ -327,6 +546,9 @@ pub fn run_case(
         }
         FaultDistribution::ExponentialMtbf { .. } | FaultDistribution::MidCollective { .. } => {
             run_crash_case(config, seed, iterations, tuning, false)
+        }
+        FaultDistribution::LossyLinks { .. } | FaultDistribution::DelayedAcks { .. } => {
+            run_lossy_case(config, seed, iterations, tuning)
         }
     }
 }
@@ -398,6 +620,14 @@ pub struct CampaignSummary {
     pub sdc_detected: u64,
     /// Recovery-latency distribution over the survived-with-crash cases.
     pub recovery_latency: LatencyStats,
+    /// Aggregated transport fault/masking counters (lossy configurations;
+    /// all zero otherwise).
+    pub net: NetCounters,
+    /// Median masked-delivery overhead over the lossy cases, percent of the
+    /// fault-free virtual run time.
+    pub masked_overhead_median_pct: f64,
+    /// 90th-percentile masked-delivery overhead, percent.
+    pub masked_overhead_p90_pct: f64,
     /// `(seed, description)` of every expectation violation.
     pub violations: Vec<(u64, String)>,
 }
@@ -430,6 +660,16 @@ impl CampaignSummary {
 
 /// Aggregate a configuration's case outcomes.
 pub fn summarize(config: CampaignConfig, outcomes: &[CaseOutcome]) -> CampaignSummary {
+    let mut net = NetCounters::default();
+    for o in outcomes {
+        net.accumulate(&o.net);
+    }
+    let overhead = LatencyStats::from_samples(
+        outcomes
+            .iter()
+            .filter_map(|o| o.masked_overhead_pct)
+            .collect(),
+    );
     CampaignSummary {
         config,
         cases: outcomes.len(),
@@ -444,6 +684,9 @@ pub fn summarize(config: CampaignConfig, outcomes: &[CaseOutcome]) -> CampaignSu
                 .filter_map(|o| o.recovery_latency_s)
                 .collect(),
         ),
+        net,
+        masked_overhead_median_pct: overhead.median_s,
+        masked_overhead_p90_pct: overhead.p90_s,
         violations: outcomes
             .iter()
             .filter_map(|o| o.violation.clone().map(|v| (o.seed, v)))
@@ -493,6 +736,19 @@ fn fault_to_source(f: &PlannedFault) -> String {
         } => format!(
             "PlannedFault::BitFlip {{ endpoint: EndpointId({}), nth_send: {nth_send}, bit: {bit} }}",
             endpoint.0
+        ),
+        PlannedFault::LossyTransport {
+            config,
+            policy_seed,
+        } => format!(
+            "PlannedFault::LossyTransport {{ config: NetFaultConfig {{ drop_per_64k: {}, \
+             dup_per_64k: {}, delay_per_64k: {}, delay_ns: {}, ack_only: {} }}, \
+             policy_seed: {policy_seed} }}",
+            config.drop_per_64k,
+            config.dup_per_64k,
+            config.delay_per_64k,
+            config.delay_ns,
+            config.ack_only
         ),
     }
 }
@@ -582,6 +838,31 @@ fn regression_stanza(
         faults_src.push_str(&fault_to_source(f));
         faults_src.push_str(",\n");
     }
+    // Import exactly what the minimal plan's constructors need, so the
+    // emitted stanza compiles warning-free when pasted.
+    let mut sim_net_items = Vec::new();
+    if minimal
+        .iter()
+        .any(|f| matches!(f, PlannedFault::Crash { .. }))
+    {
+        sim_net_items.extend(["CrashSchedule", "EndpointId"]);
+    } else if minimal
+        .iter()
+        .any(|f| matches!(f, PlannedFault::BitFlip { .. }))
+    {
+        sim_net_items.push("EndpointId");
+    }
+    if minimal
+        .iter()
+        .any(|f| matches!(f, PlannedFault::LossyTransport { .. }))
+    {
+        sim_net_items.push("NetFaultConfig");
+    }
+    let sim_net_use = match sim_net_items.as_slice() {
+        [] => String::new(),
+        [item] => format!("    use sdr_mpi::sim_net::{item};\n"),
+        items => format!("    use sdr_mpi::sim_net::{{{}}};\n", items.join(", ")),
+    };
     format!(
         r#"#[test]
 fn campaign_{dist}_seed_{seed}_minimal_plan_is_fatal() {{
@@ -589,8 +870,7 @@ fn campaign_{dist}_seed_{seed}_minimal_plan_is_fatal() {{
     // config: ranks={ranks} degree={degree} dist={dist}; seed={seed};
     // shrunk {full} sampled fault(s) to {min} in {probes} oracle probe(s).
     use sdr_mpi::sim_net::campaign::{{CampaignConfig, FaultDistribution, PlannedFault}};
-    use sdr_mpi::sim_net::{{CrashSchedule, EndpointId}};
-    use sdr_mpi::workloads::campaign::crash_faults_violate_survival;
+{sim_net_use}    use sdr_mpi::workloads::campaign::crash_faults_violate_survival;
     let config = CampaignConfig {{
         ranks: {ranks},
         degree: {degree},
@@ -694,6 +974,75 @@ mod tests {
         assert_eq!(summary.sdc_injected, 8, "2 flips per case, all landing");
         assert_eq!(summary.sdc_detected, 8);
         assert_eq!(summary.sdc_detection_rate(), 1.0);
+    }
+
+    #[test]
+    fn lossy_links_cases_are_fully_masked() {
+        // Seeds 12..18 rotate through FT, MG, SP, collective, BT, CG — six
+        // different traffic shapes, all of which must mask the sampled
+        // drop/duplicate/delay policy bit-exactly.
+        let cfg = CampaignConfig {
+            ranks: 4,
+            degree: 2,
+            dist: FaultDistribution::LossyLinks {
+                max_drop_per_64k: 3277,
+                max_dup_per_64k: 3277,
+                max_delay_per_64k: 3277,
+            },
+        };
+        let outcomes = run_campaign(cfg, 12, 6, 6, RunTuning::default());
+        let summary = summarize(cfg, &outcomes);
+        assert!(
+            summary.violations.is_empty(),
+            "violations: {:?}",
+            summary.violations
+        );
+        assert_eq!(summary.survival_rate(), 1.0);
+        assert!(
+            summary.net.msgs_dropped > 0,
+            "the seed range must include dropped frames: {:?}",
+            summary.net
+        );
+        assert!(
+            summary.net.retransmits > 0,
+            "drops must force retransmissions: {:?}",
+            summary.net
+        );
+        assert_eq!(summary.net.dups_suppressed, summary.net.msgs_duplicated);
+        let workloads: std::collections::BTreeSet<_> =
+            outcomes.iter().map(|o| o.workload).collect();
+        assert_eq!(workloads.len(), 6, "six distinct workloads: {workloads:?}");
+        assert!(
+            outcomes.iter().all(|o| o.masked_overhead_pct.is_some()),
+            "every lossy case records its masked-delivery overhead"
+        );
+    }
+
+    #[test]
+    fn delayed_acks_cases_are_fully_masked() {
+        let cfg = CampaignConfig {
+            ranks: 4,
+            degree: 2,
+            dist: FaultDistribution::DelayedAcks {
+                max_delay_per_64k: 32_768,
+                max_delay_ns: 400_000,
+            },
+        };
+        let outcomes = run_campaign(cfg, 30, 4, 6, RunTuning::default());
+        let summary = summarize(cfg, &outcomes);
+        assert!(
+            summary.violations.is_empty(),
+            "violations: {:?}",
+            summary.violations
+        );
+        assert_eq!(summary.survival_rate(), 1.0);
+        assert!(
+            summary.net.msgs_delayed > 0,
+            "the ack-delay policy must have stalled frames: {:?}",
+            summary.net
+        );
+        assert_eq!(summary.net.msgs_dropped, 0, "delayed-acks never drops");
+        assert_eq!(summary.net.dups_suppressed, summary.net.msgs_duplicated);
     }
 
     #[test]

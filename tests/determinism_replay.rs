@@ -84,6 +84,41 @@ fn faulted_campaign_case_replays_identical_trace_streams() {
 }
 
 #[test]
+fn lossy_campaign_case_replays_identical_trace_streams_in_both_carrier_modes() {
+    // The netfault layer must not break replay: drop/duplicate/delay
+    // verdicts are pure functions of the per-link frame counters, so under
+    // `--workers 1` the same frames get the same verdicts, and the full
+    // `TraceEvent` stream — retransmissions, suppressed duplicates and all —
+    // is bit-identical across runs. Checked on both execution layers, since
+    // the retransmission-timeout path interacts with carrier scheduling.
+    use sdr_mpi::sim_net::campaign::{CampaignConfig, FaultDistribution};
+    use sdr_mpi::sim_net::CarrierMode;
+    use sdr_mpi::workloads::campaign::replay_is_deterministic_tuned;
+    use sdr_mpi::workloads::runner::RunTuning;
+    let config = CampaignConfig {
+        ranks: 4,
+        degree: 2,
+        dist: FaultDistribution::LossyLinks {
+            max_drop_per_64k: 3277,
+            max_dup_per_64k: 3277,
+            max_delay_per_64k: 3277,
+        },
+    };
+    for mode in [CarrierMode::Coroutine, CarrierMode::Thread] {
+        for seed in [2, 5] {
+            let tuning = RunTuning {
+                workers: Some(1),
+                carrier_mode: Some(mode),
+            };
+            assert!(
+                replay_is_deterministic_tuned(config, seed, 6, tuning),
+                "lossy replay diverged (mode {mode:?}, seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
 fn two_single_worker_runs_replay_identical_trace_streams() {
     let (events_a, times_a) = traced_replay_run();
     let (events_b, times_b) = traced_replay_run();

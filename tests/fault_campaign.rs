@@ -5,9 +5,10 @@
 
 use proptest::prelude::*;
 use sim_net::campaign::{sample_plan, CampaignConfig, FaultDistribution, FaultPlan, PlannedFault};
-use sim_net::{CrashSchedule, EndpointId};
+use sim_net::{CrashSchedule, EndpointId, NetFaultConfig};
 use workloads::campaign::{
-    crash_faults_violate_survival, run_campaign, shrink_fault_list, shrink_violation, summarize,
+    crash_faults_violate_survival, run_campaign, shrink_explicit_violation, shrink_fault_list,
+    shrink_violation, summarize,
 };
 use workloads::runner::RunTuning;
 
@@ -43,13 +44,17 @@ proptest! {
     /// Every sampled plan is well-formed for its configuration: fault
     /// endpoints exist, crash schedules and flip indices are in range.
     #[test]
-    fn sampled_plans_are_well_formed(seed in any::<u64>(), dist_pick in 0usize..4) {
+    fn sampled_plans_are_well_formed(seed in any::<u64>(), dist_pick in 0usize..6) {
         let ranks = 4;
         let dist = [
             FaultDistribution::ExponentialMtbf { mean_sends: 8, horizon_sends: 6, max_crashes: 2 },
             FaultDistribution::MidCollective { max_phase: 8 },
             FaultDistribution::CorrelatedPairLoss { mean_sends: 3, horizon_sends: 6 },
             FaultDistribution::SoftErrors { flips: 2, max_send: 6, payload_bits: 8192 },
+            FaultDistribution::LossyLinks {
+                max_drop_per_64k: 3277, max_dup_per_64k: 3277, max_delay_per_64k: 3277,
+            },
+            FaultDistribution::DelayedAcks { max_delay_per_64k: 32_768, max_delay_ns: 400_000 },
         ][dist_pick];
         let config = CampaignConfig { ranks, degree: 2, dist };
         let plan = sample_plan(config, seed);
@@ -68,6 +73,23 @@ proptest! {
                     prop_assert!(endpoint.0 < config.endpoints());
                     prop_assert!((1..=6).contains(&nth_send));
                     prop_assert!(bit < 8192);
+                }
+                PlannedFault::LossyTransport { config: net, policy_seed: _ } => {
+                    // A sampled policy is always installable: within the
+                    // 64k probability budget, and never an all-zero no-op.
+                    net.validate();
+                    prop_assert!(
+                        net.drop_per_64k + net.dup_per_64k + net.delay_per_64k >= 1
+                    );
+                    match dist {
+                        FaultDistribution::DelayedAcks { .. } => {
+                            prop_assert!(net.ack_only);
+                            prop_assert_eq!(net.drop_per_64k, 0);
+                            prop_assert_eq!(net.dup_per_64k, 0);
+                            prop_assert!(net.delay_ns >= 60_000);
+                        }
+                        _ => prop_assert!(!net.ack_only),
+                    }
                 }
             }
         }
@@ -209,6 +231,115 @@ fn shrink_violation_emits_a_regression_stanza_for_a_seeded_case() {
             "minimal fault {f:?} not in sampled order in {full:?}"
         );
     }
+}
+
+#[test]
+fn lossy_links_campaign_is_fully_masked_over_the_nas_kernels() {
+    // The tentpole gate: drop/duplicate/delay rates up to ~5% per class,
+    // rotated over the five NAS kernels plus the collective-heavy app. Every
+    // case must be *masked* — bit-correct results, every duplicate
+    // suppressed, every drop answered by a retransmission — with zero
+    // protocol violations.
+    let config = CampaignConfig {
+        ranks: 4,
+        degree: 2,
+        dist: FaultDistribution::LossyLinks {
+            max_drop_per_64k: 3277,
+            max_dup_per_64k: 3277,
+            max_delay_per_64k: 3277,
+        },
+    };
+    let outcomes = run_campaign(config, 1, 12, 6, RunTuning::default());
+    let summary = summarize(config, &outcomes);
+    assert!(
+        summary.violations.is_empty(),
+        "violations: {:?}",
+        summary.violations
+    );
+    assert_eq!(summary.survival_rate(), 1.0);
+    assert!(summary.net.msgs_dropped > 0, "{:?}", summary.net);
+    assert!(summary.net.retransmits > 0, "{:?}", summary.net);
+    assert_eq!(summary.net.dups_suppressed, summary.net.msgs_duplicated);
+    let kernels: std::collections::BTreeSet<_> = outcomes.iter().map(|o| o.workload).collect();
+    assert!(
+        ["BT", "CG", "FT", "MG", "SP"]
+            .iter()
+            .all(|k| kernels.contains(k)),
+        "the seed range must cover all five NAS kernels: {kernels:?}"
+    );
+}
+
+#[test]
+fn delayed_acks_campaign_is_fully_masked() {
+    // Ack-only delays always outlast the retransmission base timeout, so
+    // every case exercises spurious retransmissions whose duplicates the
+    // receivers must suppress — without ever corrupting results.
+    let config = CampaignConfig {
+        ranks: 4,
+        degree: 2,
+        dist: FaultDistribution::DelayedAcks {
+            max_delay_per_64k: 32_768,
+            max_delay_ns: 400_000,
+        },
+    };
+    let outcomes = run_campaign(config, 60, 8, 6, RunTuning::default());
+    let summary = summarize(config, &outcomes);
+    assert!(
+        summary.violations.is_empty(),
+        "violations: {:?}",
+        summary.violations
+    );
+    assert_eq!(summary.survival_rate(), 1.0);
+    assert!(summary.net.msgs_delayed > 0, "{:?}", summary.net);
+    assert_eq!(summary.net.msgs_dropped, 0, "delayed-acks never drops");
+    assert_eq!(summary.net.dups_suppressed, summary.net.msgs_duplicated);
+}
+
+#[test]
+fn shrink_reduces_a_lossy_violation_to_the_transport_fault() {
+    // Synthetic unmaskable case: a total-loss link policy (every faultable
+    // frame dropped) exhausts the retransmission-attempt cap, buried in a
+    // survivable single-replica noise crash. The shrinker must strip the
+    // noise and return exactly the transport fault, and the emitted stanza
+    // must embed it as compilable Rust (the checked-in copy lives in
+    // tests/campaign_regressions.rs).
+    let config = CampaignConfig {
+        ranks: 2,
+        degree: 2,
+        dist: FaultDistribution::LossyLinks {
+            max_drop_per_64k: 1,
+            max_dup_per_64k: 1,
+            max_delay_per_64k: 1,
+        }, // shape only
+    };
+    let total_loss = PlannedFault::LossyTransport {
+        config: NetFaultConfig {
+            drop_per_64k: 65_536,
+            dup_per_64k: 0,
+            delay_per_64k: 0,
+            delay_ns: 0,
+            ack_only: false,
+        },
+        policy_seed: 7,
+    };
+    let noise = PlannedFault::Crash {
+        endpoint: EndpointId(2),
+        schedule: CrashSchedule::AfterSend { nth: 2 },
+    };
+    let shrunk = shrink_explicit_violation(config, 7, 6, &[noise, total_loss])
+        .expect("a total-loss policy must violate survivability");
+    assert_eq!(
+        shrunk.minimal,
+        vec![total_loss],
+        "the noise crash must be stripped"
+    );
+    assert!(shrunk.stanza.contains("PlannedFault::LossyTransport"));
+    assert!(shrunk.stanza.contains("NetFaultConfig"));
+    assert!(
+        !crash_faults_violate_survival(config, 6, &[noise]),
+        "the noise crash alone must be survivable"
+    );
+    println!("{}", shrunk.stanza);
 }
 
 #[test]
