@@ -1,7 +1,7 @@
 //! Regenerates Table 1: NAS-like kernels (BT, CG, FT, MG, SP), native vs SDR-MPI.
 //!
-//! Usage: `table1_nas [--ranks N] [--class s|test|d] [--workers W]
-//! [--carrier-mode thread|coro] [--json PATH]`
+//! Usage: `table1_nas [--ranks N] [--class s|test|d] [--degree D]
+//! [--coverage F] [--workers W] [--carrier-mode thread|coro] [--json PATH]`
 //!
 //! The paper evaluates at 256 ranks; `--ranks 64|128|256` reproduces that
 //! scaling axis (pair large rank counts with `--class s` for a fast run, or
@@ -18,16 +18,26 @@
 //! back-to-back jobs of one invocation reuse one thread set.
 //! `--json PATH` writes the machine-readable report (wall times plus
 //! scheduler wake / outbox flush / dispatch / thread-churn counters) that CI
-//! uploads as the `BENCH_table1.json` artifact.
+//! uploads as the `BENCH_table1.json` artifact. `--degree D` replicates every
+//! rank at degree D instead of the paper's dual; `--coverage F` (with degree
+//! 2) replicates only the first `ceil(F * ranks)` ranks and leaves the rest
+//! as crash-fatal singletons — the partial layouts of the pluggable replica
+//! map.
 fn main() {
     let args = sdr_bench::parse_harness_args(std::env::args().skip(1), 16);
-    let rows = sdr_bench::table1_rows_tuned(args.ranks, args.cfg, args.tuning);
+    let rows = sdr_bench::table1_rows_layout(
+        args.ranks,
+        args.cfg,
+        args.degree,
+        args.coverage,
+        args.tuning,
+    );
     print!(
         "{}",
         sdr_bench::format_comparison_table(
             &format!(
-                "Table 1: NAS-like kernels (ranks={}, replication degree=2)",
-                args.ranks
+                "Table 1: NAS-like kernels (ranks={}, replication degree={}, coverage={})",
+                args.ranks, args.degree, args.coverage
             ),
             &rows
         )

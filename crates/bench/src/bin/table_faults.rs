@@ -12,9 +12,12 @@
 //! `BENCH_faults.json` artifact and gates on: 100% survivability for the
 //! single-replica-loss distributions, 100% prompt aborts for the correlated
 //! pair loss, 100% SDC detection, and 100% masked survival with exact
-//! duplicate accounting for the lossy-transport distributions. The report
-//! also carries the fixed-rate lossy sweep (survivability and
-//! masked-delivery overhead vs drop rate, 1%–10%).
+//! duplicate accounting for the lossy-transport distributions. The
+//! pluggable-replica-map rows additionally gate on degree-3 majority-loss
+//! survival, degree-3 SDC *correction* (`sdc_corrected == sdc_injected`),
+//! and the partial-coverage split (covered ranks survive, unreplicated ranks
+//! abort promptly). The report also carries the fixed-rate lossy sweep
+//! (survivability and masked-delivery overhead vs drop rate, 1%–10%).
 fn main() {
     let args = sdr_bench::parse_faults_args(std::env::args().skip(1));
     let rows = sdr_bench::fault_campaign_rows(
@@ -28,7 +31,7 @@ fn main() {
         "{}",
         sdr_bench::format_faults_table(
             &format!(
-                "Fault campaign: {} seeded cases per distribution (ranks={}, degree=2, \
+                "Fault campaign: {} seeded cases per distribution (ranks={}, \
                  iters={}, seeds {}..{})",
                 args.seeds,
                 args.ranks,

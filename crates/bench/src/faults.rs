@@ -11,6 +11,11 @@
 //! correlated pair loss, 100% SDC detection, and — for the lossy-transport
 //! distributions — 100% masked survival with exact duplicate accounting
 //! (`dups_suppressed == msgs_duplicated`) and at least one retransmission.
+//! The pluggable-replica-map rows add degree-3 majority loss (fork-election
+//! must mask losing all but one replica of a rank), degree-3 soft errors
+//! (every flip *corrected* by hash majority, `sdc_corrected ==
+//! sdc_injected`), and a partial-coverage crash distribution (covered ranks
+//! survive, unreplicated ranks abort promptly with a typed rank-loss).
 //!
 //! [`lossy_rate_sweep`] adds the survivability/masked-delivery-overhead
 //! curve: fixed drop rates from 1% to 10%, each row aggregating seeded cases
@@ -39,8 +44,16 @@ pub struct FaultConfigRow {
 /// The default campaign configurations: three crash distributions, the
 /// soft-error class, and the two lossy-transport distributions (frame
 /// drop/duplicate/delay up to ~5% per class, and heavy ack-only delays
-/// always outlasting the retransmission timer), all at dual replication.
+/// always outlasting the retransmission timer) at dual replication, plus the
+/// pluggable-replica-map rows — degree-3 majority loss (fork-election must
+/// mask the loss of all but one replica of a rank), degree-3 soft errors
+/// (flips must be *corrected* by hash majority, not just detected), and a
+/// partial-coverage crash distribution biased toward the unreplicated ranks
+/// (covered ranks survive, singletons abort promptly with a typed rank-loss).
 pub fn default_fault_configs(ranks: usize, iterations: u64) -> Vec<CampaignConfig> {
+    // Replicate the low half of the rank space for the partial row (at least
+    // one covered and, for ranks >= 2, at least one singleton rank).
+    let replicated_mask = (1u64 << (ranks / 2).max(1)) - 1;
     vec![
         CampaignConfig {
             ranks,
@@ -90,7 +103,45 @@ pub fn default_fault_configs(ranks: usize, iterations: u64) -> Vec<CampaignConfi
                 max_delay_ns: 400_000,
             },
         },
+        CampaignConfig {
+            ranks,
+            degree: 3,
+            dist: FaultDistribution::MajorityLoss {
+                mean_sends: 3,
+                horizon_sends: iterations.max(2),
+            },
+        },
+        CampaignConfig {
+            ranks,
+            degree: 3,
+            dist: FaultDistribution::SoftErrors {
+                flips: 2,
+                max_send: iterations,
+                payload_bits: 8192,
+            },
+        },
+        CampaignConfig {
+            ranks,
+            degree: 2,
+            dist: FaultDistribution::UnreplicatedBias {
+                replicated_mask,
+                horizon_sends: iterations.max(2),
+            },
+        },
     ]
+}
+
+/// Fraction of ranks with a second copy under `config` — 1.0 for the uniform
+/// distributions, the replicated-mask density for [`UnreplicatedBias`].
+///
+/// [`UnreplicatedBias`]: FaultDistribution::UnreplicatedBias
+pub fn config_coverage(config: &CampaignConfig) -> f64 {
+    match config.dist {
+        FaultDistribution::UnreplicatedBias {
+            replicated_mask, ..
+        } => replicated_mask.count_ones() as f64 / config.ranks as f64,
+        _ => 1.0,
+    }
 }
 
 /// The drop rates (per-64k, i.e. 1%, 2.5%, 5%, 10%) of the fixed-rate lossy
@@ -188,14 +239,17 @@ pub fn format_faults_table(title: &str, rows: &[FaultConfigRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{title}\n"));
     out.push_str(&format!(
-        "{:<16} {:>6} {:>9} {:>7} {:>8} {:>10} {:>10} {:>12} {:>8} {:>8} {:>9} {:>9}  {}\n",
+        "{:<18} {:>4} {:>5} {:>6} {:>9} {:>7} {:>8} {:>10} {:>10} {:>8} {:>12} {:>8} {:>8} {:>9} {:>9}  {}\n",
         "distribution",
+        "deg",
+        "cov",
         "cases",
         "survive%",
         "abort%",
         "crashes",
         "sdc inj",
         "sdc det",
+        "sdc cor",
         "med rec (s)",
         "dropped",
         "retx",
@@ -206,14 +260,17 @@ pub fn format_faults_table(title: &str, rows: &[FaultConfigRow]) -> String {
     for row in rows {
         let s = &row.summary;
         out.push_str(&format!(
-            "{:<16} {:>6} {:>9.1} {:>7.1} {:>8} {:>10} {:>10} {:>12.6} {:>8} {:>8} {:>9} {:>9.2}  {}\n",
+            "{:<18} {:>4} {:>5.2} {:>6} {:>9.1} {:>7.1} {:>8} {:>10} {:>10} {:>8} {:>12.6} {:>8} {:>8} {:>9} {:>9.2}  {}\n",
             s.config.dist.name(),
+            s.config.degree,
+            config_coverage(&s.config),
             s.cases,
             s.survival_rate() * 100.0,
             s.abort_rate() * 100.0,
             s.crashes_injected,
             s.sdc_injected,
             s.sdc_detected,
+            s.sdc_corrected,
             s.recovery_latency.median_s,
             s.net.msgs_dropped,
             s.net.retransmits,
@@ -316,7 +373,6 @@ pub fn faults_report_json(
     out.push_str("{\n");
     out.push_str(&format!("  \"benchmark\": \"{benchmark}\",\n"));
     out.push_str(&format!("  \"ranks\": {ranks},\n"));
-    out.push_str(&format!("  \"degree\": 2,\n"));
     out.push_str(&format!("  \"seeds_per_config\": {seeds},\n"));
     out.push_str(&format!("  \"base_seed\": {base_seed},\n"));
     out.push_str(&format!("  \"iterations\": {iterations},\n"));
@@ -336,15 +392,19 @@ pub fn faults_report_json(
             .collect::<Vec<_>>()
             .join(", ");
         out.push_str(&format!(
-            "    {{\"dist\": \"{}\", \"cases\": {}, \"survived\": {}, \"aborted\": {}, \
+            "    {{\"dist\": \"{}\", \"degree\": {}, \"coverage\": {:.4}, \
+             \"cases\": {}, \"survived\": {}, \"aborted\": {}, \
              \"survival_rate\": {:.4}, \"abort_rate\": {:.4}, \
              \"crashes_injected\": {}, \"sdc_injected\": {}, \"sdc_detected\": {}, \
-             \"sdc_detection_rate\": {:.4}, \
+             \"sdc_corrected\": {}, \
+             \"sdc_detection_rate\": {:.4}, \"sdc_correction_rate\": {:.4}, \
              \"recovery_latency\": {{\"samples\": {}, \"min_s\": {:.6}, \"median_s\": {:.6}, \
              \"p90_s\": {:.6}, \"max_s\": {:.6}}}, \
              {}, \
              \"violations\": [{violations}]}}{}\n",
             s.config.dist.name(),
+            s.config.degree,
+            config_coverage(&s.config),
             s.cases,
             s.survived,
             s.aborted,
@@ -353,7 +413,9 @@ pub fn faults_report_json(
             s.crashes_injected,
             s.sdc_injected,
             s.sdc_detected,
+            s.sdc_corrected,
             s.sdc_detection_rate(),
+            s.sdc_correction_rate(),
             lat.samples,
             lat.min_s,
             lat.median_s,
@@ -465,7 +527,7 @@ mod tests {
     #[test]
     fn small_campaign_rows_have_all_configs_and_json_is_shaped() {
         let rows = fault_campaign_rows(2, 2, 5, 4, RunTuning::default());
-        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.len(), 9);
         let names: Vec<_> = rows.iter().map(|r| r.summary.config.dist.name()).collect();
         assert_eq!(
             names,
@@ -475,9 +537,22 @@ mod tests {
                 "correlated-pair",
                 "sdc",
                 "lossy-links",
-                "delayed-acks"
+                "delayed-acks",
+                "majority-loss",
+                "sdc",
+                "unreplicated-bias"
             ]
         );
+        let degrees: Vec<_> = rows.iter().map(|r| r.summary.config.degree).collect();
+        assert_eq!(degrees, vec![2, 2, 2, 2, 2, 2, 3, 3, 2]);
+        let partial = rows.last().expect("non-empty");
+        assert_eq!(config_coverage(&partial.summary.config), 0.5);
+        let degree3_sdc = &rows[7];
+        assert_eq!(
+            degree3_sdc.summary.sdc_corrected, degree3_sdc.summary.sdc_injected,
+            "degree-3 hash majority must outvote every flip"
+        );
+        assert!(degree3_sdc.summary.sdc_injected > 0);
         for row in &rows {
             assert_eq!(row.summary.cases, 2);
             assert!(
@@ -514,6 +589,12 @@ mod tests {
         let json = faults_report_json("table_faults", 2, 2, 5, 4, &rows, &sweep);
         assert!(json.contains("\"dist\": \"correlated-pair\""));
         assert!(json.contains("\"dist\": \"delayed-acks\""));
+        assert!(json.contains("\"dist\": \"majority-loss\""));
+        assert!(json.contains("\"dist\": \"unreplicated-bias\""));
+        assert!(json.contains("\"degree\": 3"));
+        assert!(json.contains("\"coverage\": 0.5000"));
+        assert!(json.contains("\"sdc_corrected\""));
+        assert!(json.contains("\"sdc_correction_rate\""));
         assert!(json.contains("\"lossy_sweep\""));
         assert!(json.contains("\"dups_suppressed\""));
         assert!(json.contains("\"seeds_per_config\": 2"));

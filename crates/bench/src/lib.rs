@@ -19,20 +19,24 @@
 pub mod faults;
 
 pub use faults::{
-    fault_campaign_rows, faults_report_json, format_faults_table, format_lossy_sweep_table,
-    lossy_rate_sweep, parse_faults_args, FaultConfigRow, FaultsArgs, LossySweepRow,
-    LOSSY_SWEEP_RATES,
+    config_coverage, fault_campaign_rows, faults_report_json, format_faults_table,
+    format_lossy_sweep_table, lossy_rate_sweep, parse_faults_args, FaultConfigRow, FaultsArgs,
+    LossySweepRow, LOSSY_SWEEP_RATES,
 };
 
 use repl_baselines::{CorruptionSpec, LeaderFactory, MirrorFactory, RedMpiFactory, SdcReport};
-use sdr_core::{native_job, replicated_job, ReplicationConfig};
+use sdr_core::{
+    native_job, replicated_job, MappingPolicy, PartialLayout, ReplicaMap, ReplicationConfig,
+};
 use sim_mpi::{JobBuilder, ANY_SOURCE};
 use sim_net::{CarrierMode, Cluster, LogGpModel, Placement};
 use std::sync::Arc;
 use workloads::apps::{run_cm1, run_hpccg, AppConfig};
 use workloads::nas::{run_kernel, NasConfig, NasKernel};
 use workloads::netpipe::{self, NetpipePoint};
-use workloads::runner::{compare_protocols_tuned, ComparisonRow, RunTuning, WorkloadSpec};
+use workloads::runner::{
+    compare_layout_tuned, compare_protocols_tuned, ComparisonRow, RunTuning, WorkloadSpec,
+};
 
 /// One row of the Figure 7 sweep: native and replicated measurements for a
 /// message size, plus the relative performance decrease.
@@ -94,14 +98,180 @@ pub fn table1_rows(ranks: usize, cfg: NasConfig) -> Vec<ComparisonRow> {
 /// the `--ranks`/`--workers` scaling axis (64/128/256-rank configurations run
 /// through the same bounded scheduler pool as the 16-rank default).
 pub fn table1_rows_tuned(ranks: usize, cfg: NasConfig, tuning: RunTuning) -> Vec<ComparisonRow> {
+    table1_rows_layout(ranks, cfg, 2, 1.0, tuning)
+}
+
+/// [`table1_rows_tuned`] generalised over the replica map: `degree >= 3`
+/// replicates every rank uniformly at that degree, `coverage < 1.0` replicates
+/// only the first `ceil(coverage * ranks)` ranks at degree 2 (the partial
+/// layout's ADJACENT numbering) and leaves the rest as singletons. The dual
+/// full layout (`degree == 2`, `coverage == 1.0`) takes exactly the historic
+/// Table 1 path, so sweep rows at that point stay comparable with
+/// `BENCH_table1.json`.
+pub fn table1_rows_layout(
+    ranks: usize,
+    cfg: NasConfig,
+    degree: usize,
+    coverage: f64,
+    tuning: RunTuning,
+) -> Vec<ComparisonRow> {
     NasKernel::all()
         .iter()
-        .map(|&kernel| {
-            let spec =
-                WorkloadSpec::new(kernel.name(), ranks, move |p| run_kernel(kernel, p, &cfg));
-            compare_protocols_tuned(&spec, ReplicationConfig::dual(), tuning)
-        })
+        .map(|&kernel| compare_nas_layout(kernel, ranks, cfg, degree, coverage, tuning))
         .collect()
+}
+
+/// Compare one NAS kernel native vs replicated under the `(degree, coverage)`
+/// layout selection shared by [`table1_rows_layout`] and
+/// [`layout_sweep_points`].
+fn compare_nas_layout(
+    kernel: NasKernel,
+    ranks: usize,
+    cfg: NasConfig,
+    degree: usize,
+    coverage: f64,
+    tuning: RunTuning,
+) -> ComparisonRow {
+    assert!(degree >= 2, "replication needs a degree of at least 2");
+    assert!(
+        coverage > 0.0 && coverage <= 1.0,
+        "coverage must be in (0, 1], got {coverage}"
+    );
+    let spec = WorkloadSpec::new(kernel.name(), ranks, move |p| run_kernel(kernel, p, &cfg));
+    if coverage < 1.0 {
+        assert_eq!(
+            degree, 2,
+            "partial replication covers its replicated ranks at degree 2"
+        );
+        let map = PartialLayout::with_coverage(ranks, coverage, MappingPolicy::Adjacent)
+            .expect("a coverage in (0, 1] always yields a valid partial layout");
+        compare_layout_tuned(
+            &spec,
+            Arc::new(map) as Arc<dyn ReplicaMap>,
+            ReplicationConfig::dual(),
+            tuning,
+        )
+    } else {
+        compare_protocols_tuned(&spec, ReplicationConfig::with_degree(degree), tuning)
+    }
+}
+
+/// The coverage ladder of the overhead-vs-coverage frontier
+/// (`BENCH_layouts.json`).
+pub const LAYOUT_SWEEP_COVERAGES: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+
+/// One point of the overhead-vs-coverage frontier: a `(degree, coverage)`
+/// layout measured on one NAS kernel.
+#[derive(Debug, Clone)]
+pub struct LayoutSweepPoint {
+    /// Replication degree of the replicated ranks.
+    pub degree: usize,
+    /// Fraction of ranks replicated.
+    pub coverage: f64,
+    /// The native-vs-replicated measurement at this layout.
+    pub row: ComparisonRow,
+}
+
+/// The overhead-vs-coverage frontier on one kernel: degree 2 at each coverage
+/// in [`LAYOUT_SWEEP_COVERAGES`] (the 1.0 point is the historic full-dual
+/// Table 1 configuration), plus full replication at degree 3. Replication
+/// cost must grow monotonically along the coverage ladder — each additional
+/// covered rank adds replica traffic and ack round-trips — which the
+/// `layout_sweep` binary asserts before writing the artifact.
+pub fn layout_sweep_points(
+    ranks: usize,
+    cfg: NasConfig,
+    kernel: NasKernel,
+    tuning: RunTuning,
+) -> Vec<LayoutSweepPoint> {
+    let mut points: Vec<LayoutSweepPoint> = LAYOUT_SWEEP_COVERAGES
+        .iter()
+        .map(|&coverage| LayoutSweepPoint {
+            degree: 2,
+            coverage,
+            row: compare_nas_layout(kernel, ranks, cfg, 2, coverage, tuning),
+        })
+        .collect();
+    points.push(LayoutSweepPoint {
+        degree: 3,
+        coverage: 1.0,
+        row: compare_nas_layout(kernel, ranks, cfg, 3, 1.0, tuning),
+    });
+    points
+}
+
+/// Serialise the layout sweep as the machine-readable `BENCH_layouts.json`
+/// report (same hand-rolled-JSON convention as [`table_report_json`]).
+pub fn layouts_report_json(
+    benchmark: &str,
+    ranks: usize,
+    class_name: &str,
+    kernel_name: &str,
+    points: &[LayoutSweepPoint],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"benchmark\": \"{benchmark}\",\n"));
+    out.push_str(&format!("  \"ranks\": {ranks},\n"));
+    out.push_str(&format!("  \"class\": \"{class_name}\",\n"));
+    out.push_str(&format!("  \"kernel\": \"{kernel_name}\",\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"degree\": {}, \"coverage\": {:.4}, \
+             \"native_secs\": {:.6}, \"replicated_secs\": {:.6}, \"overhead_pct\": {:.3}, \
+             \"results_match\": {}, \"native_app_msgs\": {}, \"replicated_app_msgs\": {}, \
+             \"replicated_ack_msgs\": {}}}{}\n",
+            p.degree,
+            p.coverage,
+            p.row.native_secs,
+            p.row.replicated_secs,
+            p.row.overhead_pct,
+            p.row.results_match,
+            p.row.native_app_msgs,
+            p.row.replicated_app_msgs,
+            p.row.replicated_ack_msgs,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Format the layout sweep as a text table.
+pub fn format_layout_sweep(title: &str, points: &[LayoutSweepPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:>6} {:>8} {:>14} {:>16} {:>12} {:>12} {:>12}  {}\n",
+        "degree",
+        "coverage",
+        "Native (s)",
+        "Replicated (s)",
+        "Overhead (%)",
+        "app msgs",
+        "ack msgs",
+        "results"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:>6} {:>8.2} {:>14.3} {:>16.3} {:>12.2} {:>12} {:>12}  {}\n",
+            p.degree,
+            p.coverage,
+            p.row.native_secs,
+            p.row.replicated_secs,
+            p.row.overhead_pct,
+            p.row.replicated_app_msgs,
+            p.row.replicated_ack_msgs,
+            if p.row.results_match {
+                "match"
+            } else {
+                "MISMATCH"
+            }
+        ));
+    }
+    out
 }
 
 /// Table 2: HPCCG and CM1 (both with anonymous receptions), native vs dual
@@ -138,6 +308,12 @@ pub struct HarnessArgs {
     pub cfg: NasConfig,
     /// Canonical name of the selected class (for reports), e.g. `"s"`.
     pub class_name: String,
+    /// Replication degree for the replicated runs (2 = the paper's dual).
+    pub degree: usize,
+    /// Fraction of ranks replicated (1.0 = full replication; < 1.0 selects
+    /// the degree-2 partial layout over the first `ceil(coverage * ranks)`
+    /// ranks).
+    pub coverage: f64,
     /// Execution-layer tuning.
     pub tuning: RunTuning,
     /// Where to write the machine-readable JSON report, if requested.
@@ -145,11 +321,13 @@ pub struct HarnessArgs {
 }
 
 /// Shared CLI parsing for the table harnesses: `--ranks N`, `--class
-/// s|test|d`, `--workers N`, `--carrier-mode thread|coro` (execution mode;
-/// defaults to coroutine stacks on supported targets, overridable via the
-/// `SDR_CARRIER_MODE` environment variable), `--json PATH` (machine-readable
-/// report, uploaded as a CI artifact), plus a bare positional rank count for
-/// backwards compatibility.
+/// s|test|d`, `--degree N` (replication degree, default 2), `--coverage F`
+/// (fraction of ranks replicated, default 1.0; `< 1.0` runs the degree-2
+/// partial layout), `--workers N`, `--carrier-mode thread|coro` (execution
+/// mode; defaults to coroutine stacks on supported targets, overridable via
+/// the `SDR_CARRIER_MODE` environment variable), `--json PATH`
+/// (machine-readable report, uploaded as a CI artifact), plus a bare
+/// positional rank count for backwards compatibility.
 pub fn parse_harness_args<I: Iterator<Item = String>>(
     args: I,
     default_ranks: usize,
@@ -158,6 +336,8 @@ pub fn parse_harness_args<I: Iterator<Item = String>>(
         ranks: default_ranks,
         cfg: NasConfig::class_d_like(),
         class_name: "d".to_string(),
+        degree: 2,
+        coverage: 1.0,
         tuning: RunTuning::default(),
         json_path: None,
     };
@@ -175,6 +355,25 @@ pub fn parse_harness_args<I: Iterator<Item = String>>(
                 parsed.cfg = NasConfig::from_class_name(&name)
                     .unwrap_or_else(|| panic!("unknown NAS class {name:?} (use s, test or d)"));
                 parsed.class_name = name.to_ascii_lowercase();
+            }
+            "--degree" => {
+                let d: usize = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--degree needs an integer >= 2");
+                assert!(d >= 2, "--degree needs an integer >= 2, got {d}");
+                parsed.degree = d;
+            }
+            "--coverage" => {
+                let c: f64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--coverage needs a number in (0, 1]");
+                assert!(
+                    c > 0.0 && c <= 1.0,
+                    "--coverage needs a number in (0, 1], got {c}"
+                );
+                parsed.coverage = c;
             }
             "--workers" => {
                 let w: usize = args
@@ -214,6 +413,10 @@ pub fn parse_harness_args<I: Iterator<Item = String>>(
         }
     }
     assert!(parsed.ranks > 0, "rank count must be positive");
+    assert!(
+        parsed.coverage >= 1.0 || parsed.degree == 2,
+        "--coverage < 1.0 requires --degree 2 (partial layouts replicate at degree 2)"
+    );
     parsed
 }
 
@@ -416,13 +619,15 @@ pub fn format_comparison_table(title: &str, rows: &[ComparisonRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{title}\n"));
     out.push_str(&format!(
-        "{:<8} {:>14} {:>16} {:>12}  {}\n",
-        "", "Native (s)", "Replicated (s)", "Overhead (%)", "results"
+        "{:<8} {:>6} {:>8} {:>14} {:>16} {:>12}  {}\n",
+        "", "degree", "coverage", "Native (s)", "Replicated (s)", "Overhead (%)", "results"
     ));
     for row in rows {
         out.push_str(&format!(
-            "{:<8} {:>14.3} {:>16.3} {:>12.2}  {}\n",
+            "{:<8} {:>6} {:>8.2} {:>14.3} {:>16.3} {:>12.2}  {}\n",
             row.name,
+            row.degree,
+            row.coverage,
             row.native_secs,
             row.replicated_secs,
             row.overhead_pct,
@@ -606,11 +811,14 @@ pub fn table_report_json(
     out.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"native_secs\": {:.6}, \"replicated_secs\": {:.6}, \
+            "    {{\"name\": \"{}\", \"degree\": {}, \"coverage\": {:.4}, \
+             \"native_secs\": {:.6}, \"replicated_secs\": {:.6}, \
              \"overhead_pct\": {:.3}, \"results_match\": {}, \
              \"native_app_msgs\": {}, \"replicated_app_msgs\": {}, \"replicated_ack_msgs\": {}, \
              \"native_delivery\": {}, \"replicated_delivery\": {}}}{}\n",
             row.name,
+            row.degree,
+            row.coverage,
             row.native_secs,
             row.replicated_secs,
             row.overhead_pct,
@@ -743,5 +951,68 @@ mod tests {
             assert!(text.contains(k));
         }
         assert!(text.contains("Overhead"));
+        assert!(text.contains("coverage"));
+        let json = table_report_json("table1_nas", 4, "test", &rows);
+        assert!(json.contains("\"degree\": 2"));
+        assert!(json.contains("\"coverage\": 1.0000"));
+    }
+
+    #[test]
+    fn harness_args_accept_degree_and_coverage() {
+        let args = parse_harness_args(
+            ["--ranks", "8", "--degree", "3"]
+                .iter()
+                .map(|s| s.to_string()),
+            16,
+        );
+        assert_eq!((args.ranks, args.degree), (8, 3));
+        assert_eq!(args.coverage, 1.0);
+        let args = parse_harness_args(["--coverage", "0.5"].iter().map(|s| s.to_string()), 16);
+        assert_eq!((args.degree, args.coverage), (2, 0.5));
+    }
+
+    #[test]
+    fn layout_sweep_overhead_grows_with_coverage() {
+        let points = layout_sweep_points(
+            4,
+            NasConfig::test_size(),
+            NasKernel::Cg,
+            RunTuning::default(),
+        );
+        assert_eq!(points.len(), LAYOUT_SWEEP_COVERAGES.len() + 1);
+        for p in &points {
+            assert!(
+                p.row.results_match,
+                "degree {} coverage {}",
+                p.degree, p.coverage
+            );
+        }
+        // Each additional covered rank adds replica traffic, so the message
+        // count climbs exactly and the virtual-time overhead climbs up to
+        // run-to-run scheduling drift.
+        for w in points[..LAYOUT_SWEEP_COVERAGES.len()].windows(2) {
+            assert!(
+                w[0].row.replicated_app_msgs < w[1].row.replicated_app_msgs,
+                "coverage {} -> {} must add replica traffic",
+                w[0].coverage,
+                w[1].coverage
+            );
+            assert!(
+                w[1].row.overhead_pct >= w[0].row.overhead_pct - 1.0,
+                "coverage {} -> {} must not get cheaper",
+                w[0].coverage,
+                w[1].coverage
+            );
+        }
+        // Degree 3 sends one more copy of everything than full dual.
+        let dual_full = &points[LAYOUT_SWEEP_COVERAGES.len() - 1];
+        let triple = points.last().unwrap();
+        assert_eq!(triple.degree, 3);
+        assert!(triple.row.replicated_app_msgs > dual_full.row.replicated_app_msgs);
+        let json = layouts_report_json("layout_sweep", 4, "test", "CG", &points);
+        assert!(json.contains("\"coverage\": 0.2500"));
+        assert!(json.contains("\"degree\": 3"));
+        let text = format_layout_sweep("Layout sweep", &points);
+        assert!(text.contains("match"));
     }
 }

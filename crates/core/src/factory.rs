@@ -4,8 +4,9 @@
 //! rank on different nodes).
 
 use crate::config::ReplicationConfig;
+use crate::layout::{LayoutError, MappingPolicy, PartialLayout, ReplicaMap};
 use crate::protocol::SdrProtocol;
-use sim_mpi::{JobBuilder, Protocol, ProtocolFactory};
+use sim_mpi::{JobBuilder, Protocol, ProtocolFactory, Rank};
 use sim_net::{Cluster, EndpointId, Placement};
 use std::sync::Arc;
 
@@ -13,17 +14,29 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct SdrFactory {
     cfg: ReplicationConfig,
+    /// Explicit replica map; `None` means the classic uniform product layout
+    /// derived from `cfg.degree`.
+    map: Option<Arc<dyn ReplicaMap>>,
 }
 
 impl SdrFactory {
-    /// Factory with an explicit configuration.
+    /// Factory with an explicit configuration on the classic uniform layout.
     pub fn new(cfg: ReplicationConfig) -> Self {
-        SdrFactory { cfg }
+        SdrFactory { cfg, map: None }
     }
 
     /// Dual replication (the paper's configuration).
     pub fn dual() -> Self {
         SdrFactory::new(ReplicationConfig::dual())
+    }
+
+    /// Factory on an arbitrary replica map (partial replication, CYCLIC
+    /// numbering, mixed degrees). The job's rank count must match the map's.
+    pub fn with_map(cfg: ReplicationConfig, map: Arc<dyn ReplicaMap>) -> Self {
+        SdrFactory {
+            cfg,
+            map: Some(map),
+        }
     }
 
     /// The configuration this factory installs.
@@ -34,11 +47,28 @@ impl SdrFactory {
 
 impl ProtocolFactory for SdrFactory {
     fn physical_processes(&self, app_ranks: usize) -> usize {
-        app_ranks * self.cfg.degree
+        match &self.map {
+            Some(map) => {
+                assert_eq!(
+                    map.ranks(),
+                    app_ranks,
+                    "replica map rank count must match the job"
+                );
+                map.physical_processes()
+            }
+            None => app_ranks * self.cfg.degree,
+        }
     }
 
     fn build(&self, endpoint: EndpointId, app_ranks: usize) -> Box<dyn Protocol> {
-        Box::new(SdrProtocol::new(endpoint, app_ranks, self.cfg))
+        match &self.map {
+            Some(map) => Box::new(SdrProtocol::new_with_map(
+                endpoint,
+                Arc::clone(map),
+                self.cfg,
+            )),
+            None => Box::new(SdrProtocol::new(endpoint, app_ranks, self.cfg)),
+        }
     }
 
     fn name(&self) -> &str {
@@ -58,6 +88,42 @@ pub fn replicated_job(app_ranks: usize, cfg: ReplicationConfig) -> JobBuilder {
             ranks: app_ranks,
             degree: cfg.degree,
         })
+}
+
+/// A [`JobBuilder`] on an arbitrary replica map. One core per physical
+/// process; with one process per node the packed placement is equivalent to
+/// any replica-spreading policy, so non-product maps (partial, CYCLIC) need
+/// no dedicated placement variant.
+pub fn mapped_job(map: Arc<dyn ReplicaMap>, cfg: ReplicationConfig) -> JobBuilder {
+    let physical = map.physical_processes();
+    JobBuilder::new(map.ranks())
+        .protocol(Arc::new(SdrFactory::with_map(cfg, map)))
+        .cluster(Cluster::new(physical, 1))
+        .placement(Placement::Packed)
+}
+
+/// A partially replicated [`JobBuilder`]: the ranks in `replicated` run at
+/// degree 2 (ADJACENT numbering), every other rank is a singleton. Invalid
+/// subsets surface as typed [`LayoutError`]s.
+pub fn partial_replicated_job(
+    app_ranks: usize,
+    replicated: &[Rank],
+    cfg: ReplicationConfig,
+) -> Result<JobBuilder, LayoutError> {
+    let map = PartialLayout::new(app_ranks, replicated, MappingPolicy::Adjacent)?;
+    Ok(mapped_job(Arc::new(map), cfg))
+}
+
+/// A partially replicated [`JobBuilder`] covering the first
+/// `ceil(coverage · app_ranks)` ranks — the overhead-vs-coverage sweep's
+/// deterministic subset.
+pub fn coverage_job(
+    app_ranks: usize,
+    coverage: f64,
+    cfg: ReplicationConfig,
+) -> Result<JobBuilder, LayoutError> {
+    let map = PartialLayout::with_coverage(app_ranks, coverage, MappingPolicy::Adjacent)?;
+    Ok(mapped_job(Arc::new(map), cfg))
 }
 
 /// A native (non-replicated) [`JobBuilder`] with the same cluster conventions,
@@ -305,6 +371,132 @@ mod tests {
         }
         // Each received message is acked to the r-1 = 2 other sender replicas.
         assert_eq!(report.stats.ack_msgs(), report.stats.app_msgs() * 2);
+    }
+
+    #[test]
+    fn partial_replication_matches_native_results() {
+        let app = |p: &mut sim_mpi::Process| {
+            let world = p.world();
+            let sum = p.allreduce_f64(world, ReduceOp::Sum, (p.rank() * 3 + 1) as f64);
+            let peer = (p.rank() + 1) % p.size();
+            let from = (p.rank() + p.size() - 1) % p.size();
+            let (_, v) = p.sendrecv_bytes(
+                world,
+                peer,
+                5,
+                Bytes::from(vec![p.rank() as u8; 16]),
+                from as i64,
+                5,
+            );
+            sum + v[0] as f64
+        };
+        let native = native_job(4).network(fast()).run(app);
+        let partial = partial_replicated_job(4, &[0, 2], ReplicationConfig::dual())
+            .unwrap()
+            .network(fast())
+            .run(app);
+        assert!(native.all_finished() && partial.all_finished());
+        assert_eq!(native.primary_results(), partial.primary_results());
+        // 4 singleton-or-primary copies + 2 second copies.
+        assert_eq!(partial.processes.len(), 6);
+    }
+
+    #[test]
+    fn partial_replication_survives_replica_crash_of_covered_rank() {
+        // Rank 0 is replicated; losing its second copy must be masked. The
+        // second copy never physically sends (its only destination is the
+        // singleton rank 1, served by replica 0), so the crash is scheduled
+        // on the virtual clock rather than on a send index.
+        let partial = partial_replicated_job(2, &[0], ReplicationConfig::dual())
+            .unwrap()
+            .network(fast())
+            .crash(
+                EndpointId(2),
+                CrashSchedule::AtTime {
+                    at: SimTime::from_nanos(1),
+                },
+            )
+            .recv_timeout(Duration::from_secs(5))
+            .run(|p| {
+                let world = p.world();
+                let peer = 1 - p.rank();
+                let mut acc = 0u64;
+                for round in 0..6u64 {
+                    if p.rank() == 0 {
+                        p.send_u64s(world, peer, 1, &[round * 2]);
+                        let (_, v) = p.recv_u64s(world, peer as i64, 2);
+                        acc += v[0];
+                    } else {
+                        let (_, v) = p.recv_u64s(world, peer as i64, 1);
+                        acc += v[0];
+                        p.send_u64s(world, peer, 2, &[round * 5]);
+                    }
+                }
+                acc
+            });
+        assert_eq!(partial.crashed(), vec![EndpointId(2)]);
+        let expect0: u64 = (0..6).map(|r| r * 5).sum();
+        let expect1: u64 = (0..6).map(|r| r * 2).sum();
+        for proc in &partial.processes {
+            if proc.endpoint == EndpointId(2) {
+                continue;
+            }
+            let expect = if proc.app_rank == 0 { expect0 } else { expect1 };
+            assert_eq!(
+                proc.outcome.result(),
+                Some(&expect),
+                "survivor {:?} must finish with the fault-free result",
+                proc.endpoint
+            );
+        }
+    }
+
+    #[test]
+    fn partial_replication_unreplicated_crash_is_prompt_rank_lost() {
+        // Rank 1 is a singleton: its crash must abort the survivors with a
+        // typed RankLost instead of hanging until the receive timeout.
+        let partial = partial_replicated_job(2, &[0], ReplicationConfig::dual())
+            .unwrap()
+            .network(fast())
+            .crash(EndpointId(1), CrashSchedule::AfterSend { nth: 1 })
+            .recv_timeout(Duration::from_secs(5))
+            .run(|p| {
+                let world = p.world();
+                let peer = 1 - p.rank();
+                let mut acc = 0u64;
+                for round in 0..6u64 {
+                    if p.rank() == 1 {
+                        p.send_u64s(world, peer, 1, &[round]);
+                        let (_, v) = p.recv_u64s(world, peer as i64, 2);
+                        acc += v[0];
+                    } else {
+                        let (_, v) = p.recv_u64s(world, peer as i64, 1);
+                        acc += v[0];
+                        p.send_u64s(world, peer, 2, &[round]);
+                    }
+                }
+                acc
+            });
+        assert_eq!(partial.crashed(), vec![EndpointId(1)]);
+        let lost: Vec<String> = partial
+            .processes
+            .iter()
+            .filter(|p| p.endpoint != EndpointId(1))
+            .filter_map(|p| match &p.outcome {
+                sim_mpi::ProcessOutcome::Panicked(msg) => Some(msg.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            !lost.is_empty(),
+            "survivors must abort with RankLost, not hang"
+        );
+        for msg in lost {
+            assert!(
+                msg.contains("rank 1") && msg.contains("lost all"),
+                "panic must name the lost singleton rank: {msg}"
+            );
+        }
     }
 
     #[test]

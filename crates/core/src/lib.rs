@@ -14,9 +14,12 @@
 //!   rank, and the `upon failure` substitution handler.
 //! * [`config::ReplicationConfig`] — replication degree and the ack-timing
 //!   ablation ([`config::AckOn`]).
-//! * [`layout::ReplicaLayout`] — the transparent `MPI_COMM_WORLD` splitting of
-//!   Figure 6 (physical process `P` = rank `P mod n`, replica `P div n`).
-//! * [`recovery`] — the dual-replication recovery protocol of Section 3.4.
+//! * [`layout::ReplicaMap`] — pluggable rank → replica-set mapping: the
+//!   transparent `MPI_COMM_WORLD` splitting of Figure 6 ([`layout::ReplicaLayout`]),
+//!   uniform degree ≥ 3 ([`layout::UniformLayout`]) and partial replication of a
+//!   configured rank subset ([`layout::PartialLayout`]).
+//! * [`recovery`] — Section 3.4 generalized: fork-election among surviving
+//!   replicas plus ack-frontier merge.
 //! * [`factory::replicated_job`] — one-call launcher for replicated jobs.
 //!
 //! ## Quick example
@@ -41,7 +44,11 @@ pub mod protocol;
 pub mod recovery;
 
 pub use config::{AckOn, ReplicationConfig};
-pub use factory::{native_job, replicated_job, SdrFactory};
-pub use layout::ReplicaLayout;
+pub use factory::{
+    coverage_job, mapped_job, native_job, partial_replicated_job, replicated_job, SdrFactory,
+};
+pub use layout::{
+    LayoutError, MappingPolicy, PartialLayout, ReplicaLayout, ReplicaMap, UniformLayout,
+};
 pub use protocol::{SdrCounters, SdrProtocol, SeqTracker};
 pub use recovery::{RecoveryCoordinator, RecoveryError, RecoveryEvent, RecoveryOutcome};

@@ -19,7 +19,7 @@
 //! (Section 3.1 of the paper).
 
 use crate::config::{AckOn, ReplicationConfig};
-use crate::layout::ReplicaLayout;
+use crate::layout::{ReplicaLayout, ReplicaMap};
 use bytes::Bytes;
 use sim_mpi::matching::KeyHasher;
 use sim_mpi::pml::{MsgMeta, Pml, PmlEvent};
@@ -30,6 +30,7 @@ use sim_net::stats::class;
 use sim_net::{EndpointId, FailureEvent, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
 use std::hash::BuildHasherDefault;
+use std::sync::Arc;
 
 /// Per-message bookkeeping maps ride the matching engine's trusted-key
 /// multiplicative hasher instead of SipHash.
@@ -86,6 +87,15 @@ pub const RETX_REAL_BACKOFF_ATTEMPTS: u32 = 8;
 pub struct SeqTracker {
     next_expected: u64,
     ahead: BTreeSet<u64>,
+}
+
+impl SeqTracker {
+    /// The cumulative delivery frontier: every sequence `< next_expected()`
+    /// has been delivered in order. This is the value recovery merges across
+    /// surviving replicas to form the union ack frontier.
+    pub fn next_expected(&self) -> u64 {
+        self.next_expected
+    }
 }
 
 impl SeqTracker {
@@ -187,7 +197,7 @@ pub struct SdrCounters {
 
 /// The per-physical-process SDR-MPI protocol instance.
 pub struct SdrProtocol {
-    pub(crate) layout: ReplicaLayout,
+    pub(crate) map: Arc<dyn ReplicaMap>,
     pub(crate) cfg: ReplicationConfig,
     pub(crate) my_rank: Rank,
     pub(crate) my_replica: usize,
@@ -239,29 +249,45 @@ impl std::fmt::Debug for SdrProtocol {
 
 impl SdrProtocol {
     /// Protocol instance for physical process `endpoint` in a job of
-    /// `app_ranks` logical ranks under `cfg`.
+    /// `app_ranks` logical ranks under `cfg`, on the classic uniform layout.
     pub fn new(endpoint: EndpointId, app_ranks: usize, cfg: ReplicationConfig) -> Self {
-        let layout = ReplicaLayout::new(app_ranks, cfg.degree);
-        let (my_rank, my_replica) = layout.locate(endpoint);
+        let map: Arc<dyn ReplicaMap> = Arc::new(ReplicaLayout::new(app_ranks, cfg.degree));
+        SdrProtocol::new_with_map(endpoint, map, cfg)
+    }
+
+    /// Protocol instance for physical process `endpoint` on an arbitrary
+    /// replica map. The per-rank routing tables come straight from the map's
+    /// mixed-degree routing rule ([`ReplicaMap::direct_src`] /
+    /// [`ReplicaMap::direct_dests`]); on uniform maps this is the paper's
+    /// "replica `k` talks to replica `k`".
+    pub fn new_with_map(
+        endpoint: EndpointId,
+        map: Arc<dyn ReplicaMap>,
+        cfg: ReplicationConfig,
+    ) -> Self {
+        let (my_rank, my_replica) = map.locate(endpoint);
+        let app_ranks = map.ranks();
         let physical_dests = (0..app_ranks)
             .map(|rank| {
-                let mut s = BTreeSet::new();
-                s.insert(layout.endpoint(rank, my_replica));
-                s
+                map.direct_dests(my_rank, my_replica, rank)
+                    .into_iter()
+                    .collect::<BTreeSet<_>>()
             })
             .collect();
         let physical_src = (0..app_ranks)
-            .map(|rank| layout.endpoint(rank, my_replica))
+            .map(|rank| map.direct_src(my_replica, rank))
             .collect();
+        let my_degree = map.degree_of(my_rank);
+        let physical = map.physical_processes();
         SdrProtocol {
-            layout,
+            map,
             cfg,
             my_rank,
             my_replica,
             physical_dests,
             physical_src,
-            substitute: (0..cfg.degree).collect(),
-            alive: vec![true; layout.physical_processes()],
+            substitute: (0..my_degree).collect(),
+            alive: vec![true; physical],
             send_seq: vec![0; app_ranks],
             recv_seen: vec![SeqTracker::default(); app_ranks],
             sends: BTreeMap::new(),
@@ -295,9 +321,9 @@ impl SdrProtocol {
             .unwrap_or(false)
     }
 
-    /// The replica layout in use.
-    pub fn layout(&self) -> ReplicaLayout {
-        self.layout
+    /// The replica map in use.
+    pub fn map(&self) -> Arc<dyn ReplicaMap> {
+        Arc::clone(&self.map)
     }
 
     fn is_alive(&self, e: EndpointId) -> bool {
@@ -306,9 +332,10 @@ impl SdrProtocol {
 
     /// Deterministic substitute election: the lowest-numbered alive replica of
     /// `rank` (Algorithm 1, `electSubstitute`). Returns `None` when every
-    /// replica of the rank has failed.
+    /// replica of the rank has failed — which for a singleton rank of a
+    /// partial map is its first (and only) crash.
     fn elect_substitute(&self, rank: Rank) -> Option<usize> {
-        (0..self.cfg.degree).find(|&rep| self.is_alive(self.layout.endpoint(rank, rep)))
+        (0..self.map.degree_of(rank)).find(|&rep| self.is_alive(self.map.endpoint(rank, rep)))
     }
 
     fn ack_header(sender_rank: Rank, acker_rank: Rank, seq: u64) -> [i64; 8] {
@@ -332,7 +359,7 @@ impl SdrProtocol {
         seq: u64,
         not_before: SimTime,
     ) {
-        for rep in 0..self.cfg.degree {
+        for rep in 0..self.map.degree_of(src_rank) {
             if rep == src_replica && !self.lossy {
                 // Crossed-ack topology: the direct sender learns of delivery
                 // from the *other* replicas. Under a lossy transport the
@@ -341,7 +368,7 @@ impl SdrProtocol {
                 // detect a dropped direct delivery (DESIGN.md §5.5).
                 continue;
             }
-            let target = self.layout.endpoint(src_rank, rep);
+            let target = self.map.endpoint(src_rank, rep);
             if self.is_alive(target) {
                 // The ack reacts to the received message: it cannot be
                 // injected before that message has arrived, even if this
@@ -394,7 +421,7 @@ impl SdrProtocol {
             // registered). Ignore defensively.
             return;
         };
-        let (src_rank, src_replica) = self.layout.locate(meta.src);
+        let (src_rank, src_replica) = self.map.locate(meta.src);
         let seq = meta.aux as u64;
         let fresh = self.recv_seen[src_rank].record(seq);
         if !fresh {
@@ -460,17 +487,20 @@ impl SdrProtocol {
     /// that has not been acknowledged by the substitute *at the moment this
     /// notification is processed* was not part of the forked state, so the
     /// sender replays it directly to the new process. Acknowledgements toward
-    /// the recovered process resume for messages received afterwards. Only
-    /// meaningful for dual replication (the paper's restriction).
+    /// the recovered process resume for messages received afterwards. With
+    /// degree ≥ 3 the fork source is the deterministically elected lowest
+    /// surviving replica (fork-election), so "the substitute" below is that
+    /// replica's endpoint.
     pub(crate) fn handle_recovery_notification(&mut self, pml: &mut Pml, recovered: EndpointId) {
-        let (rrank, rrep) = self.layout.locate(recovered);
+        let (rrank, rrep) = self.map.locate(recovered);
         if recovered.0 < self.alive.len() {
             self.alive[recovered.0] = true;
         }
+        let my_degree = self.map.degree_of(self.my_rank);
         if self.my_rank == rrank {
             // Replicas of the recovered rank: the recovered process is in
             // charge of itself again; stop sending on its behalf.
-            for l in 0..self.cfg.degree {
+            for l in 0..my_degree {
                 if l == rrep {
                     self.substitute[l] = rrep;
                 }
@@ -479,18 +509,20 @@ impl SdrProtocol {
                 // I was the substitute: stop sending on behalf of the
                 // recovered replica (drop its counterpart destinations, which
                 // are all distinct from my own because rrep != my_replica).
-                for rank in 0..self.layout.ranks {
-                    let proxy_dest = self.layout.endpoint(rank, rrep);
-                    self.physical_dests[rank].remove(&proxy_dest);
+                for rank in 0..self.map.ranks() {
+                    if rrep < self.map.degree_of(rank) {
+                        let proxy_dest = self.map.endpoint(rank, rrep);
+                        self.physical_dests[rank].remove(&proxy_dest);
+                    }
                 }
             }
             return;
         }
-        if self.my_replica == rrep {
-            // The recovered process is my counterpart for rank `rrank`: resume
-            // sending directly to it, and replay every message it cannot have
-            // inherited from the substitute's forked state (those not yet
-            // acknowledged by the substitute).
+        if rrep % my_degree == self.my_replica {
+            // The recovered process is one of my direct destinations for rank
+            // `rrank`: resume sending directly to it, and replay every
+            // message it cannot have inherited from the fork source's state
+            // (those not yet acknowledged by that survivor).
             self.physical_dests[rrank].insert(recovered);
             let mut replays = Vec::new();
             for entry in self.sends.values_mut() {
@@ -498,10 +530,11 @@ impl SdrProtocol {
                     continue;
                 }
                 let sub_ep = {
-                    // The substitute is the other alive replica of rrank.
+                    // The fork source is the lowest alive replica of rrank
+                    // other than the recovered process itself.
                     let mut sub = None;
-                    for rep in 0..self.cfg.degree {
-                        let e = self.layout.endpoint(rrank, rep);
+                    for rep in 0..self.map.degree_of(rrank) {
+                        let e = self.map.endpoint(rrank, rep);
                         if e != recovered && self.alive[e.0] {
                             sub = Some(e);
                             break;
@@ -541,29 +574,36 @@ impl SdrProtocol {
         }
         self.alive[ev.endpoint.0] = false;
         self.counters.failures_handled += 1;
-        let (failed_rank, failed_rep) = self.layout.locate(ev.endpoint);
+        let (failed_rank, failed_rep) = self.map.locate(ev.endpoint);
         let Some(sub) = self.elect_substitute(failed_rank) else {
             // Every replica of the rank is gone; nothing the protocol can do
             // (the paper would fall back to checkpoint/restart here). Abort
             // this process with a clear error instead of letting the job hang
-            // on receives that can never be satisfied.
+            // on receives that can never be satisfied. For a singleton rank
+            // of a partial map this fires on the rank's first crash, so the
+            // typed `RankLost` surfaces promptly.
             std::panic::panic_any(MpiError::RankLost {
                 rank: failed_rank,
-                degree: self.cfg.degree,
+                degree: self.map.degree_of(failed_rank),
             });
         };
 
         if failed_rank == self.my_rank {
+            let my_degree = self.map.degree_of(self.my_rank);
             // I am a replica of the failed process's rank.
             if sub == self.my_replica {
                 // I am the elected substitute (Algorithm 1, lines 21-25).
-                let delegated: Vec<usize> = (0..self.cfg.degree)
+                let delegated: Vec<usize> = (0..my_degree)
                     .filter(|&l| self.substitute[l] == failed_rep || l == failed_rep)
                     .collect();
                 for &l in &delegated {
-                    // Add the failed replica set's destinations to mine.
-                    for rank in 0..self.layout.ranks {
-                        let target = self.layout.endpoint(rank, l);
+                    // Add the failed replica set's destinations to mine
+                    // (only ranks that actually have a replica slot `l`).
+                    for rank in 0..self.map.ranks() {
+                        if l >= self.map.degree_of(rank) {
+                            continue;
+                        }
+                        let target = self.map.endpoint(rank, l);
                         if self.is_alive(target) {
                             self.physical_dests[rank].insert(target);
                         }
@@ -572,7 +612,10 @@ impl SdrProtocol {
                     // destination rank is missing.
                     let mut resends = Vec::new();
                     for entry in self.sends.values_mut() {
-                        let target = self.layout.endpoint(entry.dst_rank, l);
+                        if l >= self.map.degree_of(entry.dst_rank) {
+                            continue;
+                        }
+                        let target = self.map.endpoint(entry.dst_rank, l);
                         if !self.alive[target.0] {
                             continue;
                         }
@@ -598,7 +641,7 @@ impl SdrProtocol {
                         if let Some(entry) = self
                             .sends
                             .values_mut()
-                            .find(|e| e.seq == seq && self.layout.rank_of(target) == e.dst_rank)
+                            .find(|e| e.seq == seq && self.map.rank_of(target) == e.dst_rank)
                         {
                             entry.pml_reqs.push(req);
                         }
@@ -607,7 +650,7 @@ impl SdrProtocol {
             }
             // Everyone in the rank updates the substitution table
             // (Algorithm 1, lines 26-27).
-            for l in 0..self.cfg.degree {
+            for l in 0..my_degree {
                 if self.substitute[l] == failed_rep {
                     self.substitute[l] = sub;
                 }
@@ -617,7 +660,7 @@ impl SdrProtocol {
             }
         } else {
             // Algorithm 1, lines 28-35: I am not a replica of the failed rank.
-            let new_src = self.layout.endpoint(failed_rank, sub);
+            let new_src = self.map.endpoint(failed_rank, sub);
             if self.physical_src[failed_rank] == ev.endpoint {
                 self.physical_src[failed_rank] = new_src;
             }
@@ -781,7 +824,7 @@ impl SdrProtocol {
     /// it below `upto`. Acks every matching live entry and is remembered for
     /// sends this (possibly slower) replica has not posted yet.
     fn handle_fin_ack(&mut self, acker: EndpointId, upto: u64, arrival: SimTime) {
-        let acker_rank = self.layout.rank_of(acker);
+        let acker_rank = self.map.rank_of(acker);
         for entry in self.sends.values_mut() {
             if entry.dst_rank == acker_rank && entry.seq < upto {
                 entry.acks_received.insert(acker);
@@ -800,7 +843,7 @@ impl Protocol for SdrProtocol {
     }
 
     fn app_size(&self) -> usize {
-        self.layout.ranks
+        self.map.ranks()
     }
 
     fn replica_id(&self) -> usize {
@@ -827,7 +870,7 @@ impl Protocol for SdrProtocol {
         payload: Bytes,
     ) -> ProtoSendReq {
         assert!(
-            dst < self.layout.ranks,
+            dst < self.map.ranks(),
             "destination rank {dst} out of range"
         );
         let seq = self.send_seq[dst];
@@ -858,8 +901,8 @@ impl Protocol for SdrProtocol {
         // of the destination rank, direct targets included: the direct sender
         // owns the only link a dropped payload can be retransmitted on, so it
         // must learn of delivery (or the lack of it) itself.
-        for rep in 0..self.cfg.degree {
-            let target = self.layout.endpoint(dst, rep);
+        for rep in 0..self.map.degree_of(dst) {
+            let target = self.map.endpoint(dst, rep);
             if self.physical_dests[dst].contains(&target) {
                 if self.is_alive(target) {
                     if self.lossy {
@@ -920,7 +963,7 @@ impl Protocol for SdrProtocol {
         // MPI_ANY_SOURCE stays an any-source receive — send-determinism makes a
         // leader-decided source unnecessary (Section 3.1).
         let phys_src = src.map(|r| {
-            assert!(r < self.layout.ranks, "source rank {r} out of range");
+            assert!(r < self.map.ranks(), "source rank {r} out of range");
             self.physical_src[r]
         });
         let pml_req = pml.irecv(phys_src, comm, tag);
@@ -980,7 +1023,7 @@ impl Protocol for SdrProtocol {
             // completed the receive.
             self.send_acks_for(pml, src_rank, src_replica, seq, arrival);
         }
-        let src_rank = self.layout.rank_of(meta.src);
+        let src_rank = self.map.rank_of(meta.src);
         Some((
             Status {
                 source: src_rank,
@@ -1034,7 +1077,7 @@ impl Protocol for SdrProtocol {
                     let acker_rank = header[2] as usize;
                     let seq = header[3] as u64;
                     let _ = acker_rank;
-                    self.register_ack(src, self.layout.rank_of(src), seq, arrival);
+                    self.register_ack(src, self.map.rank_of(src), seq, arrival);
                 } else if cls == class::CONTROL && header[0] == ctl::RECOVERY_NOTIFY {
                     let recovered = EndpointId(header[1] as usize);
                     self.handle_recovery_notification(pml, recovered);
@@ -1052,7 +1095,7 @@ impl Protocol for SdrProtocol {
                 // The PML's wire window discarded a retransmit whose original
                 // made it through after all: the sender is still missing our
                 // acknowledgement, so re-emit it.
-                let (src_rank, src_replica) = self.layout.locate(src);
+                let (src_rank, src_replica) = self.map.locate(src);
                 self.counters.duplicates_dropped += 1;
                 self.send_acks_for(pml, src_rank, src_replica, aux as u64, arrival);
             }
@@ -1073,13 +1116,13 @@ impl Protocol for SdrProtocol {
         //    every per-message ack a fault may have eaten — senders can
         //    complete even after we exit.
         let me = pml.endpoint_id();
-        for src_rank in 0..self.layout.ranks {
+        for src_rank in 0..self.map.ranks() {
             let upto = self.recv_seen[src_rank].next_expected;
             if upto == 0 {
                 continue;
             }
-            for rep in 0..self.cfg.degree {
-                let target = self.layout.endpoint(src_rank, rep);
+            for rep in 0..self.map.degree_of(src_rank) {
+                let target = self.map.endpoint(src_rank, rep);
                 if target != me && self.is_alive(target) {
                     pml.send_control_at(
                         target,
@@ -1177,6 +1220,56 @@ mod tests {
             assert!(proto.physical_dests[rank].contains(&EndpointId(4 + rank)));
             assert_eq!(proto.physical_dests[rank].len(), 1);
         }
+    }
+
+    #[test]
+    fn partial_map_singleton_routing_is_symmetric() {
+        use crate::layout::{MappingPolicy, PartialLayout};
+        let map: Arc<dyn ReplicaMap> =
+            Arc::new(PartialLayout::new(2, &[0], MappingPolicy::Adjacent).unwrap());
+        // The singleton (rank 1, endpoint 1) feeds both replicas of rank 0
+        // directly and therefore expects no acknowledgements from them.
+        let singleton =
+            SdrProtocol::new_with_map(EndpointId(1), Arc::clone(&map), ReplicationConfig::dual());
+        assert_eq!(singleton.app_rank(), 1);
+        assert_eq!(singleton.physical_dests[0].len(), 2);
+        // Replica 1 of rank 0 (endpoint 2) sends nothing to the singleton
+        // directly; replica 0 (endpoint 0) owns the direct copy.
+        let rep1 =
+            SdrProtocol::new_with_map(EndpointId(2), Arc::clone(&map), ReplicationConfig::dual());
+        assert!(rep1.physical_dests[1].is_empty());
+        let rep0 =
+            SdrProtocol::new_with_map(EndpointId(0), Arc::clone(&map), ReplicationConfig::dual());
+        assert_eq!(rep0.physical_dests[1].len(), 1);
+        assert!(rep0.physical_dests[1].contains(&EndpointId(1)));
+        // Both replicas of rank 0 receive rank 1's messages from the
+        // singleton itself.
+        assert_eq!(rep0.physical_src[1], EndpointId(1));
+        assert_eq!(rep1.physical_src[1], EndpointId(1));
+    }
+
+    #[test]
+    fn losing_a_singleton_rank_aborts_promptly_with_degree_one() {
+        use crate::layout::{MappingPolicy, PartialLayout};
+        let map: Arc<dyn ReplicaMap> =
+            Arc::new(PartialLayout::new(2, &[0], MappingPolicy::Adjacent).unwrap());
+        let mut pml = pml_for(2, 3);
+        let mut proto = SdrProtocol::new_with_map(EndpointId(2), map, ReplicationConfig::dual());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            proto.handle_event(
+                &mut pml,
+                sim_mpi::PmlEvent::ProcessFailed(sim_net::FailureEvent {
+                    endpoint: EndpointId(1),
+                    at: SimTime::ZERO,
+                    seq: 0,
+                }),
+            );
+        }));
+        let err = result.expect_err("a singleton crash is unsurvivable");
+        let mpi_err = err
+            .downcast_ref::<MpiError>()
+            .expect("panic payload is an MpiError");
+        assert_eq!(*mpi_err, MpiError::RankLost { rank: 1, degree: 1 });
     }
 
     #[test]

@@ -95,7 +95,7 @@ impl LeaderParallelProtocol {
     }
 
     fn announce(&mut self, pml: &mut Pml, anon_seq: u64, src_rank: Rank) {
-        let layout = self.inner.layout();
+        let layout = self.inner.map();
         let mut header = [0i64; 8];
         header[0] = DECISION_KIND;
         header[1] = anon_seq as i64;

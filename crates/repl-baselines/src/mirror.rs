@@ -57,7 +57,7 @@ impl MirrorProtocol {
     }
 
     fn purge_redundant(&mut self, pml: &mut Pml) {
-        let layout = self.inner.layout();
+        let layout = self.inner.map();
         let delivered = self.delivered.clone();
         pml.purge_unexpected(|msg| {
             let src_rank = layout.rank_of(msg.src);
@@ -93,7 +93,7 @@ impl Protocol for MirrorProtocol {
     ) -> ProtoSendReq {
         let seq = self.send_seq[dst];
         self.send_seq[dst] += 1;
-        let layout = self.inner.layout();
+        let layout = self.inner.map();
         let my_replica = self.inner.replica_id();
         // Redundant copies to every replica of the destination other than the
         // primary one handled by the inner protocol.

@@ -53,6 +53,7 @@ pub struct SdcReport {
 struct SdcReportInner {
     comparisons: u64,
     mismatches: u64,
+    corrected: u64,
     /// `(source rank, per-source seq)` keys of the detected corruptions, in
     /// detection order — the fault-campaign engine matches these against its
     /// injection plan.
@@ -65,12 +66,15 @@ impl SdcReport {
         Arc::new(SdcReport::default())
     }
 
-    fn record(&self, key: (Rank, u64), mismatch: bool) {
+    fn record(&self, key: (Rank, u64), mismatch: bool, corrected: bool) {
         let mut g = self.inner.lock();
         g.comparisons += 1;
         if mismatch {
             g.mismatches += 1;
             g.detected.push(key);
+        }
+        if corrected {
+            g.corrected += 1;
         }
     }
 
@@ -82,6 +86,13 @@ impl SdcReport {
     /// Hash mismatches (detected corruptions).
     pub fn mismatches(&self) -> u64 {
         self.inner.lock().mismatches
+    }
+
+    /// Mismatches outvoted by a hash majority (degree ≥ 3 only): the receiver
+    /// knows which copy is corrupt and can substitute the majority value, so
+    /// the corruption is *corrected*, not merely detected.
+    pub fn corrected(&self) -> u64 {
+        self.inner.lock().corrected
     }
 
     /// `(source rank, per-source seq)` keys of the detected corruptions, in
@@ -103,10 +114,12 @@ pub struct RedMpiProtocol {
     /// next delivery).
     recv_count: Vec<u64>,
     /// Digests of messages this process has delivered, awaiting the remote
-    /// hash, keyed by (source rank, seq).
+    /// hashes, keyed by (source rank, seq).
     local_digest: HashMap<(Rank, u64), u64>,
-    /// Hashes received from other sender replicas, keyed by (source rank, seq).
-    remote_hash: HashMap<(Rank, u64), u64>,
+    /// Hashes received from other sender replicas, keyed by (source rank,
+    /// seq). At degree `d` each delivery is checked against `d - 1` remote
+    /// hashes; the comparison fires once all have arrived.
+    remote_hash: HashMap<(Rank, u64), Vec<u64>>,
 }
 
 impl RedMpiProtocol {
@@ -132,14 +145,32 @@ impl RedMpiProtocol {
     }
 
     fn compare_if_ready(&mut self, key: (Rank, u64)) {
-        if let (Some(local), Some(remote)) = (
-            self.local_digest.get(&key).copied(),
-            self.remote_hash.get(&key).copied(),
-        ) {
-            self.report.record(key, local != remote);
-            self.local_digest.remove(&key);
-            self.remote_hash.remove(&key);
+        let expected_remotes = self.degree - 1;
+        let ready = self.local_digest.contains_key(&key)
+            && self
+                .remote_hash
+                .get(&key)
+                .is_some_and(|v| v.len() >= expected_remotes);
+        if !ready {
+            return;
         }
+        let local = self.local_digest.remove(&key).unwrap();
+        let remotes = self.remote_hash.remove(&key).unwrap();
+        let mismatch =
+            remotes.iter().any(|&r| r != local) || remotes.windows(2).any(|w| w[0] != w[1]);
+        // Majority vote: with degree ≥ 3 votes (our copy plus the remote
+        // hashes), a strict-majority value outvotes a single corrupted copy —
+        // redMPI can then substitute the majority payload, turning detection
+        // into correction. At degree 2 the two votes only ever tie.
+        let corrected = mismatch && self.degree >= 3 && {
+            let mut votes: Vec<u64> = remotes;
+            votes.push(local);
+            let n = votes.len();
+            votes
+                .iter()
+                .any(|&v| votes.iter().filter(|&&x| x == v).count() * 2 > n)
+        };
+        self.report.record(key, mismatch, corrected);
     }
 }
 
@@ -188,7 +219,7 @@ impl Protocol for RedMpiProtocol {
         // of the destination rank so they can cross-check the copy they got
         // from their own sender replica.
         let h = digest(&effective);
-        let layout = self.inner.layout();
+        let map = self.inner.map();
         let my_replica = self.inner.replica_id();
         let mut header = [0i64; 8];
         header[0] = HASH_KIND;
@@ -199,7 +230,7 @@ impl Protocol for RedMpiProtocol {
             if rep == my_replica {
                 continue;
             }
-            let target = layout.endpoint(dst, rep);
+            let target = map.endpoint(dst, rep);
             pml.send_control(target, class::HASH, header, Bytes::new());
         }
         self.inner.isend(pml, dst, comm, tag, effective)
@@ -266,7 +297,10 @@ impl Protocol for RedMpiProtocol {
                 let src_rank = header[1] as usize;
                 let seq = header[2] as u64;
                 let hash = header[3] as u64;
-                self.remote_hash.insert((src_rank, seq), hash);
+                self.remote_hash
+                    .entry((src_rank, seq))
+                    .or_default()
+                    .push(hash);
                 self.compare_if_ready((src_rank, seq));
                 return;
             }
@@ -294,11 +328,23 @@ pub struct RedMpiFactory {
 impl RedMpiFactory {
     /// Dual replication with no corruption injected.
     pub fn dual(report: Arc<SdcReport>) -> Self {
+        RedMpiFactory::with_degree(2, report)
+    }
+
+    /// Uniform replication at the given degree (≥ 2). Degree ≥ 3 enables
+    /// majority-vote correction of single corrupted copies.
+    pub fn with_degree(degree: usize, report: Arc<SdcReport>) -> Self {
+        assert!(degree >= 2, "redMPI needs at least two replicas to compare");
         RedMpiFactory {
-            degree: 2,
+            degree,
             corruption: None,
             report,
         }
+    }
+
+    /// Replication degree of the jobs this factory builds.
+    pub fn degree(&self) -> usize {
+        self.degree
     }
 
     /// Inject the given corruption.
@@ -335,11 +381,12 @@ mod tests {
     use sim_net::{Cluster, LogGpModel, Placement};
 
     fn redmpi_job(ranks: usize, factory: RedMpiFactory) -> JobBuilder {
+        let degree = factory.degree();
         JobBuilder::new(ranks)
             .network(LogGpModel::fast_test_model())
             .protocol(Arc::new(factory))
-            .cluster(Cluster::new(ranks * 2, 1))
-            .placement(Placement::ReplicaSets { ranks, degree: 2 })
+            .cluster(Cluster::new(ranks * degree, 1))
+            .placement(Placement::ReplicaSets { ranks, degree })
     }
 
     fn exchange_app(p: &mut sim_mpi::Process) -> u64 {
@@ -421,7 +468,40 @@ mod tests {
         assert_eq!(result.stats.sdc_flips_injected(), 1);
         assert_eq!(report_handle.mismatches(), 1);
         assert_eq!(report_handle.detected_keys(), vec![(0, 1)]);
+        assert_eq!(report_handle.corrected(), 0, "two votes can only tie");
         // The primary replica set never saw the corruption.
+        assert_eq!(result.primary_results()[1], &42);
+    }
+
+    #[test]
+    fn degree_three_outvotes_a_single_flip() {
+        // At degree 3 the corrupted copy is the minority of three votes
+        // (local digest vs two clean sender hashes), so the receiver that got
+        // it both detects and *corrects* the corruption. The other two
+        // receiver replicas see three agreeing votes.
+        let report_handle = SdcReport::new();
+        let job = redmpi_job(2, RedMpiFactory::with_degree(3, Arc::clone(&report_handle)))
+            // Endpoint 2 is replica 1 of rank 0 under ReplicaSets placement;
+            // corrupt its 2nd app send below the protocol layer.
+            .sdc_flip(
+                EndpointId(2),
+                sim_mpi::SdcFlip {
+                    nth_send: 2,
+                    bit: 3,
+                },
+            );
+        let result = job.run(exchange_app);
+        assert!(result.all_finished());
+        assert_eq!(result.stats.sdc_flips_injected(), 1);
+        assert_eq!(report_handle.mismatches(), 1);
+        assert_eq!(
+            report_handle.corrected(),
+            1,
+            "minority of three is outvoted"
+        );
+        assert_eq!(report_handle.detected_keys(), vec![(0, 1)]);
+        // 3 replicas × 4 messages, each checked against 2 remote hashes.
+        assert_eq!(report_handle.comparisons(), 12);
         assert_eq!(result.primary_results()[1], &42);
     }
 }

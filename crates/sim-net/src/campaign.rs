@@ -197,6 +197,32 @@ pub enum FaultDistribution {
         /// Upper bound on the sampled virtual delay, nanoseconds.
         max_delay_ns: u64,
     },
+    /// One crash under a *partial* replication layout, biased 3:1 toward
+    /// unreplicated ranks. `replicated_mask` bit `r` set means rank `r` has a
+    /// second copy (the layout's ADJACENT numbering puts first copies and
+    /// singletons at endpoint `r` and second copies after them). The sampled
+    /// crash always hits endpoint `r` — the singleton itself, or the first
+    /// copy of a replicated rank (the copy guaranteed to perform physical
+    /// sends) — so the campaign oracle's verdict splits cleanly: a crash on a
+    /// masked rank must be survived, a crash on an unmasked rank must abort
+    /// promptly with `RankLost`.
+    UnreplicatedBias {
+        /// Bitmask of replicated ranks (rank `r` replicated iff bit `r` set).
+        replicated_mask: u64,
+        /// Crash send indices are drawn uniformly in `[1, horizon_sends]`.
+        horizon_sends: u64,
+    },
+    /// Majority loss at degree ≥ 3: all but one replica of a uniformly
+    /// chosen rank crash, each at an independent geometric send index within
+    /// the horizon. With fork-election recovery the single survivor carries
+    /// the rank, so the job is *expected to survive* — unlike
+    /// [`FaultDistribution::CorrelatedPairLoss`], which removes every copy.
+    MajorityLoss {
+        /// Mean sends before each doomed replica's crash.
+        mean_sends: u64,
+        /// Crash indices are folded into `[1, horizon_sends]`.
+        horizon_sends: u64,
+    },
 }
 
 impl FaultDistribution {
@@ -209,6 +235,8 @@ impl FaultDistribution {
             FaultDistribution::SoftErrors { .. } => 4,
             FaultDistribution::LossyLinks { .. } => 5,
             FaultDistribution::DelayedAcks { .. } => 6,
+            FaultDistribution::UnreplicatedBias { .. } => 7,
+            FaultDistribution::MajorityLoss { .. } => 8,
         }
     }
 
@@ -247,6 +275,14 @@ impl FaultDistribution {
                 max_delay_per_64k,
                 max_delay_ns,
             } => [max_delay_per_64k as u64, max_delay_ns, 0],
+            FaultDistribution::UnreplicatedBias {
+                replicated_mask,
+                horizon_sends,
+            } => [replicated_mask, horizon_sends, 0],
+            FaultDistribution::MajorityLoss {
+                mean_sends,
+                horizon_sends,
+            } => [mean_sends, horizon_sends, 0],
         }
     }
 
@@ -259,6 +295,8 @@ impl FaultDistribution {
             FaultDistribution::SoftErrors { .. } => "sdc",
             FaultDistribution::LossyLinks { .. } => "lossy-links",
             FaultDistribution::DelayedAcks { .. } => "delayed-acks",
+            FaultDistribution::UnreplicatedBias { .. } => "unreplicated-bias",
+            FaultDistribution::MajorityLoss { .. } => "majority-loss",
         }
     }
 }
@@ -526,6 +564,49 @@ pub fn sample_plan(config: CampaignConfig, seed: u64) -> FaultPlan {
                 policy_seed: rng.next_u64(),
             });
         }
+        FaultDistribution::UnreplicatedBias {
+            replicated_mask,
+            horizon_sends,
+        } => {
+            assert!(config.ranks <= 64, "the replicated mask covers 64 ranks");
+            let unrep: Vec<usize> = (0..config.ranks)
+                .filter(|r| replicated_mask & (1u64 << r) == 0)
+                .collect();
+            let rep: Vec<usize> = (0..config.ranks)
+                .filter(|r| replicated_mask & (1u64 << r) != 0)
+                .collect();
+            let nth = 1 + rng.below(horizon_sends.max(1));
+            // 3:1 bias toward unreplicated ranks (fall back to whichever
+            // side is non-empty).
+            let pick_unrep = !unrep.is_empty() && (rep.is_empty() || rng.below(4) < 3);
+            let pool = if pick_unrep { &unrep } else { &rep };
+            let rank = pool[rng.below(pool.len() as u64) as usize];
+            faults.push(PlannedFault::Crash {
+                endpoint: EndpointId(rank),
+                schedule: CrashSchedule::AfterSend { nth },
+            });
+        }
+        FaultDistribution::MajorityLoss {
+            mean_sends,
+            horizon_sends,
+        } => {
+            // All but one replica of one rank die; the spared replica index
+            // is sampled so election must cope with any survivor, not just
+            // replica 0.
+            let rank = rng.below(config.ranks as u64) as usize;
+            let spared = rng.below(config.degree.max(1) as u64) as usize;
+            let horizon = horizon_sends.max(1);
+            for rep in 0..config.degree {
+                if rep == spared {
+                    continue;
+                }
+                let nth = (rng.geometric(mean_sends) - 1) % horizon + 1;
+                faults.push(PlannedFault::Crash {
+                    endpoint: EndpointId(rep * config.ranks + rank),
+                    schedule: CrashSchedule::AfterSend { nth },
+                });
+            }
+        }
     }
     FaultPlan {
         config,
@@ -619,6 +700,14 @@ mod tests {
             FaultDistribution::DelayedAcks {
                 max_delay_per_64k: 32_768,
                 max_delay_ns: 400_000,
+            },
+            FaultDistribution::UnreplicatedBias {
+                replicated_mask: 0b0101,
+                horizon_sends: 6,
+            },
+            FaultDistribution::MajorityLoss {
+                mean_sends: 4,
+                horizon_sends: 3,
             },
         ] {
             for seed in 0..32 {
@@ -766,6 +855,87 @@ mod tests {
             );
             assert!(config.delay_ns < 400_000);
         }
+    }
+
+    #[test]
+    fn unreplicated_bias_favors_singleton_ranks() {
+        // Ranks 0 and 2 replicated, 1 and 3 singletons.
+        let dist = FaultDistribution::UnreplicatedBias {
+            replicated_mask: 0b0101,
+            horizon_sends: 8,
+        };
+        let mut singleton_hits = 0;
+        for seed in 0..200 {
+            let plan = sample_plan(cfg(dist), seed);
+            let crashes: Vec<_> = plan.crashes().collect();
+            assert_eq!(crashes.len(), 1, "one crash per plan");
+            let (ep, schedule) = crashes[0];
+            assert!(ep.0 < 4, "always the rank-numbered copy: {ep:?}");
+            assert!(matches!(schedule, CrashSchedule::AfterSend { nth } if (1..=8).contains(&nth)));
+            if ep.0 == 1 || ep.0 == 3 {
+                singleton_hits += 1;
+            }
+        }
+        // 3:1 bias — with 200 draws, well above half must hit singletons
+        // (deterministic: a fixed fact of the seeded generator).
+        assert!(
+            singleton_hits > 120,
+            "only {singleton_hits}/200 crashes hit unreplicated ranks"
+        );
+    }
+
+    #[test]
+    fn unreplicated_bias_respects_degenerate_masks() {
+        // Everything replicated: crashes must still come from somewhere.
+        let all = FaultDistribution::UnreplicatedBias {
+            replicated_mask: 0b1111,
+            horizon_sends: 4,
+        };
+        // Nothing replicated: all crashes hit singletons.
+        let none = FaultDistribution::UnreplicatedBias {
+            replicated_mask: 0,
+            horizon_sends: 4,
+        };
+        for seed in 0..50 {
+            assert_eq!(sample_plan(cfg(all), seed).crashes().count(), 1);
+            assert_eq!(sample_plan(cfg(none), seed).crashes().count(), 1);
+        }
+    }
+
+    #[test]
+    fn majority_loss_spares_exactly_one_replica() {
+        let dist = FaultDistribution::MajorityLoss {
+            mean_sends: 4,
+            horizon_sends: 3,
+        };
+        let config = CampaignConfig {
+            ranks: 4,
+            degree: 3,
+            dist,
+        };
+        let mut spared_seen = std::collections::BTreeSet::new();
+        for seed in 0..100 {
+            let plan = sample_plan(config, seed);
+            let crashes: Vec<_> = plan.crashes().collect();
+            assert_eq!(crashes.len(), 2, "two of three replicas die");
+            let rank = crashes[0].0 .0 % 4;
+            let mut dead_reps = std::collections::BTreeSet::new();
+            for (ep, schedule) in &crashes {
+                assert_eq!(ep.0 % 4, rank, "all crashes on one rank");
+                dead_reps.insert(ep.0 / 4);
+                assert!(
+                    matches!(schedule, CrashSchedule::AfterSend { nth } if (1..=3).contains(nth))
+                );
+            }
+            assert_eq!(dead_reps.len(), 2, "distinct replicas");
+            let spared = (0..3).find(|r| !dead_reps.contains(r)).unwrap();
+            spared_seen.insert(spared);
+        }
+        assert_eq!(
+            spared_seen.len(),
+            3,
+            "every replica index must sometimes be the survivor"
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ use crate::nas::{run_kernel, NasConfig, NasKernel};
 use crate::runner::RunTuning;
 use bytes::Bytes;
 use repl_baselines::{RedMpiFactory, SdcReport};
-use sdr_core::{replicated_job, ReplicationConfig};
+use sdr_core::{partial_replicated_job, replicated_job, ReplicationConfig};
 use sim_mpi::{JobBuilder, JobReport, Process, ProcessOutcome, ReduceOp, SdcFlip};
 use sim_net::campaign::{
     sample_plan, shrink_events, CampaignConfig, FaultDistribution, FaultPlan, PlannedFault,
@@ -157,6 +157,10 @@ pub struct CaseOutcome {
     pub sdc_injected: u64,
     /// Flips detected by the redMPI cross-replica comparison.
     pub sdc_detected: u64,
+    /// Flips outvoted by a hash majority (degree ≥ 3 only): detected *and*
+    /// attributable to the corrupt copy, so the receiver can substitute the
+    /// majority payload.
+    pub sdc_corrected: u64,
     /// Transport fault/masking counters (lossy-transport cases).
     pub net: NetCounters,
     /// Virtual-time overhead of the masked lossy run relative to its
@@ -371,6 +375,84 @@ fn run_crash_case(
         recovery_latency_s,
         sdc_injected: 0,
         sdc_detected: 0,
+        sdc_corrected: 0,
+        net: NetCounters::default(),
+        masked_overhead_pct: None,
+        workload: "collective",
+        violation,
+    }
+}
+
+/// Run one case of the [`FaultDistribution::UnreplicatedBias`] distribution:
+/// the job is built on the *partial* layout the distribution's mask
+/// describes, and the verdict splits on where the sampled crash landed — a
+/// replicated rank's loss must be masked, an unreplicated rank's loss must
+/// abort promptly with a typed `RankLost` (never a hang or a wrong answer).
+fn run_partial_bias_case(
+    config: CampaignConfig,
+    seed: u64,
+    iterations: u64,
+    tuning: RunTuning,
+) -> CaseOutcome {
+    let FaultDistribution::UnreplicatedBias {
+        replicated_mask, ..
+    } = config.dist
+    else {
+        unreachable!("dispatched on UnreplicatedBias")
+    };
+    let plan = sample_plan(config, seed);
+    let replicated: Vec<usize> = (0..config.ranks)
+        .filter(|r| replicated_mask & (1u64 << r) != 0)
+        .collect();
+    let builder = partial_replicated_job(config.ranks, &replicated, ReplicationConfig::dual())
+        .expect("campaign masks are valid layouts")
+        .network(LogGpModel::fast_test_model());
+    let report = apply_faults(tuning.apply(builder), &plan.faults)
+        .run(move |p| collective_app(p, iterations));
+    let crashes = report.crashed().len();
+    // The sampler's single crash always hits endpoint `r` = the rank id;
+    // coverage of that rank decides the expectation.
+    let crashed_rank = plan.crashes().next().map(|(ep, _)| ep.0);
+    let expect_abort = matches!(crashed_rank, Some(r) if replicated_mask & (1u64 << r) == 0);
+    let not_survived =
+        crash_report_survived(&report, collective_checksum(config.ranks, iterations));
+    let survived = not_survived.is_none();
+    let aborted = rank_loss_reported(&report);
+    let violation = if expect_abort {
+        if aborted {
+            None
+        } else {
+            Some(format!(
+                "unreplicated rank {crashed_rank:?} crashed but no survivor reported RankLost \
+                 (survived={survived}, crashes={crashes})"
+            ))
+        }
+    } else {
+        not_survived
+    };
+    let recovery_latency_s = if survived && crashes > 0 {
+        report
+            .processes
+            .iter()
+            .filter_map(|p| match p.outcome {
+                ProcessOutcome::Crashed { at } => Some(at),
+                _ => None,
+            })
+            .min()
+            .map(|first| (report.elapsed - first).as_secs_f64())
+    } else {
+        None
+    };
+    CaseOutcome {
+        seed,
+        plan,
+        survived,
+        aborted,
+        crashes,
+        recovery_latency_s,
+        sdc_injected: 0,
+        sdc_detected: 0,
+        sdc_corrected: 0,
         net: NetCounters::default(),
         masked_overhead_pct: None,
         workload: "collective",
@@ -463,6 +545,7 @@ pub fn run_lossy_explicit_case(
         recovery_latency_s: None,
         sdc_injected: 0,
         sdc_detected: 0,
+        sdc_corrected: 0,
         net,
         masked_overhead_pct,
         workload,
@@ -487,29 +570,41 @@ fn run_sdc_case(
     tuning: RunTuning,
 ) -> CaseOutcome {
     assert!(
-        config.degree == 2,
-        "the redMPI detection baseline is dual-replicated"
+        config.degree >= 2,
+        "the redMPI comparison needs at least two replicas"
     );
     let plan = sample_plan(config, seed);
     let report_handle = SdcReport::new();
     let builder = JobBuilder::new(config.ranks)
         .network(LogGpModel::fast_test_model())
-        .protocol(Arc::new(RedMpiFactory::dual(Arc::clone(&report_handle))))
-        .cluster(Cluster::new(config.ranks * 2, 1))
+        .protocol(Arc::new(RedMpiFactory::with_degree(
+            config.degree,
+            Arc::clone(&report_handle),
+        )))
+        .cluster(Cluster::new(config.ranks * config.degree, 1))
         .placement(Placement::ReplicaSets {
             ranks: config.ranks,
-            degree: 2,
+            degree: config.degree,
         });
     let report =
         apply_faults(tuning.apply(builder), &plan.faults).run(move |p| ring_app(p, iterations));
     let survived = report.all_finished();
     let injected = report.stats.sdc_flips_injected();
     let detected = report_handle.mismatches();
+    let corrected = report_handle.corrected();
     let violation = if !survived {
         Some("SDC run did not finish cleanly".to_string())
     } else if detected != injected {
         Some(format!(
             "SDC detection mismatch: {injected} flips injected, {detected} detected"
+        ))
+    } else if config.degree >= 3 && corrected != injected {
+        // A single in-flight flip is the minority of ≥ 3 hash votes, so at
+        // degree ≥ 3 every detection must also be a correction.
+        Some(format!(
+            "SDC correction mismatch at degree {}: {injected} flips injected, \
+             {corrected} outvoted",
+            config.degree
         ))
     } else {
         None
@@ -523,6 +618,7 @@ fn run_sdc_case(
         recovery_latency_s: None,
         sdc_injected: injected,
         sdc_detected: detected,
+        sdc_corrected: corrected,
         net: NetCounters::default(),
         masked_overhead_pct: None,
         workload: "ring",
@@ -546,6 +642,14 @@ pub fn run_case(
         }
         FaultDistribution::ExponentialMtbf { .. } | FaultDistribution::MidCollective { .. } => {
             run_crash_case(config, seed, iterations, tuning, false)
+        }
+        // Majority loss at degree ≥ 3 still leaves one replica per rank:
+        // fork-election recovery must mask it like any single-replica loss.
+        FaultDistribution::MajorityLoss { .. } => {
+            run_crash_case(config, seed, iterations, tuning, false)
+        }
+        FaultDistribution::UnreplicatedBias { .. } => {
+            run_partial_bias_case(config, seed, iterations, tuning)
         }
         FaultDistribution::LossyLinks { .. } | FaultDistribution::DelayedAcks { .. } => {
             run_lossy_case(config, seed, iterations, tuning)
@@ -618,6 +722,8 @@ pub struct CampaignSummary {
     pub sdc_injected: u64,
     /// Soft-error flips detected across all cases.
     pub sdc_detected: u64,
+    /// Soft-error flips outvoted by a hash majority (degree ≥ 3 cases).
+    pub sdc_corrected: u64,
     /// Recovery-latency distribution over the survived-with-crash cases.
     pub recovery_latency: LatencyStats,
     /// Aggregated transport fault/masking counters (lossy configurations;
@@ -656,6 +762,16 @@ impl CampaignSummary {
         }
         self.sdc_detected as f64 / self.sdc_injected as f64
     }
+
+    /// Fraction of injected flips outvoted by a hash majority (1.0 when
+    /// nothing was injected; meaningful at degree ≥ 3 only — dual
+    /// replication can detect but never attribute).
+    pub fn sdc_correction_rate(&self) -> f64 {
+        if self.sdc_injected == 0 {
+            return 1.0;
+        }
+        self.sdc_corrected as f64 / self.sdc_injected as f64
+    }
 }
 
 /// Aggregate a configuration's case outcomes.
@@ -678,6 +794,7 @@ pub fn summarize(config: CampaignConfig, outcomes: &[CaseOutcome]) -> CampaignSu
         crashes_injected: outcomes.iter().map(|o| o.crashes as u64).sum(),
         sdc_injected: outcomes.iter().map(|o| o.sdc_injected).sum(),
         sdc_detected: outcomes.iter().map(|o| o.sdc_detected).sum(),
+        sdc_corrected: outcomes.iter().map(|o| o.sdc_corrected).sum(),
         recovery_latency: LatencyStats::from_samples(
             outcomes
                 .iter()
@@ -974,6 +1091,88 @@ mod tests {
         assert_eq!(summary.sdc_injected, 8, "2 flips per case, all landing");
         assert_eq!(summary.sdc_detected, 8);
         assert_eq!(summary.sdc_detection_rate(), 1.0);
+    }
+
+    #[test]
+    fn degree_three_sdc_cases_correct_every_flip() {
+        let cfg = CampaignConfig {
+            ranks: 4,
+            degree: 3,
+            dist: FaultDistribution::SoftErrors {
+                flips: 2,
+                max_send: 6,
+                payload_bits: 8192,
+            },
+        };
+        let outcomes = run_campaign(cfg, 19, 3, 6, RunTuning::default());
+        let summary = summarize(cfg, &outcomes);
+        assert!(
+            summary.violations.is_empty(),
+            "violations: {:?}",
+            summary.violations
+        );
+        assert_eq!(summary.sdc_injected, 6, "2 flips per case, all landing");
+        assert_eq!(summary.sdc_detected, 6);
+        assert_eq!(
+            summary.sdc_corrected, 6,
+            "every flip is the minority of three hash votes"
+        );
+        assert_eq!(summary.sdc_correction_rate(), 1.0);
+    }
+
+    #[test]
+    fn majority_loss_cases_survive_on_the_last_replica() {
+        let cfg = CampaignConfig {
+            ranks: 2,
+            degree: 3,
+            dist: FaultDistribution::MajorityLoss {
+                mean_sends: 3,
+                horizon_sends: 3,
+            },
+        };
+        let outcomes = run_campaign(cfg, 23, 4, 6, RunTuning::default());
+        let summary = summarize(cfg, &outcomes);
+        assert!(
+            summary.violations.is_empty(),
+            "violations: {:?}",
+            summary.violations
+        );
+        assert_eq!(summary.survival_rate(), 1.0);
+        assert_eq!(
+            summary.crashes_injected, 8,
+            "two of three replicas die in every case"
+        );
+    }
+
+    #[test]
+    fn unreplicated_bias_cases_split_by_coverage() {
+        // Ranks 0 and 2 covered, 1 and 3 singletons: covered crashes must be
+        // masked, singleton crashes must abort with RankLost.
+        let cfg = CampaignConfig {
+            ranks: 4,
+            degree: 2,
+            dist: FaultDistribution::UnreplicatedBias {
+                replicated_mask: 0b0101,
+                horizon_sends: 6,
+            },
+        };
+        let outcomes = run_campaign(cfg, 40, 8, 6, RunTuning::default());
+        let summary = summarize(cfg, &outcomes);
+        assert!(
+            summary.violations.is_empty(),
+            "violations: {:?}",
+            summary.violations
+        );
+        assert_eq!(summary.cases, 8);
+        assert!(
+            summary.aborted >= 1,
+            "the biased sampler must hit a singleton in 8 cases"
+        );
+        assert_eq!(
+            summary.survived + summary.aborted,
+            8,
+            "every case either survives (covered rank) or aborts (singleton)"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! configurations on the calibrated InfiniBand-20G model and produces such a
 //! row; the `sdr-bench` harness binaries print them.
 
-use sdr_core::{native_job, replicated_job, ReplicationConfig};
+use sdr_core::{mapped_job, native_job, replicated_job, ReplicaMap, ReplicationConfig};
 use sim_mpi::{JobBuilder, Process};
 use sim_net::{CarrierMode, LogGpModel};
 use std::sync::Arc;
@@ -129,8 +129,12 @@ pub struct ComparisonRow {
     pub name: String,
     /// Number of application ranks.
     pub ranks: usize,
-    /// Replication degree used for the replicated run.
+    /// Replication degree used for the replicated run (the maximum per-rank
+    /// degree for partial layouts).
     pub degree: usize,
+    /// Fraction of ranks with at least two replicas (1.0 for the full
+    /// layouts, the configured fraction for partial replication).
+    pub coverage: f64,
     /// Native simulated wall-clock time, seconds.
     pub native_secs: f64,
     /// Replicated simulated wall-clock time, seconds.
@@ -222,6 +226,66 @@ pub fn compare_protocols_tuned(
         name: spec.name.clone(),
         ranks: spec.ranks,
         degree: cfg.degree,
+        coverage: 1.0,
+        native_secs,
+        replicated_secs,
+        overhead_pct: (replicated_secs - native_secs) / native_secs * 100.0,
+        results_match: checksums(&native) == checksums(&replicated),
+        native_app_msgs: native.stats.app_msgs(),
+        replicated_app_msgs: replicated.stats.app_msgs(),
+        replicated_ack_msgs: replicated.stats.ack_msgs(),
+        native_delivery: DeliveryCounters::from_report(&native, native_host_secs),
+        replicated_delivery: DeliveryCounters::from_report(&replicated, replicated_host_secs),
+    }
+}
+
+/// Like [`compare_protocols_tuned`], but replicating under an arbitrary
+/// [`ReplicaMap`] — partial coverage, uniform degree ≥ 3, CYCLIC numbering.
+/// The row's `degree` is the map's maximum per-rank degree and `coverage`
+/// its replicated-rank fraction; the native baseline is identical to the
+/// full-layout comparison, so rows from both entry points chart on one axis.
+pub fn compare_layout_tuned(
+    spec: &WorkloadSpec,
+    map: Arc<dyn ReplicaMap>,
+    cfg: ReplicationConfig,
+    tuning: RunTuning,
+) -> ComparisonRow {
+    assert_eq!(
+        map.ranks(),
+        spec.ranks,
+        "{}: the replica map must cover the workload's ranks",
+        spec.name
+    );
+    let app_native = Arc::clone(&spec.app);
+    let app_repl = Arc::clone(&spec.app);
+    let degree = map.max_degree();
+    let coverage = map.coverage();
+    let native_builder = tuning.apply(native_job(spec.ranks).network(LogGpModel::infiniband_20g()));
+    let repl_builder =
+        tuning.apply(mapped_job(Arc::clone(&map), cfg).network(LogGpModel::infiniband_20g()));
+    let started = std::time::Instant::now();
+    let native = native_builder.run(move |p| (app_native)(p));
+    let native_host_secs = started.elapsed().as_secs_f64();
+    let started = std::time::Instant::now();
+    let replicated = repl_builder.run(move |p| (app_repl)(p));
+    let replicated_host_secs = started.elapsed().as_secs_f64();
+    assert!(
+        native.all_finished(),
+        "{}: native run did not finish",
+        spec.name
+    );
+    assert!(
+        replicated.all_finished(),
+        "{}: mapped run did not finish",
+        spec.name
+    );
+    let native_secs = native.elapsed.as_secs_f64();
+    let replicated_secs = replicated.elapsed.as_secs_f64();
+    ComparisonRow {
+        name: spec.name.clone(),
+        ranks: spec.ranks,
+        degree,
+        coverage,
         native_secs,
         replicated_secs,
         overhead_pct: (replicated_secs - native_secs) / native_secs * 100.0,
@@ -306,6 +370,28 @@ mod tests {
             "unexpected overhead {}% for a small test problem",
             row.overhead_pct
         );
+    }
+
+    #[test]
+    fn partial_layout_row_scales_message_overhead_with_coverage() {
+        use sdr_core::{MappingPolicy, PartialLayout};
+        let cfg = NasConfig::test_size();
+        let spec = WorkloadSpec::new("CG", 4, move |p| run_kernel(NasKernel::Cg, p, &cfg));
+        let map = Arc::new(
+            PartialLayout::with_coverage(4, 0.5, MappingPolicy::Adjacent).expect("valid layout"),
+        );
+        let row = compare_layout_tuned(&spec, map, ReplicationConfig::dual(), RunTuning::default());
+        assert!(
+            row.results_match,
+            "mapped run must match the native results"
+        );
+        assert_eq!(row.coverage, 0.5);
+        assert_eq!(row.degree, 2);
+        // Each logical message is physically copied once per destination
+        // replica: at half coverage the traffic sits strictly between the
+        // native and full-dual volumes.
+        assert!(row.replicated_app_msgs > row.native_app_msgs);
+        assert!(row.replicated_app_msgs < row.native_app_msgs * 2);
     }
 
     #[test]

@@ -11,13 +11,23 @@
 //! ```
 
 use sdr_core::recovery::ReplicaStateSnapshot;
-use sdr_core::{RecoveryCoordinator, ReplicaLayout, ReplicationConfig, SeqTracker};
+use sdr_core::{RecoveryCoordinator, ReplicaLayout, ReplicaMap, ReplicationConfig, SeqTracker};
 use sim_net::EndpointId;
+use std::sync::Arc;
 
 fn main() {
     let ranks = 2;
-    let layout = ReplicaLayout::new(ranks, 2);
+    let layout: Arc<dyn ReplicaMap> = Arc::new(ReplicaLayout::new(ranks, 2));
     let coordinator = RecoveryCoordinator::new(layout).expect("dual replication supports recovery");
+
+    // Fork-election: with replica 0 of rank 1 (physical process 1) dead, the
+    // lowest surviving replica index (here replica 1, physical process 3) is
+    // elected as the fork source.
+    let alive = [true, false, true, true];
+    let fork_source = coordinator
+        .elect_fork_source(1, &alive)
+        .expect("a replica of rank 1 survives");
+    assert_eq!(fork_source, 1);
 
     // The "fork" of Section 3.4: the substitute's protocol state at the moment
     // the replacement is created. Here we build the snapshot explicitly (17

@@ -119,6 +119,43 @@ fn lossy_campaign_case_replays_identical_trace_streams_in_both_carrier_modes() {
 }
 
 #[test]
+fn faulted_degree_three_case_replays_identically_in_both_carrier_modes() {
+    // Pluggable-map acceptance: a degree-3 campaign case with a majority-loss
+    // crash plan (two of three replicas of one rank die) must replay a
+    // bit-identical `TraceEvent` stream under `--workers 1` in *both*
+    // execution layers — the fork-election path adds no scheduling
+    // nondeterminism on either carrier.
+    use sdr_mpi::sim_net::campaign::{sample_plan, CampaignConfig, FaultDistribution};
+    use sdr_mpi::sim_net::CarrierMode;
+    use sdr_mpi::workloads::campaign::replay_is_deterministic_tuned;
+    use sdr_mpi::workloads::runner::RunTuning;
+    let config = CampaignConfig {
+        ranks: 2,
+        degree: 3,
+        dist: FaultDistribution::MajorityLoss {
+            mean_sends: 3,
+            horizon_sends: 4,
+        },
+    };
+    let seed = 23;
+    assert_eq!(
+        sample_plan(config, seed).crashes().count(),
+        2,
+        "the majority-loss plan must schedule two same-rank crashes"
+    );
+    for mode in [CarrierMode::Coroutine, CarrierMode::Thread] {
+        let tuning = RunTuning {
+            workers: Some(1),
+            carrier_mode: Some(mode),
+        };
+        assert!(
+            replay_is_deterministic_tuned(config, seed, 6, tuning),
+            "degree-3 faulted replay diverged (mode {mode:?}, seed {seed})"
+        );
+    }
+}
+
+#[test]
 fn two_single_worker_runs_replay_identical_trace_streams() {
     let (events_a, times_a) = traced_replay_run();
     let (events_b, times_b) = traced_replay_run();

@@ -2,11 +2,16 @@
 //! send/receive pattern of the paper, with replica p¹₁ crashing mid-run.
 //! The protocol substitutes p⁰₁ for the failed replica and every surviving
 //! process finishes with the correct data.
+//!
+//! The pluggable-replica-map scenarios extend this beyond the paper's dual
+//! setup: degree-3 jobs surviving sequential double crashes of one rank,
+//! partial layouts aborting promptly when a singleton dies, and degree-3
+//! hash majorities *correcting* (not just detecting) injected bit flips.
 
 mod common;
 
 use common::{fast, figure3_expected, figure3_pattern, survivor_results};
-use sdr_core::{replicated_job, AckOn, ReplicationConfig};
+use sdr_core::{partial_replicated_job, replicated_job, AckOn, ReplicationConfig};
 use sim_mpi::{Process, ProcessOutcome, ReduceOp};
 use sim_net::campaign::{sample_plan, CampaignConfig, FaultDistribution};
 use sim_net::{CrashSchedule, EndpointId};
@@ -251,6 +256,150 @@ fn double_crash_in_different_ranks_is_survived() {
     for (_, _, (received, _)) in survivor_results(&report) {
         assert_eq!(received, rounds);
     }
+}
+
+#[test]
+fn degree_three_survives_two_sequential_crashes_of_the_same_rank() {
+    // Pluggable-map scenario: at degree 3 a rank tolerates losing *two* of
+    // its replicas, one after the other, as long as one copy survives.
+    // Physical layout (ADJACENT, ranks=2, degree=3): endpoints 0,1 are
+    // replica 0 of ranks 0,1; endpoints 2,3 replica 1; endpoints 4,5
+    // replica 2. Replica 1 of rank 1 (endpoint 3) dies first, replica 2
+    // (endpoint 5) dies later — fork-election must elect a substitute twice
+    // for the same rank, and the last copy (endpoint 1) carries the rank to
+    // completion with results bit-identical to a fault-free reference.
+    let ranks = 2;
+    let iterations = 6u64;
+    let reference = replicated_job(ranks, ReplicationConfig::with_degree(3))
+        .network(fast())
+        .run(move |p| workloads::campaign::collective_app(p, iterations));
+    assert!(reference.all_finished());
+    let expect_bits: Vec<u64> = reference
+        .processes
+        .iter()
+        .map(|p| {
+            p.outcome
+                .result()
+                .expect("fault-free run finishes")
+                .to_bits()
+        })
+        .collect();
+    assert_eq!(
+        expect_bits[0],
+        workloads::campaign::collective_checksum(ranks, iterations).to_bits(),
+        "reference must reproduce the closed-form checksum"
+    );
+
+    let report = replicated_job(ranks, ReplicationConfig::with_degree(3))
+        .network(fast())
+        .crash(EndpointId(3), CrashSchedule::AfterSend { nth: 1 })
+        .crash(EndpointId(5), CrashSchedule::AfterSend { nth: 3 })
+        .run(move |p| workloads::campaign::collective_app(p, iterations));
+    let mut crashed = report.crashed();
+    crashed.sort();
+    assert_eq!(crashed, vec![EndpointId(3), EndpointId(5)]);
+    let mut finished = 0;
+    for (proc, expect) in report.processes.iter().zip(&expect_bits) {
+        if crashed.contains(&proc.endpoint) {
+            continue;
+        }
+        let acc = proc.outcome.result().copied().unwrap_or_else(|| {
+            panic!(
+                "survivor {:?} did not finish after the double substitution: {:?}",
+                proc.endpoint, proc.outcome
+            )
+        });
+        assert_eq!(
+            acc.to_bits(),
+            *expect,
+            "survivor {:?} diverged from the fault-free reference",
+            proc.endpoint
+        );
+        finished += 1;
+    }
+    assert_eq!(finished, 3 * ranks - 2, "every survivor finished");
+    assert!(report.stats.ack_msgs() > 0);
+}
+
+#[test]
+fn partial_layout_unreplicated_crash_aborts_promptly_with_rank_lost() {
+    // Pluggable-map scenario: under partial replication a crash of a
+    // *singleton* rank is unrecoverable by construction. It must surface as
+    // a prompt typed `RankLost` abort naming the rank — never as partial
+    // results and never as a burnt receive timeout. Layout (ADJACENT,
+    // ranks=2, replicated={0}): endpoints 0,1 are the first copies of ranks
+    // 0,1; endpoint 2 is rank 0's second copy; rank 1 is a singleton.
+    let started = std::time::Instant::now();
+    let report = partial_replicated_job(2, &[0], ReplicationConfig::dual())
+        .expect("valid partial layout")
+        .network(fast())
+        .recv_timeout(Duration::from_secs(300))
+        .crash(EndpointId(1), CrashSchedule::AfterSend { nth: 1 })
+        .run(move |p| figure3_pattern(p, 6));
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "singleton loss took {:?} to surface: the job hung instead of failing",
+        started.elapsed()
+    );
+    assert_eq!(report.crashed(), vec![EndpointId(1)]);
+    assert!(!report.all_finished());
+    let clear_errors = report
+        .processes
+        .iter()
+        .filter(|p| !p.outcome.is_crashed())
+        .filter(|p| {
+            matches!(&p.outcome,
+                ProcessOutcome::Panicked(msg) if msg.contains("rank 1") && msg.contains("replicas"))
+        })
+        .count();
+    assert!(
+        clear_errors >= 1,
+        "no survivor reported the lost singleton rank: {:?}",
+        report
+            .processes
+            .iter()
+            .map(|p| (p.endpoint, format!("{:?}", p.outcome)))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn degree_three_sdc_flip_is_outvoted_and_counted_as_corrected() {
+    // Pluggable-map scenario: at degree 3 the redMPI-style hash comparison
+    // holds three votes per message, so a single flipped copy is not just
+    // *detected* (a two-replica tie) but *outvoted* — the campaign counts it
+    // in `sdc_corrected`, one correction per injected flip.
+    use workloads::runner::RunTuning;
+    let config = CampaignConfig {
+        ranks: 2,
+        degree: 3,
+        dist: FaultDistribution::SoftErrors {
+            flips: 1,
+            max_send: 4,
+            payload_bits: 64,
+        },
+    };
+    let outcomes = workloads::campaign::run_campaign(config, 11, 4, 4, RunTuning::default());
+    let mut injected_total = 0;
+    for o in &outcomes {
+        assert!(o.survived, "seed {}: SDC must never kill the job", o.seed);
+        assert!(o.violation.is_none(), "seed {}: {:?}", o.seed, o.violation);
+        assert_eq!(
+            o.sdc_detected, o.sdc_injected,
+            "seed {}: every injected flip must be detected",
+            o.seed
+        );
+        assert_eq!(
+            o.sdc_corrected, o.sdc_injected,
+            "seed {}: every detected flip must be outvoted at degree 3",
+            o.seed
+        );
+        injected_total += o.sdc_injected;
+    }
+    assert!(
+        injected_total >= 1,
+        "across the sampled seeds at least one flip must land on a real send"
+    );
 }
 
 #[test]

@@ -134,6 +134,125 @@ proptest! {
         }
         prop_assert_eq!(layout.physical_processes(), ranks * degree);
     }
+
+    /// Every pluggable replica map is a bijection between the logical pairs
+    /// `{(rank, rep) : rep < degree_of(rank)}` and the dense endpoint range
+    /// `0..Σdegree`, under both numbering policies; the routing rule
+    /// (`direct_src`/`direct_dests`) stays a consistent inverse pair.
+    #[test]
+    fn replica_maps_are_bijections(
+        ranks in 1usize..32,
+        degree in 1usize..5,
+        cov_numer in 1usize..9,
+    ) {
+        use sdr_core::{MappingPolicy, PartialLayout, ReplicaMap, UniformLayout};
+        let coverage = cov_numer as f64 / 8.0;
+        for policy in [MappingPolicy::Adjacent, MappingPolicy::Cyclic] {
+            let uniform = UniformLayout::new(ranks, degree, policy).expect("valid shape");
+            check_map_bijection(&uniform);
+            let partial =
+                PartialLayout::with_coverage(ranks, coverage, policy).expect("valid coverage");
+            check_map_bijection(&partial);
+        }
+        // The two numbering policies renumber the *same* logical replica
+        // sets: identical per-rank degrees, coverage and endpoint totals.
+        let adj = UniformLayout::new(ranks, degree, MappingPolicy::Adjacent).unwrap();
+        let cyc = UniformLayout::new(ranks, degree, MappingPolicy::Cyclic).unwrap();
+        prop_assert_eq!(logical_pairs(&adj), logical_pairs(&cyc));
+        let adj = PartialLayout::with_coverage(ranks, coverage, MappingPolicy::Adjacent).unwrap();
+        let cyc = PartialLayout::with_coverage(ranks, coverage, MappingPolicy::Cyclic).unwrap();
+        prop_assert_eq!(logical_pairs(&adj), logical_pairs(&cyc));
+        prop_assert_eq!(adj.coverage(), cyc.coverage());
+    }
+
+    /// Fork-election is a pure function of the survivor set: the lowest
+    /// surviving replica index wins, repeated elections agree, and killing
+    /// the losers never changes the winner.
+    #[test]
+    fn fork_election_is_deterministic_across_survivor_subsets(
+        ranks in 1usize..12,
+        degree in 2usize..5,
+        dead_mask in any::<u64>(),
+    ) {
+        use sdr_core::{RecoveryCoordinator, RecoveryError, ReplicaLayout, ReplicaMap};
+        use std::sync::Arc;
+        let layout = ReplicaLayout::new(ranks, degree);
+        let coord = RecoveryCoordinator::new(Arc::new(layout) as Arc<dyn ReplicaMap>)
+            .expect("degree >= 2 always recovers");
+        // ReplicaLayout is ADJACENT: endpoint(rank, rep) = rep * ranks + rank.
+        let alive: Vec<bool> = (0..ranks * degree)
+            .map(|e| dead_mask & (1u64 << (e % 64)) == 0)
+            .collect();
+        for rank in 0..ranks {
+            let expected = (0..degree).find(|&rep| alive[rep * ranks + rank]);
+            let got = coord.elect_fork_source(rank, &alive);
+            match expected {
+                Some(rep) => prop_assert_eq!(got, Ok(rep)),
+                None => prop_assert_eq!(got, Err(RecoveryError::NoSurvivor { rank })),
+            }
+            prop_assert_eq!(coord.elect_fork_source(rank, &alive), got, "election must be stable");
+            if let Ok(rep) = got {
+                // Survivor subsets: with every non-elected replica of the
+                // rank dead too, the winner is unchanged.
+                let mut fewer = alive.clone();
+                for other in 0..degree {
+                    if other != rep {
+                        fewer[other * ranks + rank] = false;
+                    }
+                }
+                prop_assert_eq!(coord.elect_fork_source(rank, &fewer), Ok(rep));
+            }
+        }
+    }
+}
+
+/// Assert the [`sdr_core::ReplicaMap`] bijection and routing invariants for
+/// one concrete map (plain panics — proptest catches them as failures).
+fn check_map_bijection(map: &dyn sdr_core::ReplicaMap) {
+    use std::collections::BTreeSet;
+    let total: usize = (0..map.ranks()).map(|r| map.degree_of(r)).sum();
+    assert_eq!(map.physical_processes(), total);
+    // endpoint() covers 0..Σdegree exactly once, and locate() inverts it.
+    let mut seen = BTreeSet::new();
+    for rank in 0..map.ranks() {
+        for rep in 0..map.degree_of(rank) {
+            let e = map.endpoint(rank, rep);
+            assert!(
+                e.0 < total,
+                "endpoint {e:?} out of the dense range 0..{total}"
+            );
+            assert!(seen.insert(e.0), "endpoint {e:?} assigned twice");
+            assert_eq!(map.locate(e), (rank, rep));
+        }
+    }
+    assert_eq!(
+        seen.len(),
+        total,
+        "every endpoint in 0..{total} must be covered"
+    );
+    // Routing: direct_dests is the exact inverse of direct_src, and every
+    // destination replica has exactly one direct source replica.
+    for j in 0..map.ranks() {
+        for i in 0..map.ranks() {
+            let mut covered = BTreeSet::new();
+            for l in 0..map.degree_of(j) {
+                for e in map.direct_dests(j, l, i) {
+                    let (rank, m) = map.locate(e);
+                    assert_eq!(rank, i);
+                    assert_eq!(map.direct_src(m, j), map.endpoint(j, l));
+                    assert!(covered.insert(m), "replica {m} of rank {i} fed twice");
+                }
+            }
+            assert_eq!(covered.len(), map.degree_of(i));
+        }
+    }
+}
+
+/// The logical (rank, replica) pairs a map numbers, as a canonical set.
+fn logical_pairs(map: &dyn sdr_core::ReplicaMap) -> std::collections::BTreeSet<(usize, usize)> {
+    (0..map.physical_processes())
+        .map(|e| map.locate(sim_net::EndpointId(e)))
+        .collect()
 }
 
 /// The duplicate-suppression window never lets a payload reach the

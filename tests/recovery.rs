@@ -20,10 +20,11 @@ mod common;
 
 use bytes::Bytes;
 use common::{fast, pump};
-use sdr_core::{RecoveryCoordinator, ReplicaLayout, ReplicationConfig, SdrProtocol};
+use sdr_core::{RecoveryCoordinator, ReplicaLayout, ReplicaMap, ReplicationConfig, SdrProtocol};
 use sim_mpi::pml::Pml;
 use sim_mpi::{CommId, Protocol, TagSel};
 use sim_net::{Cluster, EndpointId, Fabric, Placement, SimTime};
+use std::sync::Arc;
 
 #[test]
 fn figure4_recovery_of_p11() {
@@ -74,7 +75,8 @@ fn figure4_recovery_of_p11() {
     );
 
     // --- step 4: the substitute forks the new replica and notifies ---------
-    let coordinator = RecoveryCoordinator::new(layout).expect("dual replication recovers");
+    let coordinator = RecoveryCoordinator::new(Arc::new(layout) as Arc<dyn ReplicaMap>)
+        .expect("dual replication recovers");
     let snapshot = coordinator.fork_snapshot(&p01);
     assert_eq!(snapshot.rank, 1);
     let outcome = coordinator.broadcast_notification(&mut pml1, &p01, EndpointId(3));
@@ -135,13 +137,31 @@ fn figure4_recovery_of_p11() {
 }
 
 #[test]
-fn recovery_beyond_dual_replication_is_a_typed_error() {
-    // The paper restricts recovery to degree 2 (one unambiguous substitute);
-    // asking for more must surface as a typed, matchable error — not a panic
-    // and not a silent misbehaviour. DESIGN.md §4.1 documents the restriction.
+fn recovery_for_unreplicated_maps_is_a_typed_error() {
+    // Fork-election needs at least one replicated rank to elect a survivor
+    // from; an all-singleton map must surface as a typed, matchable error —
+    // not a panic and not a silent misbehaviour (DESIGN.md §4.1).
     use sdr_core::RecoveryError;
-    let err = RecoveryCoordinator::new(ReplicaLayout::new(4, 3)).unwrap_err();
-    assert_eq!(err, RecoveryError::UnsupportedDegree { degree: 3 });
+    let err = RecoveryCoordinator::new(Arc::new(ReplicaLayout::new(4, 1)) as Arc<dyn ReplicaMap>)
+        .unwrap_err();
+    assert_eq!(err, RecoveryError::NoReplicatedRanks);
     let msg = err.to_string();
-    assert!(msg.contains("degree 3") && msg.contains("dual"), "{msg}");
+    assert!(msg.contains("replicated"), "{msg}");
+
+    // Degree ≥ 3 is now supported: the lowest surviving replica index wins
+    // the fork election deterministically.
+    let coord = RecoveryCoordinator::new(Arc::new(ReplicaLayout::new(4, 3)) as Arc<dyn ReplicaMap>)
+        .expect("degree 3 recovers via fork-election");
+    let alive = [
+        true, true, true, true, // replica 0
+        false, true, true, true, // replica 1 (rank 0 dead)
+        false, true, true, true, // replica 2 (rank 0 dead)
+    ];
+    assert_eq!(coord.elect_fork_source(0, &alive), Ok(0));
+    let mut alive = alive;
+    alive[0] = false; // replica 0 of rank 0 dies too
+    assert_eq!(
+        coord.elect_fork_source(0, &alive),
+        Err(RecoveryError::NoSurvivor { rank: 0 })
+    );
 }
