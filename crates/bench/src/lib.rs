@@ -15,8 +15,15 @@
 //! | [`mirror_vs_parallel`] | Section 2.4: `O(q·r²)` vs `O(q·r)` message complexity |
 //! | [`redmpi_detection`] | Section 2.4 / redMPI: SDC detection traffic and coverage |
 //! | [`faults::fault_campaign_rows`] | Monte Carlo fault campaign (`BENCH_faults.json`) |
+//! | [`serve::serve_bench`] | Service-mode sustained throughput (`BENCH_serve.json`) |
 
 pub mod faults;
+pub mod serve;
+
+pub use serve::{
+    format_serve_table, parse_serve_args, serve_bench, serve_report_json, ServeArgs,
+    ServeBenchConfig, ServeBenchReport, ServeBenchRound, ServeMode,
+};
 
 pub use faults::{
     config_coverage, fault_campaign_rows, faults_report_json, format_faults_table,

@@ -52,7 +52,7 @@ use crossbeam_channel::unbounded;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use super::stack::{self, CoroStack, StackPool, StackSource};
@@ -301,6 +301,11 @@ pub struct CoroRuntime {
     injector_cv: Condvar,
     stats: Arc<NetStats>,
     stack_bytes: usize,
+    /// Bytes of stack this runtime currently has leased from the global
+    /// pool. The per-job stats gauge tracks the peak of *this* figure, not
+    /// the pool's process-wide resident bytes — concurrently running jobs
+    /// (service mode) must not bleed into each other's reported peaks.
+    leased_bytes: AtomicU64,
     workers: Mutex<Vec<CarrierHandle<()>>>,
 }
 
@@ -336,6 +341,7 @@ impl CoroRuntime {
             injector_cv: Condvar::new(),
             stats,
             stack_bytes,
+            leased_bytes: AtomicU64::new(0),
             workers: Mutex::new(Vec::new()),
         })
     }
@@ -362,10 +368,12 @@ impl CoroRuntime {
             let _ = res_tx.send(result);
         });
         let (stk, source) = StackPool::global().get(self.stack_bytes);
-        self.stats.record_stack_lease(
-            source == StackSource::Fresh,
-            StackPool::global().resident_bytes(),
-        );
+        let leased = self
+            .leased_bytes
+            .fetch_add(stk.footprint() as u64, Ordering::Relaxed)
+            + stk.footprint() as u64;
+        self.stats
+            .record_stack_lease(source == StackSource::Fresh, leased);
         let args = Box::into_raw(Box::new(EntryArgs {
             rt: self as *const CoroRuntime,
             slot,
@@ -531,6 +539,8 @@ fn finalize_retired(rt: &CoroRuntime) {
         if !stk.canary_ok() {
             stack::canary_violation(slot);
         }
+        rt.leased_bytes
+            .fetch_sub(stk.footprint() as u64, Ordering::Relaxed);
         StackPool::global().put(stk);
     }
 }
@@ -746,5 +756,50 @@ mod tests {
         assert_eq!(snap1.stacks_allocated(), 1, "no second allocation");
         assert_eq!(snap1.stacks_reused(), 1, "pooled stack reused");
         assert!(snap1.stack_bytes_peak() >= size as u64);
+    }
+
+    #[test]
+    fn stack_peak_gauge_is_per_runtime_not_pool_wide() {
+        if !supported() {
+            return;
+        }
+        // Regression (service mode): the peak gauge used to report the
+        // global pool's resident bytes, so a big job's stacks inflated a
+        // small concurrent job's reported peak. Lease a lot of stack on one
+        // runtime, then run a 1-stack runtime: its peak must reflect its
+        // own single lease, not the pool-wide footprint the big runtime
+        // left behind.
+        let size = 128 * 1024 + 0xd000; // private size class
+        let big_stats = Arc::new(NetStats::new());
+        let big = CoroRuntime::new(8, size, Arc::clone(&big_stats));
+        let handles: Vec<_> = (0..8).map(|s| big.spawn(s, move || s)).collect();
+        for s in 0..8 {
+            big.enqueue_resume(s);
+        }
+        big.activate(1);
+        for h in handles {
+            h.join().unwrap();
+        }
+        big.shutdown();
+        assert!(
+            big_stats.snapshot().stack_bytes_peak() >= 8 * size as u64,
+            "the big runtime's own peak covers all eight leases"
+        );
+        let small_stats = Arc::new(NetStats::new());
+        let small = CoroRuntime::new(1, size, Arc::clone(&small_stats));
+        let h = small.spawn(0, || 3u8);
+        small.enqueue_resume(0);
+        small.activate(1);
+        h.join().unwrap();
+        small.shutdown();
+        let peak = small_stats.snapshot().stack_bytes_peak();
+        // One lease: usable size + guard pages + rounding, nowhere near the
+        // ≥ 8 stacks the pool is still holding resident for this class.
+        assert!(peak >= size as u64, "peak covers the single lease: {peak}");
+        assert!(
+            peak < 2 * (size as u64 + 128 * 1024),
+            "peak {peak} must reflect this runtime's single lease, \
+             not the pool's resident footprint"
+        );
     }
 }

@@ -98,3 +98,4 @@ pub use sched::{Park, Scheduler, WakeOutcome};
 pub use stats::{NetStats, StatsSnapshot};
 pub use time::SimTime;
 pub use topology::{Cluster, NodeId, Placement};
+pub use trace::{EventKind, EventTrace, TraceEvent};

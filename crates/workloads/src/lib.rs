@@ -28,6 +28,7 @@ pub mod determinism;
 pub mod nas;
 pub mod netpipe;
 pub mod runner;
+pub mod serve;
 
 pub use campaign::{
     run_campaign, run_case, shrink_violation, CampaignSummary, CaseOutcome, LatencyStats,
@@ -36,3 +37,4 @@ pub use campaign::{
 pub use determinism::{check_send_determinism, DeterminismReport, JitterModel};
 pub use netpipe::{netpipe_sweep, NetpipePoint};
 pub use runner::{compare_protocols, ComparisonRow, WorkloadSpec};
+pub use serve::{JobRecord, JobSpec, ServeConfig, ServeEvent, SpecError};

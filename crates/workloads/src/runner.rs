@@ -49,7 +49,7 @@ impl WorkloadSpec {
 /// [`sim_net::CarrierPool`]. In coroutine mode (`carrier_mode`), the
 /// `stack_*` counters account for the user-space execution layer instead:
 /// context switches performed, stacks leased fresh vs recycled from the
-/// [`sim_net::StackPool`], and the pool's peak resident bytes.
+/// [`sim_net::StackPool`], and the job's peak leased stack bytes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeliveryCounters {
     /// Scheduler wakes that unparked the target (moved it to the ready
@@ -90,7 +90,8 @@ pub struct DeliveryCounters {
     pub stacks_allocated: u64,
     /// Coroutine stacks recycled from the process-global stack pool.
     pub stacks_reused: u64,
-    /// Peak resident bytes of the stack pool observed during the run.
+    /// Peak coroutine-stack bytes the run had leased at once (per-job, not
+    /// the shared pool's resident footprint).
     pub stack_bytes_peak: u64,
     /// Host (real) seconds the run took, as opposed to simulated seconds.
     pub host_secs: f64,

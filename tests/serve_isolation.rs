@@ -1,0 +1,168 @@
+//! Per-job isolation of the service mode (DESIGN.md §6): a job's
+//! deterministic report — outcomes, checksums, virtual times, protocol and
+//! fault counters, stack peak, trace digest — must be bit-identical whether
+//! the job runs alone or next to arbitrary concurrent neighbours, because
+//! every job gets its own fabric and the only shared state (the
+//! carrier-thread and coroutine-stack pools) may only influence host-side
+//! counters.
+
+use workloads::serve::{
+    check_isolation, mixed_queue, run_job, JobSpec, JobStatus, ServeConfig, ServeEvent, Submission,
+};
+
+/// The tentpole isolation stress: at least 8 jobs with disjoint seeds and
+/// fault configurations — clean NAS kernels, a survivable crash, a
+/// guaranteed `RankLost` abort, lossy links, delayed acks, a native
+/// baseline — all in flight at once, in both carrier modes. Every job's
+/// concurrent deterministic report must match its solo reference exactly.
+#[test]
+fn eight_concurrent_mixed_jobs_match_their_solo_runs() {
+    let specs = mixed_queue(8, 40);
+    assert_eq!(specs.len(), 8);
+    // The queue really is mixed: crashing, lossy and fault-free jobs with
+    // pairwise-distinct seeds.
+    assert!(specs.iter().any(|s| !s.crashes.is_empty()));
+    assert!(specs.iter().any(|s| s.net_faults.is_some()));
+    assert!(specs
+        .iter()
+        .any(|s| s.crashes.is_empty() && s.net_faults.is_none()));
+    let mut seeds: Vec<u64> = specs.iter().map(|s| s.seed).collect();
+    seeds.sort_unstable();
+    seeds.dedup();
+    assert_eq!(seeds.len(), specs.len(), "seeds must be disjoint");
+
+    let (violations, summary) = check_isolation(&specs, ServeConfig { max_concurrent: 8 });
+    for v in &violations {
+        eprintln!(
+            "isolation violation in {}:\n  solo:       {}\n  concurrent: {}",
+            v.id, v.solo, v.concurrent
+        );
+    }
+    assert!(violations.is_empty(), "{} jobs diverged", violations.len());
+    assert_eq!(summary.completed, specs.len());
+    assert_eq!(summary.failed, 0, "no job may deadlock or fail");
+    assert!(summary.aborted >= 1, "the planted RankLost job must abort");
+}
+
+/// The `RankLost`-aborting job specifically: it aborts by plan, and every
+/// neighbour that shared the server with it still reproduces its solo
+/// report — an aborting job never perturbs the jobs around it.
+#[test]
+fn rank_lost_abort_does_not_perturb_neighbours() {
+    let specs = mixed_queue(6, 40);
+    let abort_spec = &specs[2]; // slot 2 is the correlated-pair-loss job
+    assert!(!abort_spec.crashes.is_empty());
+    let solo_abort = run_job(abort_spec, 0).expect("validated spec");
+    assert_eq!(solo_abort.status, JobStatus::Aborted);
+
+    let neighbours: Vec<JobSpec> = specs
+        .iter()
+        .filter(|s| s.id != abort_spec.id)
+        .cloned()
+        .collect();
+    let mut solo = std::collections::BTreeMap::new();
+    for (seq, spec) in neighbours.iter().enumerate() {
+        solo.insert(
+            spec.id.clone(),
+            run_job(spec, seq)
+                .expect("validated spec")
+                .deterministic_json(),
+        );
+    }
+    // Everything in flight together, aborting job included.
+    let submissions = specs.iter().cloned().map(Submission::Spec).collect();
+    let mut aborted_seen = false;
+    let summary =
+        workloads::serve::serve(submissions, ServeConfig { max_concurrent: 6 }, |event| {
+            if let ServeEvent::Completed(record) = event {
+                if record.id == abort_spec.id {
+                    assert_eq!(record.status, JobStatus::Aborted);
+                    aborted_seen = true;
+                } else {
+                    assert_eq!(
+                        record.deterministic_json(),
+                        solo[&record.id],
+                        "neighbour {} diverged next to an aborting job",
+                        record.id
+                    );
+                }
+            }
+        });
+    assert!(aborted_seen);
+    assert_eq!(summary.completed, specs.len());
+}
+
+/// Determinism under concurrency: a `workers: 1` job submitted through the
+/// server yields a `TraceEvent` stream — timestamps included — bit-identical
+/// to the same spec run standalone through `JobBuilder`, in both carrier
+/// modes, even while unrelated jobs run beside it.
+#[test]
+fn served_workers1_trace_is_bit_identical_to_standalone() {
+    for carrier in ["coroutine", "thread"] {
+        let line = format!(
+            "{{\"id\":\"probe-{carrier}\",\"workload\":\"cg\",\"ranks\":2,\
+             \"class\":\"test\",\"workers\":1,\"carrier\":\"{carrier}\",\
+             \"seed\":7,\"trace\":true}}"
+        );
+        let spec = JobSpec::parse_line(&line).expect("valid spec");
+
+        // Standalone reference: the raw JobBuilder path, no server involved.
+        let app = spec.app();
+        let report = spec.compile().expect("valid spec").run(move |p| (app)(p));
+        let standalone = report.trace.events();
+        assert!(!standalone.is_empty());
+
+        // The same spec through the server, with noisy neighbours in flight.
+        let mut queue: Vec<Submission> = mixed_queue(4, 1000 + 40)
+            .into_iter()
+            .map(Submission::Spec)
+            .collect();
+        queue.insert(2, Submission::Spec(spec.clone()));
+        let mut served_trace = None;
+        workloads::serve::serve(queue, ServeConfig { max_concurrent: 5 }, |event| {
+            if let ServeEvent::Completed(record) = event {
+                if record.id == spec.id {
+                    served_trace = record.trace.clone();
+                }
+            }
+        });
+        let served = served_trace.expect("the probe job must complete with a trace");
+        assert_eq!(
+            served, standalone,
+            "{carrier}: served trace diverged from the standalone run"
+        );
+    }
+}
+
+/// Regression pin for the global-pool bleed the isolation suite exposed:
+/// `stack_bytes_peak` is part of the deterministic report, so a coroutine
+/// job's peak must not inflate when other coroutine jobs hold stacks from
+/// the same process-global pool at the same time. (The unit-level pin lives
+/// in `sim_net::carrier::coro`; this is the job-level contract.)
+#[test]
+fn stack_peak_is_per_job_even_under_heavy_concurrency() {
+    let mut specs = Vec::new();
+    for i in 0..6 {
+        let line = format!(
+            "{{\"id\":\"stk-{i}\",\"workload\":\"collective\",\"iterations\":5,\
+             \"ranks\":4,\"workers\":1,\"carrier\":\"coroutine\",\"seed\":{i}}}"
+        );
+        specs.push(JobSpec::parse_line(&line).expect("valid spec"));
+    }
+    let solo_peaks: Vec<u64> = specs
+        .iter()
+        .map(|s| run_job(s, 0).expect("validated spec").stack_bytes_peak)
+        .collect();
+    assert!(solo_peaks.iter().all(|&p| p > 0));
+    let submissions = specs.iter().cloned().map(Submission::Spec).collect();
+    workloads::serve::serve(submissions, ServeConfig { max_concurrent: 6 }, |event| {
+        if let ServeEvent::Completed(record) = event {
+            let idx: usize = record.id["stk-".len()..].parse().unwrap();
+            assert_eq!(
+                record.stack_bytes_peak, solo_peaks[idx],
+                "{}: stack peak bled in from a concurrent job",
+                record.id
+            );
+        }
+    });
+}
